@@ -1,0 +1,84 @@
+"""Ablation: off-chip bandwidth sensitivity of the two designs.
+
+The paper evaluates compute-bound latency (main memory excluded), where
+FP32 and MF-DFP take essentially the same time.  This ablation turns on
+the double-buffered DMA model and sweeps the off-chip bandwidth: because
+MF-DFP moves 4x smaller activations and 8x smaller weights, it stays
+compute-bound at bandwidths where the FP32 design stalls — a latency
+benefit on top of the paper's power/energy numbers, bounded by the 8x
+byte ratio.
+"""
+
+import pytest
+
+from repro.hw import Accelerator, AcceleratorConfig
+from repro.zoo import alexnet, cifar10_full
+
+BANDWIDTHS = (1024.0, 256.0, 64.0, 16.0, 4.0, 1.0)  # bytes per cycle
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    rows = []
+    for net in (cifar10_full(), alexnet()):
+        for bw in BANDWIDTHS:
+            fp = Accelerator(AcceleratorConfig(precision="fp32", dma_bandwidth=bw))
+            mf = Accelerator(AcceleratorConfig(precision="mfdfp", dma_bandwidth=bw))
+            t_fp = fp.latency_us(net)
+            t_mf = mf.latency_us(net)
+            rows.append(
+                {
+                    "network": net.name,
+                    "bandwidth": bw,
+                    "fp32_us": t_fp,
+                    "mfdfp_us": t_mf,
+                    "speedup": t_fp / t_mf,
+                    "fp32_membound": len(fp.schedule(net).memory_bound_layers()),
+                    "mfdfp_membound": len(mf.schedule(net).memory_bound_layers()),
+                }
+            )
+    return rows
+
+
+def test_print_bandwidth_sweep(sweep, capsys, benchmark):
+    benchmark(lambda: max(r["speedup"] for r in sweep))
+    with capsys.disabled():
+        print()
+        print("DMA bandwidth ablation (latency, us; memory-bound layer counts)")
+        header = f"{'network':<14} {'B/cyc':>7} {'fp32':>12} {'mfdfp':>12} {'speedup':>8} {'fp32 MB':>8} {'mf MB':>6}"
+        print(header)
+        for r in sweep:
+            print(
+                f"{r['network']:<14} {r['bandwidth']:>7.0f} {r['fp32_us']:>12.1f} "
+                f"{r['mfdfp_us']:>12.1f} {r['speedup']:>8.2f} "
+                f"{r['fp32_membound']:>8} {r['mfdfp_membound']:>6}"
+            )
+
+
+def test_speedup_monotone_in_scarcity(sweep):
+    for name in ("cifar10_full", "alexnet"):
+        series = [r["speedup"] for r in sweep if r["network"] == name]
+        assert all(a <= b + 1e-9 for a, b in zip(series, series[1:]))
+
+
+def test_speedup_bounded_by_byte_ratio(sweep):
+    assert all(r["speedup"] <= 8.0 + 1e-9 for r in sweep)
+
+
+def test_fp32_goes_memory_bound_first(sweep):
+    for r in sweep:
+        assert r["fp32_membound"] >= r["mfdfp_membound"]
+
+
+def test_high_bandwidth_recovers_paper_setting(sweep):
+    """At ample bandwidth both designs are compute bound and the latency
+    gap collapses to the pipeline-depth difference."""
+    top = [r for r in sweep if r["bandwidth"] == BANDWIDTHS[0]]
+    for r in top:
+        assert r["speedup"] < 1.05
+
+
+def test_bench_schedule_with_dma(benchmark):
+    acc = Accelerator(AcceleratorConfig(precision="mfdfp", dma_bandwidth=16.0))
+    schedule = benchmark(acc.schedule, alexnet())
+    assert schedule.total_cycles > 0

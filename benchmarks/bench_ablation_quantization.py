@@ -1,0 +1,101 @@
+"""Ablations over the design choices Section 4/5 calls out.
+
+* deterministic vs stochastic weight-exponent rounding (the paper found
+  deterministic quantization "gives better performance"),
+* dynamic vs static fixed point (the paper's motivation for per-layer
+  radix points),
+* activation bit-width sweep (the paper argues >= 8 bits are needed;
+  accuracy should degrade sharply below 8),
+* the e >= -7 exponent clamp (vs a wider exponent range).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MFDFPNetwork
+from repro.core.quantizer import NetworkQuantizer
+from repro.nn import error_rate
+
+
+@pytest.fixture(scope="module")
+def setting(cifar_problem):
+    net = cifar_problem["net"]
+    test = cifar_problem["test"]
+    calib = cifar_problem["train"].x[:256]
+    return net, test, calib
+
+
+def quantized_error(net, calib, test, **kwargs):
+    mf = MFDFPNetwork.from_float(net.clone(), calib, **kwargs)
+    return error_rate(mf.net, test)
+
+
+@pytest.fixture(scope="module")
+def ablation_results(setting):
+    net, test, calib = setting
+    float_err = error_rate(net, test)
+    results = {"float": float_err}
+    results["deterministic"] = quantized_error(net, calib, test, weight_mode="deterministic")
+    results["stochastic"] = quantized_error(
+        net, calib, test, weight_mode="stochastic", rng=np.random.default_rng(0)
+    )
+    results["dynamic"] = quantized_error(net, calib, test, dynamic=True)
+    results["static"] = quantized_error(net, calib, test, dynamic=False)
+    for bits in (4, 6, 8, 12, 16):
+        results[f"bits{bits}"] = quantized_error(
+            net, calib, test, bits=bits, min_exp=-(bits - 1)
+        )
+    results["clamp7"] = quantized_error(net, calib, test, min_exp=-7)
+    results["clamp15"] = quantized_error(net, calib, test, min_exp=-15)
+    return results
+
+
+def test_print_ablations(ablation_results, capsys, benchmark):
+    benchmark(lambda: sorted(ablation_results.values()))
+    with capsys.disabled():
+        print()
+        print("Quantization ablations (CIFAR-surrogate error rate, no fine-tuning)")
+        for key, value in ablation_results.items():
+            print(f"  {key:>14}: {value:.4f}")
+
+
+def test_deterministic_not_worse_than_stochastic(ablation_results):
+    """Paper: 'we found that deterministic quantization gives better
+    performance'."""
+    assert ablation_results["deterministic"] <= ablation_results["stochastic"] + 0.03
+
+
+def test_dynamic_not_worse_than_static(ablation_results):
+    """Per-layer radix points are the point of dynamic fixed point."""
+    assert ablation_results["dynamic"] <= ablation_results["static"] + 0.02
+
+
+def test_bitwidth_sweep_monotone_trend(ablation_results):
+    """More activation bits cannot hurt much; 4 bits must be clearly worse
+    than 8 (the paper's claim that ultra-low precision breaks accuracy)."""
+    assert ablation_results["bits8"] <= ablation_results["bits4"]
+    assert ablation_results["bits16"] <= ablation_results["bits8"] + 0.03
+    assert ablation_results["bits4"] >= ablation_results["bits16"]
+
+
+def test_8bit_close_to_16bit(ablation_results):
+    """8 bits captures nearly all of the achievable accuracy."""
+    assert ablation_results["bits8"] - ablation_results["bits16"] < 0.08
+
+
+def test_exponent_clamp_costs_little(ablation_results):
+    """e >= -7 (4-bit codes) performs close to a wider exponent range —
+    the observation that justifies the paper's 4-bit weight encoding."""
+    assert ablation_results["clamp7"] - ablation_results["clamp15"] < 0.05
+
+
+def test_bench_quantize_network(setting, benchmark):
+    """Time one full Quantize_8bit pass (profile + plan + hooks)."""
+    net, test, calib = setting
+
+    def quantize():
+        clone = net.clone()
+        return NetworkQuantizer().quantize(clone, calib)
+
+    plan = benchmark(quantize)
+    assert plan.bits == 8

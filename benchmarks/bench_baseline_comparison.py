@@ -1,0 +1,93 @@
+"""Baseline precision comparison: MF-DFP vs binary / ternary / fixed8.
+
+Section 1 of the paper motivates MF-DFP against two alternatives:
+binary/ternary networks (cheap hardware, "unacceptable accuracy loss")
+and plain >= 8-bit fixed point (accurate, but needs real multipliers).
+This benchmark runs all four weight representations through the same
+quantization flow (no fine-tuning, isolating representational power) and
+prices their datapaths with the same cost model.
+"""
+
+import pytest
+
+from repro.core.baselines import (
+    BinaryWeightQuantizer,
+    FixedPointWeightQuantizer,
+    TernaryWeightQuantizer,
+)
+from repro.core.quantizer import NetworkQuantizer
+from repro.hw.cost import CostModel
+from repro.nn import error_rate
+
+SCHEMES = {
+    "pow2 (paper)": None,  # default Pow2WeightQuantizer
+    "binary": BinaryWeightQuantizer,
+    "ternary": TernaryWeightQuantizer,
+    "fixed8": lambda: FixedPointWeightQuantizer(bits=8),
+}
+
+
+@pytest.fixture(scope="module")
+def comparison(cifar_problem):
+    net = cifar_problem["net"]
+    test = cifar_problem["test"]
+    calib = cifar_problem["train"].x[:256]
+    rows = {}
+    for label, factory in SCHEMES.items():
+        clone = net.clone()
+        NetworkQuantizer(weight_quantizer_factory=factory).quantize(clone, calib)
+        rows[label] = error_rate(clone, test)
+    rows["float"] = error_rate(net, test)
+    return rows
+
+
+@pytest.fixture(scope="module")
+def hw_points():
+    model = CostModel()
+    return {
+        precision: model.evaluate(precision, 1)
+        for precision in ("fp32", "fixed8", "mfdfp")
+    }
+
+
+def test_print_comparison(comparison, hw_points, capsys, benchmark):
+    benchmark(lambda: min(comparison.values()))
+    with capsys.disabled():
+        print()
+        print("Weight-representation comparison (CIFAR surrogate, no fine-tuning)")
+        for label, err in comparison.items():
+            print(f"  {label:>14}: error {err:.4f}")
+        print("Datapath cost (one processing unit):")
+        for precision, b in hw_points.items():
+            print(f"  {precision:>14}: {b.area_mm2:6.2f} mm2  {b.power_mw:8.2f} mW")
+
+
+def test_pow2_more_accurate_than_binary_and_ternary(comparison):
+    """The paper's accuracy argument for 8 exponent levels."""
+    assert comparison["pow2 (paper)"] <= comparison["binary"] + 0.02
+    assert comparison["pow2 (paper)"] <= comparison["ternary"] + 0.02
+
+
+def test_pow2_competitive_with_fixed8(comparison):
+    """...while giving up little against full 8-bit fixed-point weights."""
+    assert comparison["pow2 (paper)"] - comparison["fixed8"] < 0.10
+
+
+def test_mfdfp_cheapest_datapath(hw_points):
+    """...and costing the least in hardware."""
+    assert hw_points["mfdfp"].area_mm2 < hw_points["fixed8"].area_mm2
+    assert hw_points["mfdfp"].power_mw < hw_points["fixed8"].power_mw
+    assert hw_points["fixed8"].area_mm2 < hw_points["fp32"].area_mm2
+
+
+def test_bench_baseline_quantization(cifar_problem, benchmark):
+    net = cifar_problem["net"]
+    calib = cifar_problem["train"].x[:128]
+
+    def quantize_ternary():
+        clone = net.clone()
+        NetworkQuantizer(weight_quantizer_factory=TernaryWeightQuantizer).quantize(clone, calib)
+        return clone
+
+    clone = benchmark(quantize_ternary)
+    assert clone.layer("conv1").weight_quantizer is not None

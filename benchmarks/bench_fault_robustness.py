@@ -1,0 +1,68 @@
+"""Robustness of the 4-bit weight encoding to memory bit flips.
+
+A study in the spirit of the paper's "inherent resiliency of DNNs"
+premise: flip bits in the deployed 4-bit ⟨s, e⟩ weight codes at
+increasing bit-error rates and measure accuracy with bit-accurate
+execution.  Accuracy should degrade gracefully at small error rates and
+collapse toward chance at heavy corruption.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.faults import accuracy_under_faults, inject_weight_faults
+from repro.core.mfdfp import MFDFPNetwork
+
+BERS = (0.0, 1e-4, 1e-3, 1e-2, 0.1)
+
+
+@pytest.fixture(scope="module")
+def fault_curve(cifar_problem, cifar_mfdfp):
+    test = cifar_problem["test"]
+    deployed = cifar_mfdfp.mfdfp.deploy()
+    points = accuracy_under_faults(
+        deployed,
+        test.x[:200],
+        test.y[:200],
+        bit_error_rates=BERS,
+        rng=np.random.default_rng(0),
+    )
+    return dict(points), deployed
+
+
+def test_print_fault_curve(fault_curve, capsys, benchmark):
+    curve, _ = fault_curve
+    benchmark(lambda: min(curve.values()))
+    with capsys.disabled():
+        print()
+        print("Weight-memory fault injection (CIFAR surrogate, bit-accurate execution)")
+        print(f"{'bit error rate':>15} {'accuracy':>10}")
+        for ber, acc in curve.items():
+            print(f"{ber:>15.0e} {acc:>10.4f}")
+
+
+def test_small_ber_is_tolerated(fault_curve):
+    curve, _ = fault_curve
+    assert curve[1e-4] >= curve[0.0] - 0.05
+
+
+def test_heavy_corruption_degrades(fault_curve):
+    curve, _ = fault_curve
+    assert curve[0.1] <= curve[0.0]
+
+
+def test_degradation_roughly_monotone(fault_curve):
+    curve, _ = fault_curve
+    bers = sorted(curve)
+    accs = [curve[b] for b in bers]
+    # allow small non-monotonic noise, but the overall trend must hold
+    assert accs[0] >= accs[-1]
+    assert max(accs) - accs[-1] >= 0.0
+
+
+def test_bench_fault_injection(fault_curve, benchmark):
+    _, deployed = fault_curve
+    result = benchmark(
+        inject_weight_faults, deployed, 0.01, np.random.default_rng(1)
+    )
+    assert result.flipped_bits > 0

@@ -1,0 +1,97 @@
+"""Figure 3: validation error during fine-tuning, per training strategy.
+
+The paper's Figure 3 (ImageNet top-1 error vs epoch) shows three series:
+
+* the float baseline (a horizontal line),
+* Phase-1 fine-tuning with data labels only, plateauing slightly above
+  the float error,
+* Phase-2 student-teacher training starting from the Phase-1 trajectory
+  and consistently ending at or below labels-only training.
+
+This benchmark regenerates the same series on the ImageNet surrogate and
+asserts the orderings; it prints the curve for EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MFDFPConfig, MFDFPNetwork, phase1_finetune, phase2_distill
+from repro.nn import error_rate
+
+
+@pytest.fixture(scope="module")
+def curves(imagenet_problem):
+    """Three Figure-3 series: float, labels-only, student-teacher."""
+    train = imagenet_problem["train"]
+    test = imagenet_problem["test"]
+    float_net = imagenet_problem["net"]
+    float_error = error_rate(float_net, test)
+    config = MFDFPConfig(phase1_epochs=6, phase2_epochs=6, lr=5e-3, batch_size=32)
+
+    # labels-only trajectory: phase 1 continued (no distillation)
+    labels_net = MFDFPNetwork.from_float(float_net.clone(), train.x[:256])
+    h_labels_a = phase1_finetune(labels_net, train, test, config, rng=np.random.default_rng(4))
+    h_labels_b = phase1_finetune(labels_net, train, test, config, rng=np.random.default_rng(5))
+    labels_curve = h_labels_a.val_errors + h_labels_b.val_errors
+
+    # student-teacher trajectory: phase 1 then phase 2 from the same point
+    st_net = MFDFPNetwork.from_float(float_net.clone(), train.x[:256])
+    h_st_a = phase1_finetune(st_net, train, test, config, rng=np.random.default_rng(4))
+    h_st_b = phase2_distill(
+        st_net, float_net, train, test, config, rng=np.random.default_rng(5)
+    )
+    st_curve = h_st_a.val_errors + h_st_b.val_errors
+
+    return {
+        "float_error": float_error,
+        "labels_only": labels_curve,
+        "student_teacher": st_curve,
+        "phase1_epochs": len(h_st_a.val_errors),
+    }
+
+
+def test_print_figure3_series(curves, capsys, benchmark):
+    benchmark(lambda: max(curves["labels_only"]))
+    with capsys.disabled():
+        print()
+        print("Figure 3 series (ImageNet-surrogate top-1 error rate)")
+        print(f"float baseline: {curves['float_error']:.4f}")
+        print(f"phase 2 starts after epoch {curves['phase1_epochs']}")
+        print(f"{'epoch':>5}  {'labels-only':>12}  {'student-teacher':>16}")
+        for i, (a, b) in enumerate(zip(curves["labels_only"], curves["student_teacher"]), 1):
+            print(f"{i:>5}  {a:>12.4f}  {b:>16.4f}")
+
+
+def test_quantized_error_close_to_float(curves):
+    """Paper: labels-only fine-tuning ends < ~1 point above float; allow a
+    wider band at surrogate scale."""
+    gap = curves["labels_only"][-1] - curves["float_error"]
+    assert gap < 0.12
+
+
+def test_student_teacher_not_worse_than_labels_only(curves):
+    """Figure 3's key message: the student-teacher curve ends at or below
+    the labels-only curve."""
+    assert curves["student_teacher"][-1] <= curves["labels_only"][-1] + 0.02
+
+
+def test_finetuning_improves_over_initial_quantized_error(curves):
+    assert curves["labels_only"][-1] <= curves["labels_only"][0] + 0.02
+    assert curves["student_teacher"][-1] <= curves["student_teacher"][0] + 0.02
+
+
+def test_bench_one_distillation_epoch(imagenet_problem, benchmark):
+    """Time a single phase-2 (student-teacher) epoch."""
+    train = imagenet_problem["train"]
+    test = imagenet_problem["test"]
+    float_net = imagenet_problem["net"]
+    config = MFDFPConfig(phase2_epochs=1, lr=5e-3, batch_size=32)
+    student = MFDFPNetwork.from_float(float_net.clone(), train.x[:256])
+
+    def one_epoch():
+        return phase2_distill(
+            student, float_net, train, test, config, rng=np.random.default_rng(0)
+        )
+
+    history = benchmark.pedantic(one_epoch, rounds=1, iterations=1)
+    assert len(history.epochs) == 1

@@ -1,0 +1,59 @@
+"""Table 1: design area and power of the accelerator configurations.
+
+Regenerates the paper's Table 1 (65 nm synthesis, 250 MHz):
+
+    Floating-point(32,32)  16.52 mm2  1361.61 mW       0%      0%
+    Proposed MF-DFP(8,4)    1.99 mm2   138.96 mW   87.97%  89.79%
+    Ens. MF-DFP(8,4)        3.96 mm2   270.27 mW   76.00%  80.15%
+
+The FP32 row anchors the model's calibration; the MF-DFP rows are model
+predictions (see repro/hw/cost.py).  The benchmark times a full cost-model
+evaluation.
+"""
+
+import pytest
+
+from repro.hw.cost import CostModel
+from repro.report import format_table, table1_rows
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table1_rows()
+
+
+def test_print_table1(rows, capsys, benchmark):
+    benchmark(table1_rows)
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Table 1: design metrics (measured vs paper)"))
+
+
+def test_table1_savings_bands(rows):
+    fp, mf, ens = rows
+    assert fp.area_saving_pct == pytest.approx(0.0)
+    assert 85.0 < mf.area_saving_pct < 91.0   # paper: 87.97
+    assert 87.0 < mf.power_saving_pct < 92.0  # paper: 89.79
+    assert 72.0 < ens.area_saving_pct < 80.0  # paper: 76.00
+    assert 77.0 < ens.power_saving_pct < 83.0  # paper: 80.15
+
+
+def test_bench_cost_model_evaluation(benchmark):
+    """Time one full cost evaluation of all three designs."""
+    model = CostModel()
+
+    def evaluate_all():
+        return [
+            model.evaluate("fp32", 1),
+            model.evaluate("mfdfp", 1),
+            model.evaluate("mfdfp", 2),
+        ]
+
+    results = benchmark(evaluate_all)
+    assert len(results) == 3
+
+
+def test_bench_cost_model_construction(benchmark):
+    """Time model construction including baseline calibration."""
+    model = benchmark(CostModel)
+    assert model.area_calibration > 0

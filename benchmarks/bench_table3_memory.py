@@ -1,0 +1,66 @@
+"""Table 3: parameter-memory requirements.
+
+Paper values (MB):
+
+    network        float    MF-DFP   ensemble
+    CIFAR-10       0.3417   0.0428   0.0855
+    ImageNet     237.95    29.75    59.50
+
+Our architectures reproduce the float and MF-DFP columns exactly (they
+are pure functions of the parameter count); the benchmark times the
+memory accounting and a full deployment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import MFDFPNetwork
+from repro.report import format_table, memory_report, table3_rows
+from repro.zoo import alexnet, cifar10_full
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table3_rows([cifar10_full(), alexnet()])
+
+
+def test_print_table3(rows, capsys, benchmark):
+    benchmark(lambda: table3_rows([cifar10_full()]))
+    with capsys.disabled():
+        print()
+        print(format_table(rows, title="Table 3: parameter memory (MB, measured vs paper)"))
+
+
+def test_cifar_values_match_paper(rows):
+    row = rows[0]
+    assert row.float_mb == pytest.approx(0.3417, abs=5e-5)
+    assert row.mfdfp_mb == pytest.approx(0.0428, abs=5e-4)
+    assert row.ensemble_mb == pytest.approx(0.0855, abs=1e-3)
+
+
+def test_alexnet_values_match_paper(rows):
+    row = rows[1]
+    assert row.float_mb == pytest.approx(237.95, abs=0.01)
+    assert row.mfdfp_mb == pytest.approx(29.75, abs=0.02)
+    assert row.ensemble_mb == pytest.approx(59.50, abs=0.04)
+
+
+def test_compression_is_exactly_8x(rows):
+    for row in rows:
+        assert row.float_mb / row.mfdfp_mb == pytest.approx(8.0)
+
+
+def test_bench_memory_accounting(benchmark):
+    nets = [cifar10_full(), alexnet()]
+    result = benchmark(lambda: [memory_report(n) for n in nets])
+    assert len(result) == 2
+
+
+def test_bench_deploy_cifar10_full(benchmark):
+    """Time the full deployment (weight encoding) of cifar10_full."""
+    rng = np.random.default_rng(0)
+    net = cifar10_full(dtype=np.float64)
+    calib = rng.normal(size=(8, 3, 32, 32))
+    mf = MFDFPNetwork.from_float(net, calib)
+    dep = benchmark(mf.deploy)
+    assert dep.weight_memory_mb() == pytest.approx(0.0428, abs=5e-4)

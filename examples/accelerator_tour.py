@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""A tour of the hardware accelerator model (Section 5 of the paper).
+
+No training involved — this example inspects the accelerator itself:
+
+* the bit-accurate multiplier-free neuron (shift products, widening
+  adder tree, accumulator & routing),
+* area/power breakdowns of the three designs (Table 1),
+* per-layer cycle schedules of cifar10_full and AlexNet (Table 2's time
+  column), and
+* parameter-memory accounting (Table 3).
+"""
+
+import numpy as np
+
+from repro.hw import Accelerator, AcceleratorConfig, Neuron, TileScheduler
+from repro.hw.cost import CostModel
+from repro.report import format_table, memory_report, table1_rows
+from repro.zoo import alexnet, cifar10_full
+
+
+def neuron_demo():
+    print("=== a single multiplier-free neuron (Figure 2a) ===")
+    rng = np.random.default_rng(0)
+    neuron = Neuron()
+    x_codes = rng.integers(-127, 128, size=16)
+    w_sign = rng.choice([-1, 1], size=16)
+    w_exp = rng.integers(-7, 1, size=16)
+    m, n = 4, 4
+    out = neuron.compute_output(x_codes, w_sign, w_exp, bias_int=0, m=m, n=n, activation="relu")
+    x_real = x_codes * 2.0**-m
+    w_real = w_sign * np.exp2(w_exp.astype(float))
+    ref = max((x_real * w_real).sum(), 0.0)
+    print(f"16 inputs (codes, m={m}): {x_codes.tolist()}")
+    print(f"16 weights (s*2^e):      {w_real.tolist()}")
+    print(f"neuron output code (n={n}): {out}  -> value {out * 2.0 ** -n:.4f}")
+    print(f"float reference:            {ref:.4f} (quantizes to the same code)")
+
+
+def cost_breakdown():
+    print("\n=== Table 1: design metrics ===")
+    print(format_table(table1_rows()))
+    print("\narea composition of the MF-DFP design:")
+    breakdown = CostModel().evaluate("mfdfp", 1)
+    for name, fraction in sorted(
+        breakdown.item_area_fraction().items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {name:<22} {100 * fraction:5.1f}%")
+
+
+def schedules():
+    print("\n=== per-layer schedules (250 MHz, 16x16 tile) ===")
+    scheduler = TileScheduler(clock_mhz=250.0, pipeline_depth=4)
+    for net in (cifar10_full(), alexnet()):
+        schedule = scheduler.schedule_network(net)
+        print(f"\n{net.name}: {schedule.total_cycles} cycles = {schedule.time_us():.2f} us, "
+              f"utilization {100 * schedule.utilization():.1f}%")
+        print(f"  {'layer':<8} {'kind':<8} {'cycles':>10} {'MACs':>12}")
+        for layer in schedule.layers:
+            print(f"  {layer.name:<8} {layer.kind:<8} {layer.cycles:>10} {layer.macs:>12}")
+
+
+def memory():
+    print("\n=== Table 3: parameter memory ===")
+    for net in (cifar10_full(), alexnet()):
+        report = memory_report(net)
+        print(
+            f"{report.network:<14} {report.parameters:>10} params | "
+            f"float {report.float_mb:8.4f} MB | MF-DFP {report.mfdfp_mb:8.4f} MB | "
+            f"ensemble {report.ensemble_mb:8.4f} MB"
+        )
+
+
+def energy():
+    print("\n=== energy per inference (power x latency, as in the paper) ===")
+    designs = [
+        ("FP32 baseline", AcceleratorConfig(precision="fp32")),
+        ("MF-DFP", AcceleratorConfig(precision="mfdfp")),
+        ("MF-DFP ensemble", AcceleratorConfig(precision="mfdfp", num_pus=2)),
+    ]
+    for net in (cifar10_full(), alexnet()):
+        print(f"\n{net.name}:")
+        for label, config in designs:
+            acc = Accelerator(config)
+            print(
+                f"  {label:<16} {acc.latency_us(net):>10.2f} us  "
+                f"{acc.energy_uj(net):>10.2f} uJ"
+            )
+
+
+if __name__ == "__main__":
+    neuron_demo()
+    cost_breakdown()
+    schedules()
+    memory()
+    energy()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Full Algorithm 1 on the CIFAR-10 surrogate, with Figure-3 curves.
+
+Runs both fine-tuning strategies the paper compares in Figure 3 —
+hard-labels-only (Phase 1) and student-teacher (Phase 2) — from the same
+quantized starting point, and writes the error-rate series to
+``figure3_curves.csv`` next to this script.
+
+Pass a directory containing the real CIFAR-10 binary batches as the first
+argument to run on real data instead of the surrogate.
+"""
+
+import csv
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import MFDFPConfig, MFDFPNetwork, phase1_finetune, phase2_distill
+from repro.datasets import cifar10_surrogate, load_real_cifar10
+from repro.nn import SGD, PlateauScheduler, Trainer, error_rate
+from repro.zoo import cifar10_full, cifar10_small
+
+
+def load_data(argv):
+    if len(argv) > 1:
+        print(f"loading real CIFAR-10 from {argv[1]}")
+        train, test = load_real_cifar10(argv[1])
+        return train, test, cifar10_full(rng=np.random.default_rng(0))
+    print("using the CIFAR-10 surrogate (pass a data dir for real CIFAR-10)")
+    train, test = cifar10_surrogate(n_train=1500, n_test=400, size=16, noise=0.7, seed=2)
+    return train, test, cifar10_small(size=16, rng=np.random.default_rng(0))
+
+
+def main(argv):
+    train, test, net = load_data(argv)
+
+    print("== training the float teacher ==")
+    optimizer = SGD(net.params, lr=0.02, momentum=0.9)
+    trainer = Trainer(
+        net, optimizer, scheduler=PlateauScheduler(optimizer, patience=2), batch_size=32
+    )
+    trainer.fit(train, test, epochs=15)
+    float_err = error_rate(net, test)
+    print(f"float error: {float_err:.4f}")
+
+    config = MFDFPConfig(phase1_epochs=8, phase2_epochs=8, lr=5e-3, batch_size=32)
+    calib = train.x[:256]
+
+    print("\n== branch A: labels-only fine-tuning (Phase 1 continued) ==")
+    labels_net = MFDFPNetwork.from_float(net.clone(), calib)
+    curve_a = phase1_finetune(labels_net, train, test, config).val_errors
+    curve_a += phase1_finetune(labels_net, train, test, config).val_errors
+    print(f"labels-only final error: {curve_a[-1]:.4f}")
+
+    print("\n== branch B: Phase 1 then student-teacher (Phase 2) ==")
+    st_net = MFDFPNetwork.from_float(net.clone(), calib)
+    curve_b = phase1_finetune(st_net, train, test, config).val_errors
+    curve_b += phase2_distill(st_net, net, train, test, config).val_errors
+    print(f"student-teacher final error: {curve_b[-1]:.4f}")
+
+    out = Path(__file__).with_name("figure3_curves.csv")
+    with open(out, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["epoch", "labels_only", "student_teacher", "float_baseline"])
+        for i, (a, b) in enumerate(zip(curve_a, curve_b), 1):
+            writer.writerow([i, f"{a:.4f}", f"{b:.4f}", f"{float_err:.4f}"])
+    print(f"\nFigure-3 series written to {out}")
+    print(
+        f"summary: float {float_err:.4f} | labels-only {curve_a[-1]:.4f} | "
+        f"student-teacher {curve_b[-1]:.4f}"
+    )
+    if curve_b[-1] <= curve_a[-1]:
+        print("student-teacher training matched or beat labels-only (as in the paper)")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -1,0 +1,34 @@
+"""repro — reproduction of Tann et al., "Hardware-Software Codesign of
+Accurate, Multiplier-free Deep Neural Networks" (DAC 2017).
+
+Public API tour:
+
+* :mod:`repro.nn` — pure-numpy DNN framework (the Caffe substitute).
+* :mod:`repro.core` — MF-DFP quantization, Algorithm 1, distillation,
+  ensembles (the paper's contribution).
+* :mod:`repro.hw` — the multiplier-free accelerator: bit-accurate
+  datapath, tile scheduler, 65 nm cost model.
+* :mod:`repro.zoo` — ``cifar10_full`` and AlexNet architectures.
+* :mod:`repro.datasets` — CIFAR-10/ImageNet surrogates + real loaders.
+* :mod:`repro.report` — regenerate the paper's tables.
+
+Quickstart::
+
+    from repro.datasets import cifar10_surrogate
+    from repro.zoo import cifar10_small
+    from repro.core import run_algorithm1, MFDFPConfig
+    from repro.hw import Accelerator, AcceleratorConfig
+
+    train, test = cifar10_surrogate(n_train=2000, n_test=500, size=16)
+    net = cifar10_small(size=16)
+    ...  # train the float network (see examples/quickstart.py)
+    result = run_algorithm1(net, train, test, train.x[:256])
+    accel = Accelerator(AcceleratorConfig(precision="mfdfp"))
+    logits = accel.run(result.mfdfp.deploy(), test.x[:8])
+"""
+
+__version__ = "1.0.0"
+
+from repro import core, datasets, hw, nn, report, zoo
+
+__all__ = ["core", "datasets", "hw", "nn", "report", "zoo", "__version__"]

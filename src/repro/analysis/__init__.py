@@ -1,0 +1,39 @@
+"""Analysis tooling around the MF-DFP quantization.
+
+Not part of the paper's tables, but the instruments one needs to *debug*
+a quantized network of this kind:
+
+* :mod:`repro.analysis.sqnr` — per-layer signal-to-quantization-noise
+  ratios and weight-exponent histograms.
+* :mod:`repro.analysis.sweeps` — parameter sweeps (bit width, exponent
+  clamp, dynamic-vs-static) used by the ablation benchmarks.
+* :mod:`repro.analysis.faults` — bit-flip fault injection into deployed
+  weight codes, for robustness studies of the 4-bit encoding.
+"""
+
+from repro.analysis.faults import FaultInjectionResult, inject_weight_faults
+from repro.analysis.sqnr import (
+    LayerNoiseReport,
+    exponent_histogram,
+    layer_sqnr_report,
+    sqnr_db,
+)
+from repro.analysis.sweeps import (
+    SweepPoint,
+    bitwidth_sweep,
+    dynamic_vs_static,
+    exponent_clamp_sweep,
+)
+
+__all__ = [
+    "FaultInjectionResult",
+    "LayerNoiseReport",
+    "SweepPoint",
+    "bitwidth_sweep",
+    "dynamic_vs_static",
+    "exponent_clamp_sweep",
+    "exponent_histogram",
+    "inject_weight_faults",
+    "layer_sqnr_report",
+    "sqnr_db",
+]

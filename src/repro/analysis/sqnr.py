@@ -1,0 +1,103 @@
+"""Per-layer quantization-noise analysis.
+
+SQNR (signal-to-quantization-noise ratio) per layer pinpoints where an
+8-bit dynamic fixed-point network loses information — the diagnostic
+Ristretto-style flows use when a quantized network underperforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pow2 import pow2_exponents
+from repro.core.quantizer import strip_quantization
+from repro.nn.network import Network
+
+
+def sqnr_db(signal: np.ndarray, noisy: np.ndarray) -> float:
+    """Signal-to-quantization-noise ratio in dB.
+
+    ``10 * log10(||signal||^2 / ||signal - noisy||^2)``; returns ``inf``
+    for an exact match and ``-inf`` for zero signal with nonzero noise.
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    noise = signal - np.asarray(noisy, dtype=np.float64)
+    p_signal = float((signal**2).sum())
+    p_noise = float((noise**2).sum())
+    if p_noise == 0.0:
+        return float("inf")
+    if p_signal == 0.0:
+        return float("-inf")
+    return 10.0 * np.log10(p_signal / p_noise)
+
+
+@dataclass(frozen=True)
+class LayerNoiseReport:
+    """Quantization noise of one layer boundary."""
+
+    layer_name: str
+    sqnr_db: float
+    max_abs_error: float
+    signal_range: float
+
+
+def layer_sqnr_report(
+    float_net: Network, quant_net: Network, x: np.ndarray
+) -> list[LayerNoiseReport]:
+    """Compare per-layer activations of a float net and its quantized twin.
+
+    Both networks must share the same topology (layer names are matched
+    positionally).  Returns one report per layer, in execution order.
+    """
+    if len(float_net.layers) != len(quant_net.layers):
+        raise ValueError("networks must have the same number of layers")
+    out_f = x
+    out_q = quant_net.input_quantizer(x) if quant_net.input_quantizer else x
+    reports = []
+    for layer_f, layer_q in zip(float_net.layers, quant_net.layers):
+        layer_f.training = False
+        layer_q.training = False
+        out_f = layer_f.forward(out_f)
+        out_q = layer_q.forward(out_q)
+        reports.append(
+            LayerNoiseReport(
+                layer_name=layer_f.name,
+                sqnr_db=sqnr_db(out_f, out_q),
+                max_abs_error=float(np.max(np.abs(out_f - out_q))),
+                signal_range=float(np.max(np.abs(out_f))),
+            )
+        )
+    return reports
+
+
+def exponent_histogram(net: Network, min_exp: int = -7, max_exp: int = 0) -> dict[str, np.ndarray]:
+    """Histogram of power-of-two weight exponents per compute layer.
+
+    Returns, for each parameterized layer, an array of counts indexed by
+    exponent (``min_exp`` first).  A mass concentrated at ``min_exp``
+    signals weights too small for the clamp — the failure mode that the
+    paper's ``e >= -7`` bound risks.
+    """
+    histograms = {}
+    for layer in net.layers:
+        if not layer.params:
+            continue
+        weights = layer.params[0].data
+        exps = pow2_exponents(weights, min_exp=min_exp, max_exp=max_exp)
+        counts = np.bincount(exps.ravel() - min_exp, minlength=max_exp - min_exp + 1)
+        histograms[layer.name] = counts
+    return histograms
+
+
+def quantization_noise_of(net: Network, calibration_x: np.ndarray, x: np.ndarray, **quant_kwargs):
+    """One-call helper: quantize a clone and return its SQNR report."""
+    from repro.core.mfdfp import MFDFPNetwork
+
+    float_clone = net.clone()
+    strip_quantization(float_clone)
+    quant_clone = net.clone()
+    strip_quantization(quant_clone)
+    MFDFPNetwork.from_float(quant_clone, calibration_x, **quant_kwargs)
+    return layer_sqnr_report(float_clone, quant_clone, x)

@@ -1,0 +1,110 @@
+"""Parameter sweeps over the quantization design space.
+
+These drive the ablation benchmarks and give downstream users a one-call
+answer to "what would N bits have cost me?" — the question Section 1 of
+the paper raises against sub-8-bit designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.mfdfp import MFDFPNetwork
+from repro.nn.data import ArrayDataset
+from repro.nn.network import Network
+from repro.nn.trainer import error_rate
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration of a sweep and its measured error rate."""
+
+    label: str
+    error_rate: float
+    bits: int
+    min_exp: int
+    dynamic: bool
+
+
+def _evaluate(
+    net: Network,
+    calibration_x: np.ndarray,
+    test: ArrayDataset,
+    label: str,
+    **kwargs,
+) -> SweepPoint:
+    clone = net.clone()
+    mf = MFDFPNetwork.from_float(clone, calibration_x, **kwargs)
+    err = error_rate(mf.net, test)
+    return SweepPoint(
+        label=label,
+        error_rate=err,
+        bits=kwargs.get("bits", 8),
+        min_exp=kwargs.get("min_exp", -7),
+        dynamic=kwargs.get("dynamic", True),
+    )
+
+
+def bitwidth_sweep(
+    net: Network,
+    calibration_x: np.ndarray,
+    test: ArrayDataset,
+    bit_widths: Sequence[int] = (4, 6, 8, 10, 12, 16),
+) -> list[SweepPoint]:
+    """Error rate vs activation bit width (weight clamp scales along).
+
+    No fine-tuning is applied: this isolates the representational cost of
+    the format, the quantity Figure 3's epoch-0 point reflects.
+    """
+    return [
+        _evaluate(
+            net, calibration_x, test, f"{b}-bit", bits=b, min_exp=-(b - 1)
+        )
+        for b in bit_widths
+    ]
+
+
+def exponent_clamp_sweep(
+    net: Network,
+    calibration_x: np.ndarray,
+    test: ArrayDataset,
+    min_exps: Sequence[int] = (-3, -5, -7, -9, -12, -15),
+) -> list[SweepPoint]:
+    """Error rate vs the weight-exponent lower clamp.
+
+    The paper bounds e >= -7 so weights fit 4 bits; this sweep quantifies
+    what that clamp costs relative to wider exponent ranges.
+    """
+    return [
+        _evaluate(net, calibration_x, test, f"e>={e}", min_exp=e)
+        for e in min_exps
+    ]
+
+
+def dynamic_vs_static(
+    net: Network,
+    calibration_x: np.ndarray,
+    test: ArrayDataset,
+) -> list[SweepPoint]:
+    """Per-layer (dynamic) vs global (static) fixed-point radix."""
+    return [
+        _evaluate(net, calibration_x, test, "dynamic", dynamic=True),
+        _evaluate(net, calibration_x, test, "static", dynamic=False),
+    ]
+
+
+def stochastic_vs_deterministic(
+    net: Network,
+    calibration_x: np.ndarray,
+    test: ArrayDataset,
+    rng: Optional[np.random.Generator] = None,
+) -> list[SweepPoint]:
+    """The weight-rounding-mode comparison of Section 4.1."""
+    rng = rng or np.random.default_rng(0)
+    return [
+        _evaluate(net, calibration_x, test, "deterministic", weight_mode="deterministic"),
+        _evaluate(net, calibration_x, test, "stochastic", weight_mode="stochastic", rng=rng),
+    ]

@@ -1,0 +1,139 @@
+"""Command-line interface: regenerate the paper's tables from a shell.
+
+Usage::
+
+    python -m repro table1            # design area / power (Table 1)
+    python -m repro table3            # parameter memory (Table 3)
+    python -m repro schedule          # per-layer latency of both networks
+    python -m repro fig3 [--epochs N] # Figure-3 curves on the surrogate
+    python -m repro table2 [--epochs N]  # accuracy/time/energy (Table 2)
+
+``table2`` and ``fig3`` train on the CIFAR-10 surrogate and take a few
+minutes; the others are instantaneous.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+
+def _cmd_table1(args) -> None:
+    from repro.report import format_table, table1_rows
+
+    print(format_table(table1_rows(), title="Table 1: design metrics (measured vs paper)"))
+
+
+def _cmd_table3(args) -> None:
+    from repro.report import format_table, table3_rows
+    from repro.zoo import alexnet, cifar10_full
+
+    rows = table3_rows([cifar10_full(), alexnet()])
+    print(format_table(rows, title="Table 3: parameter memory in MB (measured vs paper)"))
+
+
+def _cmd_schedule(args) -> None:
+    from repro.hw import Accelerator, AcceleratorConfig
+    from repro.zoo import alexnet, cifar10_full
+
+    for precision in ("fp32", "mfdfp"):
+        acc = Accelerator(AcceleratorConfig(precision=precision))
+        for net in (cifar10_full(), alexnet()):
+            print(
+                f"{precision:>6} {net.name:<14} {acc.latency_us(net):>12.2f} us  "
+                f"{acc.energy_uj(net):>12.2f} uJ"
+            )
+
+
+def _train_problem(epochs: int):
+    from repro.datasets import cifar10_surrogate
+    from repro.nn import SGD, PlateauScheduler, Trainer
+    from repro.zoo import cifar10_small
+
+    train, test = cifar10_surrogate(n_train=1500, n_test=400, size=16, noise=0.7, seed=2)
+    net = cifar10_small(size=16, rng=np.random.default_rng(0))
+    optimizer = SGD(net.params, lr=0.02, momentum=0.9)
+    trainer = Trainer(
+        net, optimizer, scheduler=PlateauScheduler(optimizer, patience=2), batch_size=32
+    )
+    trainer.fit(train, test, epochs=epochs)
+    return net, train, test
+
+
+def _cmd_table2(args) -> None:
+    from repro.core import Ensemble, MFDFPConfig, run_algorithm1
+    from repro.hw import Accelerator, AcceleratorConfig
+    from repro.nn import error_rate
+    from repro.report import format_table, table2_row
+    from repro.zoo import cifar10_full
+
+    net, train, test = _train_problem(args.epochs)
+    config = MFDFPConfig(phase1_epochs=args.epochs // 2, phase2_epochs=args.epochs // 2, lr=5e-3)
+    result = run_algorithm1(net.clone(), train, test, train.x[:256], config)
+    rng = np.random.default_rng(1)
+    second = net.clone()
+    for p in second.params:
+        p.data = p.data + rng.normal(scale=0.02, size=p.data.shape).astype(p.data.dtype)
+    result2 = run_algorithm1(second, train, test, train.x[:256], config, rng=rng)
+    ensemble = Ensemble([result.mfdfp, result2.mfdfp])
+
+    hw_net = cifar10_full()
+    fp = Accelerator(AcceleratorConfig(precision="fp32"))
+    mf = Accelerator(AcceleratorConfig(precision="mfdfp"))
+    ens = Accelerator(AcceleratorConfig(precision="mfdfp", num_pus=2))
+    base = fp.energy_uj(hw_net)
+    rows = [
+        table2_row("CIFAR-10(sur)", "Floating-Point(32,32)", 1 - error_rate(net, test), fp, hw_net),
+        table2_row("CIFAR-10(sur)", "MF-DFP(8,4)", 1 - result.final_val_error, mf, hw_net, base),
+        table2_row("CIFAR-10(sur)", "Ensemble MF-DFP", ensemble.accuracy(test), ens, hw_net, base),
+    ]
+    print(format_table(rows, title="Table 2 (measured on the surrogate)"))
+
+
+def _cmd_fig3(args) -> None:
+    from repro.core import MFDFPConfig, MFDFPNetwork, phase1_finetune, phase2_distill
+    from repro.nn import error_rate
+
+    net, train, test = _train_problem(args.epochs)
+    float_err = error_rate(net, test)
+    config = MFDFPConfig(phase1_epochs=args.epochs // 2, phase2_epochs=args.epochs // 2, lr=5e-3)
+    labels_net = MFDFPNetwork.from_float(net.clone(), train.x[:256])
+    curve_a = phase1_finetune(labels_net, train, test, config).val_errors
+    curve_a += phase1_finetune(labels_net, train, test, config).val_errors
+    st_net = MFDFPNetwork.from_float(net.clone(), train.x[:256])
+    curve_b = phase1_finetune(st_net, train, test, config).val_errors
+    curve_b += phase2_distill(st_net, net, train, test, config).val_errors
+    print(f"float baseline error: {float_err:.4f}")
+    print(f"{'epoch':>5}  {'labels-only':>12}  {'student-teacher':>16}")
+    for i, (a, b) in enumerate(zip(curve_a, curve_b), 1):
+        print(f"{i:>5}  {a:>12.4f}  {b:>16.4f}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures of Tann et al., DAC 2017.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1", help="design area/power (Table 1)").set_defaults(fn=_cmd_table1)
+    sub.add_parser("table3", help="parameter memory (Table 3)").set_defaults(fn=_cmd_table3)
+    sub.add_parser("schedule", help="latency/energy of both networks").set_defaults(
+        fn=_cmd_schedule
+    )
+    p2 = sub.add_parser("table2", help="accuracy/time/energy (Table 2; trains)")
+    p2.add_argument("--epochs", type=int, default=12)
+    p2.set_defaults(fn=_cmd_table2)
+    p3 = sub.add_parser("fig3", help="training curves (Figure 3; trains)")
+    p3.add_argument("--epochs", type=int, default=12)
+    p3.set_defaults(fn=_cmd_fig3)
+    return parser
+
+
+def main(argv=None) -> None:
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    main()

@@ -1,0 +1,89 @@
+"""Core contribution of the paper: multiplier-free dynamic fixed-point DNNs.
+
+Contents map one-to-one onto Section 4/5 of the paper:
+
+* :mod:`repro.core.dfp` — dynamic fixed-point format ⟨b, f⟩ (Section 4).
+* :mod:`repro.core.pow2` — integer power-of-two weights ⟨s, e⟩ and their
+  4-bit encoding (Section 5).
+* :mod:`repro.core.quantizer` — Ristretto-style per-layer range profiling
+  and hook attachment ("Quantize_8bit" in Algorithm 1).
+* :mod:`repro.core.mfdfp` — the MF-DFP network wrapper and the deployable
+  integer-only artifact consumed by :mod:`repro.hw`.
+* :mod:`repro.core.distill` — student-teacher loss (Phase 2, Eq. 1–2).
+* :mod:`repro.core.ensemble` — ensembles of MF-DFP networks (Phase 3).
+* :mod:`repro.core.pipeline` — Algorithm 1 end to end.
+"""
+
+from repro.core.baselines import (
+    BinaryWeightQuantizer,
+    FixedPointWeightQuantizer,
+    TernaryWeightQuantizer,
+)
+from repro.core.dfp import (
+    DFPFormat,
+    DFPQuantizer,
+    choose_fraction_length,
+    dfp_from_codes,
+    dfp_quantize,
+    dfp_to_codes,
+)
+from repro.core.distill import DistillationLoss, soften
+from repro.core.ensemble import Ensemble
+from repro.core.mfdfp import DeployedLayer, DeployedMFDFP, MFDFPNetwork, deploy
+from repro.core.pipeline import (
+    MFDFPConfig,
+    MFDFPResult,
+    build_mfdfp_ensemble,
+    phase1_finetune,
+    phase2_distill,
+    run_algorithm1,
+)
+from repro.core.pow2 import (
+    Pow2WeightQuantizer,
+    pow2_decode4,
+    pow2_encode4,
+    pow2_exponents,
+    pow2_quantize,
+)
+from repro.core.quantizer import (
+    LayerQuantSpec,
+    NetworkQuantizer,
+    QuantizationPlan,
+    profile_activation_ranges,
+    strip_quantization,
+)
+
+__all__ = [
+    "BinaryWeightQuantizer",
+    "DFPFormat",
+    "FixedPointWeightQuantizer",
+    "TernaryWeightQuantizer",
+    "DFPQuantizer",
+    "DeployedLayer",
+    "DeployedMFDFP",
+    "DistillationLoss",
+    "Ensemble",
+    "LayerQuantSpec",
+    "MFDFPConfig",
+    "MFDFPNetwork",
+    "MFDFPResult",
+    "NetworkQuantizer",
+    "Pow2WeightQuantizer",
+    "QuantizationPlan",
+    "build_mfdfp_ensemble",
+    "choose_fraction_length",
+    "deploy",
+    "dfp_from_codes",
+    "dfp_quantize",
+    "dfp_to_codes",
+    "phase1_finetune",
+    "phase2_distill",
+    "pow2_decode4",
+    "pow2_encode4",
+    "pow2_exponents",
+    "pow2_quantize",
+    "profile_activation_ranges",
+    "run_algorithm1",
+    "soften",
+    "strip_quantization",
+]

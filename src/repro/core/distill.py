@@ -1,0 +1,94 @@
+"""Student-teacher (knowledge distillation) loss — Phase 2, Eq. 1–2.
+
+The quantized MF-DFP network (student) is trained to match both the true
+labels and the floating-point teacher's logits:
+
+    L(W_S) = H(Y, P_S) + beta * H(P_T, P_S)                      (Eq. 1)
+
+where ``P_S`` and ``P_T`` are softmax distributions softened with
+temperature ``tau`` (paper: tau = 20, beta = 0.2).  For large ``tau`` and
+zero-mean logits the gradient of the soft term approaches
+``beta / (N * tau^2) * (z_S - z_T)`` (Eq. 2), which the tests verify.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.loss import Loss, log_softmax, softmax
+
+
+def soften(logits: np.ndarray, tau: float) -> np.ndarray:
+    """Temperature-softened class probabilities ``softmax(z / tau)``."""
+    if tau <= 0:
+        raise ValueError(f"temperature must be positive, got {tau}")
+    return softmax(logits / tau, axis=1)
+
+
+class DistillationLoss(Loss):
+    """Hard-label cross entropy plus soft teacher-matching term.
+
+    Usage (per batch)::
+
+        loss.set_teacher_logits(teacher.logits(x))
+        value = loss.forward(student_logits, labels)
+        dlogits = loss.backward()
+
+    Args:
+        tau: Softening temperature for both student and teacher.
+        beta: Weight of the teacher term.
+    """
+
+    def __init__(self, tau: float = 20.0, beta: float = 0.2):
+        if tau <= 0:
+            raise ValueError("tau must be positive")
+        if beta < 0:
+            raise ValueError("beta must be non-negative")
+        self.tau = tau
+        self.beta = beta
+        self._teacher_logits: np.ndarray | None = None
+        self._cache = None
+
+    def set_teacher_logits(self, teacher_logits: np.ndarray) -> None:
+        """Provide the teacher's logits for the upcoming batch."""
+        self._teacher_logits = np.asarray(teacher_logits)
+
+    def forward(self, logits: np.ndarray, target: np.ndarray) -> float:
+        if self._teacher_logits is None:
+            raise RuntimeError("call set_teacher_logits before forward")
+        if self._teacher_logits.shape != logits.shape:
+            raise ValueError(
+                f"teacher logits shape {self._teacher_logits.shape} != student {logits.shape}"
+            )
+        target = np.asarray(target)
+        n = logits.shape[0]
+
+        hard_logp = log_softmax(logits, axis=1)
+        hard = float(-hard_logp[np.arange(n), target].mean())
+
+        p_teacher = soften(self._teacher_logits, self.tau)
+        soft_logp = log_softmax(logits / self.tau, axis=1)
+        soft = float(-(p_teacher * soft_logp).sum(axis=1).mean())
+
+        self._cache = (np.exp(hard_logp), target, p_teacher, np.exp(soft_logp), n)
+        return hard + self.beta * soft
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        p_hard, target, p_teacher, p_soft, n = self._cache
+        grad = p_hard.copy()
+        grad[np.arange(n), target] -= 1.0
+        grad += (self.beta / self.tau) * (p_soft - p_teacher)
+        return grad / n
+
+    def approx_soft_gradient(self, student_logits: np.ndarray, teacher_logits: np.ndarray) -> np.ndarray:
+        """Eq. 2's large-``tau`` approximation of the soft-term gradient.
+
+        Returns ``beta / (N * tau^2) * (z_S - z_T)`` for zero-meaned logits,
+        where ``N`` is the number of classes.  Exposed for validation.
+        """
+        z_s = student_logits - student_logits.mean(axis=1, keepdims=True)
+        z_t = teacher_logits - teacher_logits.mean(axis=1, keepdims=True)
+        n_classes = student_logits.shape[1]
+        return self.beta / (n_classes * self.tau**2) * (z_s - z_t)

@@ -1,0 +1,311 @@
+"""MF-DFP network wrapper and the deployable integer-only artifact.
+
+:class:`MFDFPNetwork` pairs a float network with an attached quantization
+plan: forward passes see power-of-two weights and 8-bit DFP activations
+while the optimizer updates the floating-point master copy (the shadow
+weights of Courbariaux et al. used by Algorithm 1).
+
+:func:`deploy` freezes an MF-DFP network into a :class:`DeployedMFDFP` —
+pure integer tensors (4-bit weight codes, accumulator-grid biases, per
+layer radix indices ``m``/``n``) that :mod:`repro.hw` executes bit
+accurately and that Table 3's memory accounting is computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.dfp import DFPFormat
+from repro.core.pow2 import Pow2WeightQuantizer, pow2_code_fields, pow2_encode4
+from repro.core.quantizer import NetworkQuantizer, QuantizationPlan, strip_quantization
+from repro.nn.layers.activations import ReLU, Sigmoid, Tanh
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.norm import LocalResponseNorm
+from repro.nn.layers.pool import AvgPool2D, MaxPool2D
+from repro.nn.network import Network
+
+
+class MFDFPNetwork:
+    """A float network running under MF-DFP quantization hooks.
+
+    Build with :meth:`from_float`; train it exactly like a float network
+    (the hooks make every forward pass quantized), then :meth:`deploy` it
+    for the hardware model.
+    """
+
+    def __init__(self, net: Network, plan: QuantizationPlan):
+        self.net = net
+        self.plan = plan
+
+    @classmethod
+    def from_float(
+        cls,
+        net: Network,
+        calibration_x: np.ndarray,
+        bits: int = 8,
+        min_exp: int = -7,
+        max_exp: int = 0,
+        weight_mode: str = "deterministic",
+        dynamic: bool = True,
+        margin: int = 0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "MFDFPNetwork":
+        """Algorithm 1 line 2: quantize a trained float network in place."""
+        quantizer = NetworkQuantizer(
+            bits=bits,
+            min_exp=min_exp,
+            max_exp=max_exp,
+            weight_mode=weight_mode,
+            dynamic=dynamic,
+            margin=margin,
+            rng=rng,
+        )
+        plan = quantizer.quantize(net, calibration_x)
+        return cls(net, plan)
+
+    # -- delegation --------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.net.forward(x, training=training)
+
+    def logits(self, x: np.ndarray) -> np.ndarray:
+        return self.net.logits(x)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.net.predict(x)
+
+    @property
+    def params(self):
+        return self.net.params
+
+    # -- quantized views ---------------------------------------------------
+    def quantized_weights(self) -> dict[str, np.ndarray]:
+        """Power-of-two weights as the forward pass sees them."""
+        out = {}
+        for layer in self.net.layers:
+            w = layer.effective_weight()
+            if w is not None:
+                out[layer.name] = w
+        return out
+
+    def calibrate_bias_to_accumulator_grid(self) -> None:
+        """Snap master biases onto the hardware accumulator grid.
+
+        The accelerator adds biases as integers at scale ``2^-(m+7)``
+        (input fraction ``m`` plus the 7 product bits).  Snapping the
+        master biases to that grid makes the float simulation and the
+        integer datapath agree exactly.
+        """
+        for layer in self.net.layers:
+            if isinstance(layer, (Conv2D, Dense)) and layer.bias is not None:
+                spec = self.plan.spec(layer.name)
+                scale = 2.0 ** (spec.in_fmt.frac + 7)
+                layer.bias.data = (np.rint(layer.bias.data * scale) / scale).astype(
+                    layer.bias.data.dtype
+                )
+
+    def to_float(self) -> Network:
+        """Strip hooks and return the underlying float network."""
+        return strip_quantization(self.net)
+
+    def deploy(self) -> "DeployedMFDFP":
+        """Freeze into the integer-only artifact (see :func:`deploy`)."""
+        return deploy(self.net, self.plan)
+
+
+@dataclass
+class DeployedLayer:
+    """One operation of a deployed MF-DFP network.
+
+    ``kind`` is one of ``conv``, ``dense``, ``maxpool``, ``avgpool``,
+    ``flatten``.  Compute layers carry 4-bit weight codes, integer biases
+    on the accumulator grid ``2^-(m+7)``, the radix indices ``m`` (input
+    fraction length) and ``n`` (output fraction length), and the fused
+    activation (``relu`` or ``none``).
+    """
+
+    kind: str
+    name: str
+    in_frac: int
+    out_frac: int
+    weight_codes: Optional[np.ndarray] = None
+    bias_int: Optional[np.ndarray] = None
+    activation: str = "none"
+    # conv geometry
+    in_channels: int = 0
+    out_channels: int = 0
+    kernel_size: int = 0
+    stride: int = 1
+    pad: int = 0
+    groups: int = 1
+    ceil_mode: bool = True
+    # dense geometry
+    in_features: int = 0
+    out_features: int = 0
+
+    @property
+    def m(self) -> int:
+        """Input radix index (paper's ``m`` control signal)."""
+        return self.in_frac
+
+    @property
+    def n(self) -> int:
+        """Output radix index (paper's ``n`` control signal)."""
+        return self.out_frac
+
+    def weight_fields(self) -> tuple[np.ndarray, np.ndarray]:
+        """Signs (±1) and exponents (≤0) decoded from the 4-bit codes."""
+        if self.weight_codes is None:
+            raise ValueError(f"{self.name} has no weights")
+        return pow2_code_fields(self.weight_codes)
+
+    def weight_count(self) -> int:
+        return 0 if self.weight_codes is None else int(self.weight_codes.size)
+
+    def bias_count(self) -> int:
+        return 0 if self.bias_int is None else int(self.bias_int.size)
+
+
+@dataclass
+class DeployedMFDFP:
+    """A frozen MF-DFP network: integer tensors plus radix bookkeeping."""
+
+    name: str
+    input_shape: tuple
+    input_frac: int
+    bits: int
+    ops: list[DeployedLayer] = field(default_factory=list)
+
+    def compute_ops(self) -> list[DeployedLayer]:
+        """Only the conv/dense operations (the NPU workload)."""
+        return [op for op in self.ops if op.kind in ("conv", "dense")]
+
+    def parameter_count(self) -> int:
+        """Total weights + biases, matching the float network's count."""
+        return sum(op.weight_count() + op.bias_count() for op in self.ops)
+
+    def weight_memory_bytes(self, bits_per_weight: int = 4) -> float:
+        """Parameter storage in bytes at ``bits_per_weight`` per parameter.
+
+        Table 3 of the paper counts every parameter at 4 bits for MF-DFP
+        and 32 bits for the float baseline.
+        """
+        return self.parameter_count() * bits_per_weight / 8.0
+
+    def weight_memory_mb(self, bits_per_weight: int = 4) -> float:
+        """Parameter storage in MB (2^20 bytes), as reported in Table 3."""
+        return self.weight_memory_bytes(bits_per_weight) / float(1 << 20)
+
+
+def _fold_activation(layers, i) -> tuple[str, int]:
+    """Fuse a following ReLU into the compute op; returns (act, skip)."""
+    if i + 1 < len(layers) and isinstance(layers[i + 1], ReLU):
+        return "relu", 1
+    return "none", 0
+
+
+def deploy(net: Network, plan: QuantizationPlan) -> DeployedMFDFP:
+    """Freeze a quantized network into integer-only form.
+
+    Dropout layers vanish (identity at inference); ReLU layers fuse into
+    the preceding compute op.  Tanh/Sigmoid/LRN are rejected: the
+    multiplier-free accelerator does not implement them (the paper removes
+    LRN layers for exactly this reason).
+    """
+    if net.input_shape is None:
+        raise ValueError("deploy requires a network built with input_shape")
+    deployed = DeployedMFDFP(
+        name=net.name,
+        input_shape=tuple(net.input_shape),
+        input_frac=plan.input_fmt.frac,
+        bits=plan.bits,
+    )
+    layers = net.layers
+    i = 0
+    while i < len(layers):
+        layer = layers[i]
+        spec = plan.spec(layer.name)
+        if isinstance(layer, (Conv2D, Dense)):
+            if not spec.quantize_weights:
+                raise ValueError(
+                    f"layer {layer.name!r} keeps float weights (skip_weight_layers); "
+                    "the multiplier-free accelerator cannot execute it"
+                )
+            if layer.weight_quantizer is not None and not isinstance(
+                layer.weight_quantizer, Pow2WeightQuantizer
+            ):
+                raise ValueError(
+                    f"layer {layer.name!r} uses {type(layer.weight_quantizer).__name__}; "
+                    "only power-of-two weights deploy to the multiplier-free accelerator"
+                )
+            act, skip = _fold_activation(layers, i)
+            out_spec = plan.spec(layers[i + skip].name)
+            acc_scale = 2.0 ** (spec.in_fmt.frac + 7)
+            bias_int = None
+            if layer.bias is not None:
+                bias_int = np.rint(np.asarray(layer.bias.data, dtype=np.float64) * acc_scale).astype(
+                    np.int64
+                )
+            op = DeployedLayer(
+                kind="conv" if isinstance(layer, Conv2D) else "dense",
+                name=layer.name,
+                in_frac=spec.in_fmt.frac,
+                out_frac=out_spec.out_fmt.frac,
+                weight_codes=pow2_encode4(layer.weight.data, plan.min_exp, plan.max_exp),
+                bias_int=bias_int,
+                activation=act,
+            )
+            if isinstance(layer, Conv2D):
+                op.in_channels = layer.in_channels
+                op.out_channels = layer.out_channels
+                op.kernel_size = layer.kernel_size
+                op.stride = layer.stride
+                op.pad = layer.pad
+                op.groups = layer.groups
+            else:
+                op.in_features = layer.in_features
+                op.out_features = layer.out_features
+            deployed.ops.append(op)
+            i += 1 + skip
+            continue
+        if isinstance(layer, (MaxPool2D, AvgPool2D)):
+            op = DeployedLayer(
+                kind="maxpool" if isinstance(layer, MaxPool2D) else "avgpool",
+                name=layer.name,
+                in_frac=spec.in_fmt.frac,
+                out_frac=spec.out_fmt.frac,
+                kernel_size=layer.kernel_size,
+                stride=layer.stride,
+                pad=layer.pad,
+                ceil_mode=layer.ceil_mode,
+            )
+            deployed.ops.append(op)
+        elif isinstance(layer, Flatten):
+            deployed.ops.append(
+                DeployedLayer(
+                    kind="flatten",
+                    name=layer.name,
+                    in_frac=spec.in_fmt.frac,
+                    out_frac=spec.in_fmt.frac,
+                )
+            )
+        elif isinstance(layer, Dropout):
+            pass  # identity at inference
+        elif isinstance(layer, (Tanh, Sigmoid, LocalResponseNorm)):
+            raise ValueError(
+                f"layer {layer.name!r} ({type(layer).__name__}) is not supported by the "
+                "multiplier-free accelerator; remove it before deployment"
+            )
+        elif isinstance(layer, ReLU):
+            raise ValueError(
+                f"unfused ReLU {layer.name!r}: ReLU must directly follow a conv/dense layer"
+            )
+        else:
+            raise ValueError(f"cannot deploy layer type {type(layer).__name__}")
+        i += 1
+    return deployed

@@ -1,0 +1,205 @@
+"""Algorithm 1 end to end: float network → fine-tuned MF-DFP network(s).
+
+Phase 1 quantizes and fine-tunes with hard labels (shadow float weights);
+Phase 2 continues with the student-teacher loss of Eq. 1; Phase 3 repeats
+the process from different starting float networks and ensembles them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.distill import DistillationLoss
+from repro.core.ensemble import Ensemble
+from repro.core.mfdfp import MFDFPNetwork
+from repro.core.quantizer import QuantizationPlan
+from repro.nn.data import ArrayDataset, BatchIterator
+from repro.nn.loss import SoftmaxCrossEntropy
+from repro.nn.network import Network
+from repro.nn.optim import SGD, PlateauScheduler
+from repro.nn.trainer import EpochResult, TrainHistory, Trainer, error_rate
+
+
+@dataclass
+class MFDFPConfig:
+    """Hyper-parameters of Algorithm 1 (defaults follow the paper)."""
+
+    bits: int = 8
+    min_exp: int = -7
+    max_exp: int = 0
+    weight_mode: str = "deterministic"
+    dynamic: bool = True
+    lr: float = 1e-3
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    batch_size: int = 64
+    phase1_epochs: int = 20
+    phase2_epochs: int = 20
+    tau: float = 20.0
+    beta: float = 0.2
+    plateau_patience: int = 2
+    lr_factor: float = 0.1
+    min_lr: float = 1e-7
+
+
+@dataclass
+class MFDFPResult:
+    """Everything produced by one run of Algorithm 1 on one float net."""
+
+    mfdfp: MFDFPNetwork
+    plan: QuantizationPlan
+    phase1: TrainHistory
+    phase2: TrainHistory
+    float_val_error: float
+
+    @property
+    def final_val_error(self) -> float:
+        """Validation error after the last completed phase."""
+        for history in (self.phase2, self.phase1):
+            if history.epochs:
+                return history.epochs[-1].val_error
+        return float("nan")
+
+    def error_curve(self) -> list[tuple[int, float, str]]:
+        """Figure-3-style series: (epoch, val error, phase) triples."""
+        curve = [(e.epoch, e.val_error, "phase1") for e in self.phase1.epochs]
+        offset = len(self.phase1.epochs)
+        curve += [(offset + e.epoch, e.val_error, "phase2") for e in self.phase2.epochs]
+        return curve
+
+
+def phase1_finetune(
+    mfdfp: MFDFPNetwork,
+    train: ArrayDataset,
+    val: ArrayDataset,
+    config: MFDFPConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> TrainHistory:
+    """Phase 1 (Algorithm 1 lines 3–9): fine-tune with hard labels.
+
+    Quantized forward passes and float master updates happen automatically
+    through the layer hooks attached by ``MFDFPNetwork.from_float``.
+    """
+    optimizer = SGD(
+        mfdfp.params, lr=config.lr, momentum=config.momentum, weight_decay=config.weight_decay
+    )
+    scheduler = PlateauScheduler(
+        optimizer,
+        factor=config.lr_factor,
+        patience=config.plateau_patience,
+        min_lr=config.min_lr,
+    )
+    trainer = Trainer(
+        mfdfp.net,
+        optimizer,
+        loss=SoftmaxCrossEntropy(),
+        scheduler=scheduler,
+        batch_size=config.batch_size,
+        rng=rng or np.random.default_rng(1),
+    )
+    return trainer.fit(train, val, epochs=config.phase1_epochs)
+
+
+def phase2_distill(
+    mfdfp: MFDFPNetwork,
+    teacher: Network,
+    train: ArrayDataset,
+    val: ArrayDataset,
+    config: MFDFPConfig,
+    rng: Optional[np.random.Generator] = None,
+) -> TrainHistory:
+    """Phase 2 (Algorithm 1 lines 10–20): student-teacher fine-tuning.
+
+    Teacher logits are computed on the fly per batch (equivalent to the
+    paper's precomputed ``t_logits``, without storing the full training
+    set's logits).
+    """
+    rng = rng or np.random.default_rng(2)
+    optimizer = SGD(
+        mfdfp.params, lr=config.lr, momentum=config.momentum, weight_decay=config.weight_decay
+    )
+    scheduler = PlateauScheduler(
+        optimizer,
+        factor=config.lr_factor,
+        patience=config.plateau_patience,
+        min_lr=config.min_lr,
+    )
+    loss = DistillationLoss(tau=config.tau, beta=config.beta)
+    history = TrainHistory()
+    for epoch in range(1, config.phase2_epochs + 1):
+        batches = BatchIterator(train, config.batch_size, shuffle=True, rng=rng)
+        losses = []
+        for x, y in batches:
+            loss.set_teacher_logits(teacher.logits(x))
+            logits = mfdfp.forward(x, training=True)
+            losses.append(loss.forward(logits, y))
+            mfdfp.net.zero_grad()
+            mfdfp.net.backward(loss.backward())
+            optimizer.step()
+        val_error = error_rate(mfdfp.net, val)
+        train_loss = float(np.mean(losses)) if losses else float("nan")
+        history.append(EpochResult(epoch, train_loss, val_error, optimizer.lr))
+        scheduler.step(val_error)
+        if scheduler.finished:
+            break
+    return history
+
+
+def run_algorithm1(
+    float_net: Network,
+    train: ArrayDataset,
+    val: ArrayDataset,
+    calibration_x: np.ndarray,
+    config: Optional[MFDFPConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> MFDFPResult:
+    """Full Algorithm 1 on one float network (Phases 1 and 2).
+
+    ``float_net`` is cloned to serve as the (frozen) teacher; the original
+    instance is converted in place into the MF-DFP student.
+    """
+    config = config or MFDFPConfig()
+    rng = rng or np.random.default_rng(0)
+    float_val_error = error_rate(float_net, val)
+    teacher = float_net.clone()
+    mfdfp = MFDFPNetwork.from_float(
+        float_net,
+        calibration_x,
+        bits=config.bits,
+        min_exp=config.min_exp,
+        max_exp=config.max_exp,
+        weight_mode=config.weight_mode,
+        dynamic=config.dynamic,
+        rng=rng,
+    )
+    history1 = phase1_finetune(mfdfp, train, val, config, rng=rng)
+    history2 = phase2_distill(mfdfp, teacher, train, val, config, rng=rng)
+    return MFDFPResult(
+        mfdfp=mfdfp,
+        plan=mfdfp.plan,
+        phase1=history1,
+        phase2=history2,
+        float_val_error=float_val_error,
+    )
+
+
+def build_mfdfp_ensemble(
+    float_nets: Sequence[Network],
+    train: ArrayDataset,
+    val: ArrayDataset,
+    calibration_x: np.ndarray,
+    config: Optional[MFDFPConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> tuple[Ensemble, list[MFDFPResult]]:
+    """Phase 3: run Algorithm 1 per starting network and ensemble them."""
+    if len(float_nets) < 2:
+        raise ValueError("an ensemble needs at least two starting networks")
+    rng = rng or np.random.default_rng(0)
+    results = [
+        run_algorithm1(net, train, val, calibration_x, config, rng=rng) for net in float_nets
+    ]
+    ensemble = Ensemble([r.mfdfp for r in results], name="mfdfp_ensemble")
+    return ensemble, results

@@ -1,0 +1,137 @@
+"""Integer power-of-two weight quantization ⟨s, e⟩ and 4-bit encoding.
+
+Section 5 of the paper: each weight ``w`` is replaced by ``s * 2^e`` with
+``s = sign(w)`` and ``e = max[round(log2 |w|), -7]``; because trained
+weights have magnitude below 1, ``e`` also never exceeds 0, giving 8
+possible exponents ``{0, -1, ..., -7}``.  Sign plus a 3-bit exponent
+magnitude fit in 4 bits, which is what the accelerator's weight buffer and
+Table 3's memory accounting use.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+MIN_EXP = -7
+MAX_EXP = 0
+
+
+def pow2_exponents(
+    w: np.ndarray,
+    min_exp: int = MIN_EXP,
+    max_exp: int = MAX_EXP,
+    mode: str = "deterministic",
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Exponent ``e`` of the power-of-two closest to ``|w|``.
+
+    Args:
+        w: Weights (any shape).
+        min_exp: Lower clamp for ``e`` (paper: -7, set by the 8-bit input).
+        max_exp: Upper clamp for ``e`` (paper: 0, since |w| < 1).
+        mode: ``"deterministic"`` rounds ``log2|w|`` to the nearest integer;
+            ``"stochastic"`` rounds up with probability equal to the
+            fractional part (expected value preserved in the log domain).
+        rng: Generator for stochastic mode.
+
+    Zero weights get ``e = min_exp`` (the closest representable magnitude;
+    the format has no exact zero, mirroring the hardware datapath).
+    """
+    if min_exp > max_exp:
+        raise ValueError(f"min_exp {min_exp} > max_exp {max_exp}")
+    mag = np.abs(np.asarray(w, dtype=np.float64))
+    with np.errstate(divide="ignore"):
+        log = np.where(mag > 0, np.log2(np.where(mag > 0, mag, 1.0)), -np.inf)
+    if mode == "deterministic":
+        e = np.rint(log)
+    elif mode == "stochastic":
+        if rng is None:
+            raise ValueError("stochastic mode requires rng")
+        floor = np.floor(log)
+        frac = log - floor
+        finite = np.isfinite(log)
+        draw = rng.random(mag.shape)
+        e = np.where(finite & (draw < frac), floor + 1, floor)
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+    e = np.where(np.isfinite(e), e, min_exp)
+    return np.clip(e, min_exp, max_exp).astype(np.int64)
+
+
+def pow2_quantize(
+    w: np.ndarray,
+    min_exp: int = MIN_EXP,
+    max_exp: int = MAX_EXP,
+    mode: str = "deterministic",
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Quantize weights to ``sign(w) * 2^e`` (see :func:`pow2_exponents`)."""
+    w = np.asarray(w)
+    e = pow2_exponents(w, min_exp, max_exp, mode, rng)
+    sign = np.where(w < 0, -1.0, 1.0)
+    return (sign * np.exp2(e.astype(np.float64))).astype(w.dtype, copy=False)
+
+
+def pow2_encode4(w: np.ndarray, min_exp: int = MIN_EXP, max_exp: int = MAX_EXP) -> np.ndarray:
+    """Encode weights into 4-bit codes: bit 3 = sign, bits 2..0 = ``-e``.
+
+    Valid only for the paper's 8-exponent configuration
+    (``max_exp - min_exp <= 7``); raises otherwise.
+    """
+    if max_exp - min_exp > 7:
+        raise ValueError("4-bit encoding supports at most 8 exponent values")
+    if max_exp > 0:
+        raise ValueError("4-bit encoding stores -e; exponents must be <= 0")
+    w = np.asarray(w)
+    e = pow2_exponents(w, min_exp, max_exp)
+    sign_bit = (w < 0).astype(np.uint8)
+    return ((sign_bit << 3) | (-e).astype(np.uint8)).astype(np.uint8)
+
+
+def pow2_decode4(codes: np.ndarray) -> np.ndarray:
+    """Decode 4-bit codes back to ``±2^e`` float values."""
+    codes = np.asarray(codes)
+    if np.any(codes > 0x0F):
+        raise ValueError("codes exceed 4 bits")
+    sign = np.where((codes >> 3) & 1, -1.0, 1.0)
+    e = -(codes & 0x07).astype(np.float64)
+    return sign * np.exp2(e)
+
+
+def pow2_code_fields(codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split 4-bit codes into ``(sign, exponent)``: sign ±1 and ``e <= 0``."""
+    codes = np.asarray(codes)
+    sign = np.where((codes >> 3) & 1, -1, 1).astype(np.int64)
+    e = -(codes & 0x07).astype(np.int64)
+    return sign, e
+
+
+class Pow2WeightQuantizer:
+    """Callable weight hook implementing the paper's ⟨s, e⟩ quantization.
+
+    Attach as ``layer.weight_quantizer``; the layer's master weights stay
+    floating-point (the Courbariaux shadow copy) while every forward pass
+    sees quantized values.
+    """
+
+    def __init__(
+        self,
+        min_exp: int = MIN_EXP,
+        max_exp: int = MAX_EXP,
+        mode: str = "deterministic",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if mode not in ("deterministic", "stochastic"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.min_exp = min_exp
+        self.max_exp = max_exp
+        self.mode = mode
+        self.rng = rng
+
+    def __call__(self, w: np.ndarray) -> np.ndarray:
+        return pow2_quantize(w, self.min_exp, self.max_exp, self.mode, self.rng)
+
+    def __repr__(self) -> str:
+        return f"Pow2WeightQuantizer(e in [{self.min_exp},{self.max_exp}], {self.mode})"

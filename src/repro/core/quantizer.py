@@ -1,0 +1,246 @@
+"""Ristretto-style network quantization planning and hook attachment.
+
+This module implements line 2 of Algorithm 1 (``Quantize_8bit``): given a
+trained floating-point network and a calibration batch, it
+
+1. profiles the dynamic range of every layer output (and of the input),
+2. chooses a per-layer fractional length ``f`` — the *dynamic* in dynamic
+   fixed point — so that the observed range just fits in ``b`` bits, and
+3. attaches quantization hooks: power-of-two weight quantizers on
+   conv/dense layers and ⟨b, f⟩ activation quantizers at layer boundaries.
+
+A *boundary* sits after each layer, except that a conv/dense layer
+immediately followed by an element-wise activation shares the activation's
+boundary — mirroring the hardware, where the wide accumulator feeds the
+non-linearity before the single 8-bit rounding in "Accumulator & Routing".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.dfp import DFPFormat, DFPQuantizer, choose_fraction_length
+from repro.core.pow2 import MAX_EXP, MIN_EXP, Pow2WeightQuantizer
+from repro.nn.layers.activations import ReLU, Sigmoid, Tanh
+from repro.nn.network import Network
+
+_ACTIVATION_TYPES = (ReLU, Sigmoid, Tanh)
+
+
+def profile_activation_ranges(net: Network, x: np.ndarray) -> tuple[float, dict[str, float]]:
+    """Max absolute value of the input and of every layer output.
+
+    Must be called on the *clean* float network (before hooks are
+    attached); raises if quantizers are already present.
+    """
+    if net.input_quantizer is not None or any(
+        layer.output_quantizer is not None or layer.weight_quantizer is not None
+        for layer in net.layers
+    ):
+        raise ValueError("profile ranges on the float network before attaching quantizers")
+    input_max = float(np.max(np.abs(x))) if x.size else 0.0
+    ranges: dict[str, float] = {}
+    out = x
+    for layer in net.layers:
+        layer.training = False
+        out = layer.forward(out)
+        ranges[layer.name] = float(np.max(np.abs(out))) if out.size else 0.0
+    return input_max, ranges
+
+
+@dataclass(frozen=True)
+class LayerQuantSpec:
+    """Quantization decisions for one layer.
+
+    Attributes:
+        layer_name: Name of the layer in the network.
+        in_fmt: DFP format of the layer's input boundary.
+        out_fmt: DFP format of the layer's output boundary.
+        quantize_output: Whether this layer owns an output quantizer (False
+            for compute layers that share the following activation's
+            boundary).
+        quantize_weights: Whether the layer's weights are quantized to
+            powers of two (True for conv/dense).
+    """
+
+    layer_name: str
+    in_fmt: DFPFormat
+    out_fmt: DFPFormat
+    quantize_output: bool
+    quantize_weights: bool
+
+
+@dataclass
+class QuantizationPlan:
+    """Complete quantization recipe for a network."""
+
+    bits: int
+    input_fmt: DFPFormat
+    layers: list[LayerQuantSpec] = field(default_factory=list)
+    min_exp: int = MIN_EXP
+    max_exp: int = MAX_EXP
+    dynamic: bool = True
+
+    def spec(self, layer_name: str) -> LayerQuantSpec:
+        """Look up the spec for a layer by name."""
+        for s in self.layers:
+            if s.layer_name == layer_name:
+                return s
+        raise KeyError(f"no quantization spec for layer {layer_name!r}")
+
+    def fraction_lengths(self) -> dict[str, int]:
+        """Map of layer name to output fractional length (for reports)."""
+        return {s.layer_name: s.out_fmt.frac for s in self.layers}
+
+    def summary(self) -> str:
+        """Human-readable table of the per-layer quantization decisions."""
+        lines = [
+            f"QuantizationPlan: {self.bits}-bit "
+            f"{'dynamic' if self.dynamic else 'static'} fixed point, "
+            f"weight exponents in [{self.min_exp}, {self.max_exp}], "
+            f"input {self.input_fmt}"
+        ]
+        header = f"{'layer':<14}{'in':>8}{'out':>8}{'quant out':>11}{'pow2 w':>8}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for s in self.layers:
+            lines.append(
+                f"{s.layer_name:<14}{str(s.in_fmt):>8}{str(s.out_fmt):>8}"
+                f"{'yes' if s.quantize_output else '-':>11}"
+                f"{'yes' if s.quantize_weights else '-':>8}"
+            )
+        return "\n".join(lines)
+
+
+class NetworkQuantizer:
+    """Builds and applies :class:`QuantizationPlan` objects.
+
+    Args:
+        bits: Activation/signal bit width (paper: 8).
+        min_exp: Smallest weight exponent (paper: -7, tied to 8-bit input).
+        max_exp: Largest weight exponent (paper: 0).
+        weight_mode: ``"deterministic"`` or ``"stochastic"`` rounding of
+            weight exponents (the paper found deterministic works better).
+        dynamic: If False, use one global fractional length for every
+            boundary (the *static* fixed-point ablation).
+        margin: Extra integer bits of saturation headroom per boundary.
+        rng: Generator for stochastic weight rounding.
+        skip_weight_layers: Layer names whose weights stay floating-point
+            (a common Ristretto-style ablation: exempt the first/last
+            layer).  Such networks are software-only — the multiplier-free
+            accelerator cannot execute float layers, and ``deploy`` will
+            reject them.
+        weight_quantizer_factory: Zero-argument callable returning the
+            per-layer weight hook; defaults to the paper's power-of-two
+            quantizer.  Pass a factory of
+            :class:`~repro.core.baselines.BinaryWeightQuantizer` /
+            ``TernaryWeightQuantizer`` / ``FixedPointWeightQuantizer`` to
+            run the comparison baselines (software-only; ``deploy``
+            requires power-of-two weights).
+    """
+
+    def __init__(
+        self,
+        bits: int = 8,
+        min_exp: int = MIN_EXP,
+        max_exp: int = MAX_EXP,
+        weight_mode: str = "deterministic",
+        dynamic: bool = True,
+        margin: int = 0,
+        rng: Optional[np.random.Generator] = None,
+        skip_weight_layers: tuple = (),
+        weight_quantizer_factory=None,
+    ):
+        self.bits = bits
+        self.min_exp = min_exp
+        self.max_exp = max_exp
+        self.weight_mode = weight_mode
+        self.dynamic = dynamic
+        self.margin = margin
+        self.rng = rng
+        self.skip_weight_layers = tuple(skip_weight_layers)
+        self.weight_quantizer_factory = weight_quantizer_factory
+
+    # -- planning ----------------------------------------------------------
+    def plan(self, net: Network, calibration_x: np.ndarray) -> QuantizationPlan:
+        """Derive per-boundary formats from a calibration batch."""
+        input_max, ranges = profile_activation_ranges(net, calibration_x)
+        if self.dynamic:
+            fracs = {
+                name: choose_fraction_length(np.array([m]), self.bits, self.margin)
+                for name, m in ranges.items()
+            }
+            input_frac = choose_fraction_length(np.array([input_max]), self.bits, self.margin)
+        else:
+            global_max = max([input_max] + list(ranges.values()))
+            f = choose_fraction_length(np.array([global_max]), self.bits, self.margin)
+            fracs = {name: f for name in ranges}
+            input_frac = f
+
+        plan = QuantizationPlan(
+            bits=self.bits,
+            input_fmt=DFPFormat(self.bits, input_frac),
+            min_exp=self.min_exp,
+            max_exp=self.max_exp,
+            dynamic=self.dynamic,
+        )
+        layers = net.layers
+        # Boundary ownership: conv/dense followed by an activation defers
+        # its output quantization to that activation.
+        owns_boundary = []
+        for i, layer in enumerate(layers):
+            next_is_act = i + 1 < len(layers) and isinstance(layers[i + 1], _ACTIVATION_TYPES)
+            owns_boundary.append(not (layer.params and next_is_act))
+
+        in_fmt = plan.input_fmt
+        for i, layer in enumerate(layers):
+            out_fmt = DFPFormat(self.bits, fracs[layer.name])
+            if not owns_boundary[i]:
+                # Share the following activation's boundary format.
+                out_fmt = DFPFormat(self.bits, fracs[layers[i + 1].name])
+            plan.layers.append(
+                LayerQuantSpec(
+                    layer_name=layer.name,
+                    in_fmt=in_fmt,
+                    out_fmt=out_fmt,
+                    quantize_output=owns_boundary[i],
+                    quantize_weights=bool(layer.params)
+                    and layer.name not in self.skip_weight_layers,
+                )
+            )
+            in_fmt = out_fmt
+        return plan
+
+    # -- application -------------------------------------------------------
+    def apply(self, net: Network, plan: QuantizationPlan) -> Network:
+        """Attach quantization hooks per ``plan``; returns ``net``."""
+        net.input_quantizer = DFPQuantizer(plan.input_fmt)
+        for layer in net.layers:
+            spec = plan.spec(layer.name)
+            if spec.quantize_weights:
+                if self.weight_quantizer_factory is not None:
+                    layer.weight_quantizer = self.weight_quantizer_factory()
+                else:
+                    layer.weight_quantizer = Pow2WeightQuantizer(
+                        plan.min_exp, plan.max_exp, self.weight_mode, self.rng
+                    )
+            layer.output_quantizer = DFPQuantizer(spec.out_fmt) if spec.quantize_output else None
+        return net
+
+    def quantize(self, net: Network, calibration_x: np.ndarray) -> QuantizationPlan:
+        """Plan and apply in one step (Algorithm 1's ``Quantize_8bit``)."""
+        plan = self.plan(net, calibration_x)
+        self.apply(net, plan)
+        return plan
+
+
+def strip_quantization(net: Network) -> Network:
+    """Remove every quantization hook, restoring float behaviour."""
+    net.input_quantizer = None
+    for layer in net.layers:
+        layer.weight_quantizer = None
+        layer.output_quantizer = None
+    return net

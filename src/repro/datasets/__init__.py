@@ -1,0 +1,23 @@
+"""Dataset substrates.
+
+Real CIFAR-10 / ImageNet files are not available in this offline
+environment, so the default providers are deterministic *surrogates*:
+class-conditional structured image generators with the same tensor shapes
+as the originals (see DESIGN.md, "Substitutions").  When the real CIFAR-10
+binary batches are present on disk, :func:`repro.datasets.cifar10.load_real_cifar10`
+loads them instead, so the whole pipeline runs unmodified on real data.
+"""
+
+from repro.datasets.cifar10 import CIFAR10_SHAPE, cifar10_surrogate, load_real_cifar10
+from repro.datasets.imagenet import IMAGENET_SHAPE, imagenet_surrogate
+from repro.datasets.synthetic import SyntheticImageGenerator, make_classification_images
+
+__all__ = [
+    "CIFAR10_SHAPE",
+    "IMAGENET_SHAPE",
+    "SyntheticImageGenerator",
+    "cifar10_surrogate",
+    "imagenet_surrogate",
+    "load_real_cifar10",
+    "make_classification_images",
+]

@@ -1,0 +1,73 @@
+"""CIFAR-10: real-file loader plus offline surrogate.
+
+The paper's CIFAR-10 experiments use the 10-class 3x32x32 benchmark of
+Krizhevsky & Hinton.  :func:`load_real_cifar10` parses the original binary
+batches when they are available; :func:`cifar10_surrogate` generates a
+deterministic synthetic stand-in with identical shapes (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.synthetic import make_classification_images
+from repro.nn.data import ArrayDataset
+
+CIFAR10_SHAPE = (3, 32, 32)
+CIFAR10_CLASSES = 10
+_RECORD_BYTES = 1 + 3 * 32 * 32
+
+
+def cifar10_surrogate(
+    n_train: int = 2000,
+    n_test: int = 500,
+    size: int = 32,
+    noise: float = 0.25,
+    seed: int = 0,
+) -> tuple[ArrayDataset, ArrayDataset]:
+    """Synthetic CIFAR-10 stand-in: 10 classes, 3 channels, ``size``².
+
+    ``size`` defaults to the real 32 but can be reduced for fast tests.
+    """
+    return make_classification_images(
+        n_train, n_test, num_classes=CIFAR10_CLASSES, channels=3, size=size, noise=noise, seed=seed
+    )
+
+
+def _parse_batch(path: Path) -> tuple[np.ndarray, np.ndarray]:
+    raw = np.fromfile(path, dtype=np.uint8)
+    if raw.size % _RECORD_BYTES:
+        raise ValueError(f"{path} is not a CIFAR-10 binary batch (size {raw.size})")
+    raw = raw.reshape(-1, _RECORD_BYTES)
+    labels = raw[:, 0].astype(np.int64)
+    images = raw[:, 1:].reshape(-1, 3, 32, 32).astype(np.float32)
+    return images, labels
+
+
+def load_real_cifar10(data_dir: str | os.PathLike) -> tuple[ArrayDataset, ArrayDataset]:
+    """Load the original CIFAR-10 binary batches from ``data_dir``.
+
+    Expects ``data_batch_{1..5}.bin`` and ``test_batch.bin`` (the
+    "CIFAR-10 binary version" distribution).  Images are scaled to
+    ``[-0.5, 0.5]`` (global mean subtraction, as in the Caffe recipe the
+    paper follows).
+    """
+    data_dir = Path(data_dir)
+    train_files = [data_dir / f"data_batch_{i}.bin" for i in range(1, 6)]
+    test_file = data_dir / "test_batch.bin"
+    missing = [str(p) for p in train_files + [test_file] if not p.exists()]
+    if missing:
+        raise FileNotFoundError(f"CIFAR-10 binaries not found: {missing}")
+    xs, ys = zip(*(_parse_batch(p) for p in train_files))
+    train_x = np.concatenate(xs) / 255.0
+    train_y = np.concatenate(ys)
+    test_x, test_y = _parse_batch(test_file)
+    test_x = test_x / 255.0
+    mean = train_x.mean()
+    return (
+        ArrayDataset((train_x - mean).astype(np.float32), train_y),
+        ArrayDataset((test_x - mean).astype(np.float32), test_y),
+    )

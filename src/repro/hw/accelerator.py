@@ -1,0 +1,280 @@
+"""The full accelerator: area, power, latency, energy, and execution.
+
+Combines the cost model (Table 1), the tile scheduler (inference time in
+Table 2) and a vectorized bit-accurate executor for deployed MF-DFP
+networks.  The FP32 baseline is the same tile organization with 32-bit
+multipliers and a deeper multiply pipeline; it executes networks in plain
+floating point.
+
+Energy follows the paper's method: average power x inference latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.dfp import DFPFormat, dfp_to_codes
+from repro.core.mfdfp import DeployedLayer, DeployedMFDFP
+from repro.hw.cost import CostBreakdown, CostModel
+from repro.hw.datapath import (
+    accumulator_route,
+    check_width,
+    div_round_half_even,
+    requantize_codes,
+    saturate,
+)
+from repro.hw.memory import BufferConfig, MemorySubsystem
+from repro.hw.scheduler import Schedule, TileScheduler
+from repro.nn.layers.conv import conv_output_size, im2col
+from repro.nn.layers.pool import pool_output_size
+from repro.nn.network import Network
+
+#: Pipeline depths (cycles of fill per layer).  The FP32 multiply pipeline
+#: is deeper than the shift pipeline, giving MF-DFP the marginal latency
+#: edge visible in Table 2 (246.52 us vs 246.27 us on CIFAR-10).
+PIPELINE_DEPTH = {"fp32": 10, "mfdfp": 4}
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Configuration of one accelerator instance.
+
+    Attributes:
+        precision: ``"mfdfp"`` (proposed) or ``"fp32"`` (baseline).
+        num_pus: Processing units; 2 runs a two-network ensemble in
+            parallel (Phase 3).
+        clock_mhz: Core clock; the paper fixes 250 MHz for all designs.
+        buffers: Optional buffer geometry override.
+        check_widths: Verify datapath wire widths during execution
+            (slower; used by the verification tests).
+        dma_bandwidth: Off-chip bandwidth in bytes per cycle, or None for
+            the paper's compute-bound setting (main memory excluded from
+            the evaluation).  When set, layers whose transfers exceed
+            their compute time become memory bound; FP32 moves 4-8x more
+            bytes, so it stalls first.
+    """
+
+    precision: str = "mfdfp"
+    num_pus: int = 1
+    clock_mhz: float = 250.0
+    buffers: Optional[BufferConfig] = None
+    check_widths: bool = False
+    dma_bandwidth: Optional[float] = None
+
+    def __post_init__(self):
+        if self.precision not in ("mfdfp", "fp32"):
+            raise ValueError(f"unknown precision {self.precision!r}")
+        if self.num_pus < 1:
+            raise ValueError("need at least one processing unit")
+        if self.dma_bandwidth is not None and self.dma_bandwidth <= 0:
+            raise ValueError("dma_bandwidth must be positive (or None)")
+
+
+class Accelerator:
+    """Area/power/latency/energy model plus bit-accurate execution."""
+
+    def __init__(self, config: AcceleratorConfig | None = None, cost_model: CostModel | None = None):
+        self.config = config or AcceleratorConfig()
+        self.cost_model = cost_model or CostModel()
+        self.breakdown: CostBreakdown = self.cost_model.evaluate(
+            self.config.precision, self.config.num_pus, self.config.buffers
+        )
+        buffers = self.config.buffers
+        if buffers is None:
+            buffers = (
+                CostModel._fp32_buffers() if self.config.precision == "fp32" else BufferConfig()
+            )
+        self.memory = MemorySubsystem(buffers)
+        fp32 = self.config.precision == "fp32"
+        self.scheduler = TileScheduler(
+            clock_mhz=self.config.clock_mhz,
+            pipeline_depth=PIPELINE_DEPTH[self.config.precision],
+            dma_bandwidth=self.config.dma_bandwidth,
+            activation_bits=32 if fp32 else 8,
+            weight_bits=32 if fp32 else 4,
+        )
+
+    # -- design metrics (Table 1) ---------------------------------------------
+    @property
+    def area_mm2(self) -> float:
+        return self.breakdown.area_mm2
+
+    @property
+    def power_mw(self) -> float:
+        return self.breakdown.power_mw
+
+    def savings_vs_baseline(self) -> tuple[float, float]:
+        """(area %, power %) saved versus the FP32 single-PU baseline."""
+        return self.cost_model.savings_vs_baseline(self.breakdown)
+
+    # -- performance metrics (Table 2) ------------------------------------------
+    def schedule(self, workload: Union[Network, DeployedMFDFP]) -> Schedule:
+        """Cycle-accurate schedule of one inference.
+
+        With multiple PUs, ensemble members run in parallel: the schedule
+        (and therefore latency) is that of a single network.
+        """
+        if isinstance(workload, DeployedMFDFP):
+            schedule = self.scheduler.schedule_deployed(workload)
+        else:
+            schedule = self.scheduler.schedule_network(workload)
+        for layer in schedule.layers:
+            self.memory.record_layer(layer.inputs_read, layer.weights_read, layer.outputs_written)
+        return schedule
+
+    def latency_us(self, workload: Union[Network, DeployedMFDFP]) -> float:
+        """Single-inference latency in microseconds."""
+        return self.schedule(workload).time_us()
+
+    def energy_uj(self, workload: Union[Network, DeployedMFDFP]) -> float:
+        """Single-inference energy: average power x latency (as the paper)."""
+        return self.power_mw * 1e-3 * self.latency_us(workload)
+
+    def energy_breakdown(self, workload: Union[Network, DeployedMFDFP]) -> list[dict]:
+        """Per-layer time and energy (power x per-layer cycle share).
+
+        Returns one dict per scheduled layer with keys ``name``, ``kind``,
+        ``cycles``, ``time_us``, ``energy_uj``; the energy column sums to
+        :meth:`energy_uj`.
+        """
+        schedule = self.schedule(workload)
+        rows = []
+        for layer in schedule.layers:
+            time_us = layer.cycles / self.config.clock_mhz
+            rows.append(
+                {
+                    "name": layer.name,
+                    "kind": layer.kind,
+                    "cycles": layer.cycles,
+                    "time_us": time_us,
+                    "energy_uj": self.power_mw * 1e-3 * time_us,
+                }
+            )
+        return rows
+
+    # -- execution ----------------------------------------------------------------
+    def run(self, deployed: DeployedMFDFP, x: np.ndarray) -> np.ndarray:
+        """Bit-accurate integer inference; returns float logits.
+
+        Every activation is an integer code; every multiply is a shift;
+        rounding is round-half-to-even exactly as in the RTL datapath.
+        """
+        if self.config.precision != "mfdfp":
+            raise ValueError("run() executes MF-DFP networks; use run_float for the baseline")
+        codes = execute_deployed(deployed, x, check_widths=self.config.check_widths)
+        last = deployed.ops[-1]
+        return codes.astype(np.float64) * 2.0 ** (-last.out_frac)
+
+    def run_float(self, net: Network, x: np.ndarray) -> np.ndarray:
+        """FP32 baseline inference (plain floating point)."""
+        return net.logits(x)
+
+    def run_ensemble(self, members: list[DeployedMFDFP], x: np.ndarray) -> np.ndarray:
+        """Phase 3 in hardware: one deployed network per processing unit.
+
+        Each PU evaluates its member in parallel (latency = one network);
+        the averaged logits implement the paper's ensemble vote.  Requires
+        ``num_pus >= len(members)``.
+        """
+        if self.config.precision != "mfdfp":
+            raise ValueError("ensembles run on the MF-DFP accelerator")
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        if len(members) > self.config.num_pus:
+            raise ValueError(
+                f"{len(members)} members need {len(members)} processing units; "
+                f"this accelerator has {self.config.num_pus}"
+            )
+        acc = None
+        for member in members:
+            z = self.run(member, x)
+            acc = z if acc is None else acc + z
+        return acc / len(members)
+
+
+# -- vectorized bit-accurate executor ------------------------------------------
+def _conv_codes(op: DeployedLayer, codes: np.ndarray, check_widths: bool) -> np.ndarray:
+    n = codes.shape[0]
+    k = op.kernel_size
+    g = op.groups or 1
+    cols, oh, ow = im2col(codes, k, k, op.stride, op.pad)
+    sign, exp = op.weight_fields()
+    syn = (op.in_channels // g) * k * k
+    w_int = (sign << (7 + exp)).reshape(g, op.out_channels // g, syn)
+    cols_g = cols.astype(np.int64).reshape(n, g, syn, -1)
+    acc = np.einsum("gfk,ngkp->ngfp", w_int, cols_g, optimize=True)
+    acc = acc.reshape(n, op.out_channels, -1)
+    if op.bias_int is not None:
+        acc += op.bias_int[None, :, None]
+    if check_widths:
+        check_width(acc, 32, f"{op.name} accumulator")
+    out = accumulator_route(acc, op.in_frac + 7, op.out_frac, op.activation)
+    return out.reshape(n, op.out_channels, oh, ow)
+
+
+def _dense_codes(op: DeployedLayer, codes: np.ndarray, check_widths: bool) -> np.ndarray:
+    sign, exp = op.weight_fields()
+    w_int = (sign << (7 + exp)).reshape(op.out_features, op.in_features)
+    acc = codes.astype(np.int64) @ w_int.T
+    if op.bias_int is not None:
+        acc += op.bias_int[None, :]
+    if check_widths:
+        check_width(acc, 32, f"{op.name} accumulator")
+    return accumulator_route(acc, op.in_frac + 7, op.out_frac, op.activation)
+
+
+def _pool_windows(codes: np.ndarray, op: DeployedLayer, fill: int):
+    n, c, h, w = codes.shape
+    k, s, p = op.kernel_size, op.stride, op.pad
+    oh = pool_output_size(h, k, s, p, op.ceil_mode)
+    ow = pool_output_size(w, k, s, p, op.ceil_mode)
+    need_h = (oh - 1) * s + k
+    need_w = (ow - 1) * s + k
+    pad_b = max(0, need_h - (h + p))
+    pad_r = max(0, need_w - (w + p))
+    padded = np.pad(codes, ((0, 0), (0, 0), (p, pad_b), (p, pad_r)), constant_values=fill)
+    win = np.lib.stride_tricks.sliding_window_view(padded, (k, k), axis=(2, 3))
+    return win[:, :, ::s, ::s][:, :, :oh, :ow], oh, ow
+
+
+def _maxpool_codes(op: DeployedLayer, codes: np.ndarray) -> np.ndarray:
+    win, _, _ = _pool_windows(codes, op, fill=np.iinfo(np.int64).min)
+    out = win.max(axis=(-1, -2))
+    return requantize_codes(out, op.in_frac, op.out_frac)
+
+
+def _avgpool_codes(op: DeployedLayer, codes: np.ndarray) -> np.ndarray:
+    win, oh, ow = _pool_windows(codes, op, fill=0)
+    sums = win.sum(axis=(-1, -2), dtype=np.int64)
+    ones = np.ones((1, 1) + codes.shape[2:], dtype=np.int64)
+    counts = _pool_windows(ones, op, fill=0)[0].sum(axis=(-1, -2))[0, 0]  # (oh, ow)
+    shift = op.out_frac - op.in_frac
+    if shift >= 0:
+        out = div_round_half_even(sums << shift, counts[None, None])
+    else:
+        out = div_round_half_even(sums, counts[None, None] << (-shift))
+    return saturate(out)
+
+
+def execute_deployed(
+    deployed: DeployedMFDFP, x: np.ndarray, check_widths: bool = False
+) -> np.ndarray:
+    """Run a deployed network on a batch, all-integer; returns out codes."""
+    codes = dfp_to_codes(x, DFPFormat(deployed.bits, deployed.input_frac))
+    for op in deployed.ops:
+        if op.kind == "conv":
+            codes = _conv_codes(op, codes, check_widths)
+        elif op.kind == "dense":
+            codes = _dense_codes(op, codes, check_widths)
+        elif op.kind == "maxpool":
+            codes = _maxpool_codes(op, codes)
+        elif op.kind == "avgpool":
+            codes = _avgpool_codes(op, codes)
+        elif op.kind == "flatten":
+            codes = codes.reshape(codes.shape[0], -1)
+        else:
+            raise ValueError(f"cannot execute op kind {op.kind!r}")
+    return codes

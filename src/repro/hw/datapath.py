@@ -1,0 +1,162 @@
+"""Bit-accurate integer primitives of the multiplier-free datapath.
+
+All activations travel as 8-bit DFP codes (integers in ``[-127, 127]``,
+value = code * 2^-m).  A weight ⟨s, e⟩ turns the multiply ``x * w`` into
+``(s * x) << (7 + e)``: because ``e >= -7``, the shift amount is
+non-negative, and every product lands on the common accumulator grid
+``2^-(m+7)``.  Products fit 16 bits; the 16-input adder tree widens
+16→17→18→19→20 bits so no intermediate value can overflow (the paper:
+"we ensure that all intermediate signals have large enough word-width").
+
+Rounding throughout is round-half-to-even, matching numpy's ``rint`` so
+the integer datapath and the float simulation agree bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Magnitude bits of an 8-bit sign-magnitude DFP code.
+CODE_MAX = 127
+
+#: Bits of the product wire in Figure 2(a).
+PRODUCT_BITS = 16
+
+#: Bits of the adder-tree levels in Figure 2(a) (16 inputs -> 4 levels).
+TREE_BITS = (17, 18, 19, 20)
+
+
+class DatapathOverflowError(RuntimeError):
+    """An intermediate signal exceeded its declared wire width."""
+
+
+def check_width(values: np.ndarray, bits: int, what: str) -> None:
+    """Raise :class:`DatapathOverflowError` if any value needs > ``bits``.
+
+    Widths are for two's-complement signed wires: representable range is
+    ``[-2^(bits-1), 2^(bits-1) - 1]``.
+    """
+    values = np.asarray(values)
+    if values.size == 0:
+        return
+    lo, hi = int(values.min()), int(values.max())
+    bound = 1 << (bits - 1)
+    if lo < -bound or hi > bound - 1:
+        raise DatapathOverflowError(
+            f"{what}: value range [{lo}, {hi}] exceeds {bits}-bit signed wire"
+        )
+
+
+def shift_product(x_codes: np.ndarray, w_sign: np.ndarray, w_exp: np.ndarray) -> np.ndarray:
+    """The multiplier-free product: ``(s * x) << (7 + e)``.
+
+    Args:
+        x_codes: Input activation codes (int, ``|x| <= 127``).
+        w_sign: Weight signs (±1).
+        w_exp: Weight exponents (``-7 <= e <= 0``).
+
+    Returns:
+        Product integers on the ``2^-(m+7)`` grid; guaranteed to fit the
+        16-bit product wire.
+    """
+    x_codes = np.asarray(x_codes, dtype=np.int64)
+    w_exp = np.asarray(w_exp, dtype=np.int64)
+    if np.any(np.abs(x_codes) > CODE_MAX):
+        raise ValueError("input codes exceed 8-bit sign-magnitude range")
+    if np.any(w_exp < -7) or np.any(w_exp > 0):
+        raise ValueError("weight exponents must lie in [-7, 0]")
+    products = (np.asarray(w_sign, dtype=np.int64) * x_codes) << (7 + w_exp)
+    check_width(products, PRODUCT_BITS, "shift product")
+    return products
+
+
+def adder_tree(products: np.ndarray, check_widths: bool = True) -> np.ndarray:
+    """Sum 16 products pairwise through the widening tree of Figure 2(a).
+
+    Args:
+        products: Array whose *last* axis has length 16 (one per synapse).
+        check_widths: Verify each tree level against its declared width.
+
+    Returns:
+        Per-neuron partial sums (last axis reduced), 20-bit safe.
+    """
+    level = np.asarray(products, dtype=np.int64)
+    if level.shape[-1] != 16:
+        raise ValueError(f"adder tree expects 16 inputs, got {level.shape[-1]}")
+    if check_widths:
+        check_width(level, PRODUCT_BITS, "adder tree input")
+    for bits in TREE_BITS:
+        level = level[..., 0::2] + level[..., 1::2]
+        if check_widths:
+            check_width(level, bits, f"adder tree level ({bits}-bit)")
+    return level[..., 0]
+
+
+def saturate(values: np.ndarray, max_code: int = CODE_MAX) -> np.ndarray:
+    """Clamp to the symmetric code range ``[-max_code, max_code]``."""
+    return np.clip(np.asarray(values, dtype=np.int64), -max_code, max_code)
+
+
+def rshift_round_half_even(values: np.ndarray, shift: int) -> np.ndarray:
+    """Arithmetic right shift with round-half-to-even; left shift if < 0.
+
+    Equivalent to ``rint(v / 2**shift)`` computed purely with integers.
+    """
+    v = np.asarray(values, dtype=np.int64)
+    if shift <= 0:
+        return v << (-shift)
+    q = v >> shift
+    r = v - (q << shift)
+    half = np.int64(1) << (shift - 1)
+    round_up = (r > half) | ((r == half) & ((q & 1) == 1))
+    return q + round_up.astype(np.int64)
+
+
+def div_round_half_even(num: np.ndarray, den) -> np.ndarray:
+    """``rint(num / den)`` in exact integer arithmetic (``den > 0``).
+
+    Models the constant-coefficient shift-add divider used for average
+    pooling (e.g. the 1/9 of a 3x3 window), computed to full precision.
+    ``den`` may be a scalar or an array broadcastable against ``num``.
+    """
+    den = np.asarray(den, dtype=np.int64)
+    if np.any(den <= 0):
+        raise ValueError("denominator must be positive")
+    num = np.asarray(num, dtype=np.int64)
+    q = np.floor_divide(num, den)
+    r = num - q * den
+    twice = 2 * r
+    round_up = (twice > den) | ((twice == den) & ((q & 1) == 1))
+    return q + round_up.astype(np.int64)
+
+
+def requantize_codes(codes: np.ndarray, in_frac: int, out_frac: int, max_code: int = CODE_MAX) -> np.ndarray:
+    """Move codes from grid ``2^-in_frac`` to ``2^-out_frac`` (round+sat).
+
+    This is the "Accumulator & Routing" radix realignment: a shift by
+    ``in_frac - out_frac`` followed by saturation to 8 bits.
+    """
+    shifted = rshift_round_half_even(codes, in_frac - out_frac)
+    return saturate(shifted, max_code)
+
+
+def accumulator_route(
+    acc: np.ndarray,
+    acc_frac: int,
+    out_frac: int,
+    activation: str = "none",
+    max_code: int = CODE_MAX,
+) -> np.ndarray:
+    """The full Accumulator & Routing stage of Figure 2(a).
+
+    Applies the fused non-linearity on the wide accumulator value, then
+    shifts from the accumulator grid (fraction ``acc_frac = m + 7``) to
+    the output grid ``n = out_frac`` and saturates to 8 bits.  ``m`` and
+    ``n`` are the radix control signals of the paper.
+    """
+    acc = np.asarray(acc, dtype=np.int64)
+    if activation == "relu":
+        acc = np.maximum(acc, 0)
+    elif activation != "none":
+        raise ValueError(f"unsupported fused activation {activation!r}")
+    return requantize_codes(acc, acc_frac, out_frac, max_code)

@@ -1,0 +1,68 @@
+"""Pure-numpy deep neural network substrate.
+
+This subpackage replaces the Caffe dependency of the original paper with a
+small, self-contained framework providing the layer types the paper uses
+(convolution, pooling, fully-connected, non-linearities), backpropagation,
+SGD with momentum, the paper's plateau learning-rate schedule, and a
+training loop.  All layers expose quantization hooks so the MF-DFP
+machinery in :mod:`repro.core` can run quantized forward passes while
+gradients accumulate in floating-point master weights.
+"""
+
+from repro.nn.augment import Augmenter, random_horizontal_flip, random_shift_crop
+from repro.nn.data import ArrayDataset, BatchIterator, train_val_split
+from repro.nn.initializers import gaussian_init, he_init, xavier_init, zeros_init
+from repro.nn.layers import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    LocalResponseNorm,
+    MaxPool2D,
+    Parameter,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.loss import Loss, SoftmaxCrossEntropy, softmax
+from repro.nn.network import Network
+from repro.nn.optim import SGD, PlateauScheduler, StepScheduler
+from repro.nn.trainer import EpochResult, Trainer, error_rate, evaluate_topk
+
+__all__ = [
+    "ArrayDataset",
+    "Augmenter",
+    "AvgPool2D",
+    "BatchIterator",
+    "Conv2D",
+    "Dense",
+    "Dropout",
+    "EpochResult",
+    "Flatten",
+    "Layer",
+    "LocalResponseNorm",
+    "Loss",
+    "MaxPool2D",
+    "Network",
+    "Parameter",
+    "PlateauScheduler",
+    "ReLU",
+    "SGD",
+    "Sigmoid",
+    "SoftmaxCrossEntropy",
+    "StepScheduler",
+    "Tanh",
+    "Trainer",
+    "error_rate",
+    "evaluate_topk",
+    "gaussian_init",
+    "he_init",
+    "random_horizontal_flip",
+    "random_shift_crop",
+    "softmax",
+    "train_val_split",
+    "xavier_init",
+    "zeros_init",
+]

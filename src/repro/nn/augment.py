@@ -1,0 +1,71 @@
+"""Training-time data augmentation (the Caffe recipe's mirror + crop).
+
+Augmentation operates on NCHW batches and is applied by the
+:class:`~repro.nn.trainer.Trainer` when an ``augment`` callable is
+provided.  It never runs at evaluation time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def random_horizontal_flip(x: np.ndarray, rng: np.random.Generator, p: float = 0.5) -> np.ndarray:
+    """Mirror each image left-right with probability ``p``."""
+    if x.ndim != 4:
+        raise ValueError(f"expected NCHW batch, got shape {x.shape}")
+    flip = rng.random(x.shape[0]) < p
+    out = x.copy()
+    out[flip] = out[flip, :, :, ::-1]
+    return out
+
+
+def random_shift_crop(x: np.ndarray, rng: np.random.Generator, pad: int = 2) -> np.ndarray:
+    """Zero-pad by ``pad`` then crop back at a random offset per image.
+
+    Equivalent to a random translation of up to ``pad`` pixels in each
+    direction — the small-image analogue of Caffe's random cropping.
+    """
+    if x.ndim != 4:
+        raise ValueError(f"expected NCHW batch, got shape {x.shape}")
+    if pad < 0:
+        raise ValueError("pad must be non-negative")
+    if pad == 0:
+        return x
+    n, c, h, w = x.shape
+    padded = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    offsets = rng.integers(0, 2 * pad + 1, size=(n, 2))
+    out = np.empty_like(x)
+    for i, (dy, dx) in enumerate(offsets):
+        out[i] = padded[i, :, dy : dy + h, dx : dx + w]
+    return out
+
+
+class Augmenter:
+    """Composable batch augmentation: flip then shift-crop.
+
+    Args:
+        flip: Enable random horizontal mirroring.
+        crop_pad: Shift range in pixels (0 disables).
+        rng: Random source; owned by the augmenter so that training
+            remains reproducible given its seed.
+    """
+
+    def __init__(
+        self,
+        flip: bool = True,
+        crop_pad: int = 2,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.flip = flip
+        self.crop_pad = crop_pad
+        self.rng = rng or np.random.default_rng(0)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        if self.flip:
+            x = random_horizontal_flip(x, self.rng)
+        if self.crop_pad:
+            x = random_shift_crop(x, self.rng, self.crop_pad)
+        return x

@@ -1,0 +1,91 @@
+"""Dataset containers and batching."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+
+class ArrayDataset:
+    """In-memory dataset of ``(images, labels)`` arrays.
+
+    Args:
+        x: Inputs, first axis is the sample axis.
+        y: Integer labels, shape ``(N,)``.
+    """
+
+    def __init__(self, x: np.ndarray, y: np.ndarray):
+        x = np.asarray(x)
+        y = np.asarray(y)
+        if len(x) != len(y):
+            raise ValueError(f"length mismatch: {len(x)} inputs vs {len(y)} labels")
+        if y.ndim != 1:
+            raise ValueError(f"labels must be 1-D, got shape {y.shape}")
+        self.x = x
+        self.y = y
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def __getitem__(self, idx):
+        return self.x[idx], self.y[idx]
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.y.max()) + 1
+
+    def subset(self, indices) -> "ArrayDataset":
+        """Dataset restricted to ``indices``."""
+        return ArrayDataset(self.x[indices], self.y[indices])
+
+    def sample_shape(self) -> tuple:
+        return tuple(self.x.shape[1:])
+
+
+def train_val_split(
+    dataset: ArrayDataset, val_fraction: float = 0.1, rng: Optional[np.random.Generator] = None
+) -> tuple[ArrayDataset, ArrayDataset]:
+    """Shuffle and split a dataset into train/validation parts."""
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError("val_fraction must be in (0, 1)")
+    rng = rng or np.random.default_rng(0)
+    order = rng.permutation(len(dataset))
+    n_val = max(1, int(round(len(dataset) * val_fraction)))
+    return dataset.subset(order[n_val:]), dataset.subset(order[:n_val])
+
+
+class BatchIterator:
+    """Iterate a dataset in mini-batches, optionally shuffled per epoch."""
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 32,
+        shuffle: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        drop_last: bool = False,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.rng = rng or np.random.default_rng(0)
+        self.drop_last = drop_last
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if len(idx) == 0:
+                continue
+            yield self.dataset.x[idx], self.dataset.y[idx]

@@ -1,0 +1,62 @@
+"""Weight initialization schemes.
+
+Initializers are plain functions ``(shape, fan_in, fan_out, rng, dtype)``
+returning a numpy array.  They are passed to layer constructors by name or
+as callables; :func:`resolve_initializer` performs the lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Union
+
+import numpy as np
+
+InitFn = Callable[..., np.ndarray]
+
+
+def gaussian_init(shape, fan_in, fan_out, rng, dtype, std=0.01):
+    """Zero-mean Gaussian with fixed standard deviation (Caffe's default)."""
+    del fan_in, fan_out
+    return rng.normal(0.0, std, size=shape).astype(dtype)
+
+
+def xavier_init(shape, fan_in, fan_out, rng, dtype):
+    """Glorot/Xavier uniform initialization: U(-a, a), a = sqrt(6/(fi+fo))."""
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(dtype)
+
+
+def he_init(shape, fan_in, fan_out, rng, dtype):
+    """He/Kaiming normal initialization, suited to ReLU networks."""
+    del fan_out
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(dtype)
+
+
+def zeros_init(shape, fan_in, fan_out, rng, dtype):
+    """All-zeros initialization (used for biases)."""
+    del fan_in, fan_out, rng
+    return np.zeros(shape, dtype=dtype)
+
+
+_REGISTRY: dict[str, InitFn] = {
+    "gaussian": gaussian_init,
+    "xavier": xavier_init,
+    "he": he_init,
+    "zeros": zeros_init,
+}
+
+
+def resolve_initializer(init: Union[str, InitFn]) -> InitFn:
+    """Return the initializer function for ``init``.
+
+    ``init`` may already be a callable (returned unchanged) or one of the
+    registered names: ``gaussian``, ``xavier``, ``he``, ``zeros``.
+    """
+    if callable(init):
+        return init
+    try:
+        return _REGISTRY[init]
+    except KeyError:
+        names = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown initializer {init!r}; expected one of: {names}") from None

@@ -1,0 +1,27 @@
+"""Layer library: convolution, pooling, dense, activations, regularizers."""
+
+from repro.nn.layers.activations import ReLU, Sigmoid, Tanh
+from repro.nn.layers.base import Layer, Parameter
+from repro.nn.layers.conv import Conv2D, col2im, im2col
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.flatten import Flatten
+from repro.nn.layers.norm import LocalResponseNorm
+from repro.nn.layers.pool import AvgPool2D, MaxPool2D
+
+__all__ = [
+    "AvgPool2D",
+    "Conv2D",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "Layer",
+    "LocalResponseNorm",
+    "MaxPool2D",
+    "Parameter",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "col2im",
+    "im2col",
+]

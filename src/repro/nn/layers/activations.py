@@ -1,0 +1,56 @@
+"""Element-wise non-linearity layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class ReLU(Layer):
+    """Rectified linear unit: ``max(x, 0)``."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        mask = x > 0
+        self._mask = mask
+        return self._quantize_output(np.where(mask, x, 0.0).astype(x.dtype, copy=False))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._mask
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return input_shape
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y = np.tanh(x)
+        self._y = y
+        return self._quantize_output(y)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * (1.0 - self._y**2)
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return input_shape
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid: ``1 / (1 + exp(-x))``."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y = np.empty_like(x)
+        pos = x >= 0
+        y[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        y[~pos] = ex / (1.0 + ex)
+        self._y = y
+        return self._quantize_output(y)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._y * (1.0 - self._y)
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return input_shape

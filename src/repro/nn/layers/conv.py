@@ -1,0 +1,180 @@
+"""2-D convolution layer with im2col lowering.
+
+The convolution is lowered to a matrix multiplication via ``im2col``, the
+same strategy Caffe uses; ``col2im`` scatters gradients back.  Data layout
+is NCHW throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.nn.initializers import resolve_initializer
+from repro.nn.layers.base import Layer, Parameter
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution (floor mode, as in Caffe)."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution produces non-positive output size: "
+            f"input={size}, kernel={kernel}, stride={stride}, pad={pad}"
+        )
+    return out
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int):
+    """Lower input patches to columns.
+
+    Args:
+        x: Input of shape ``(N, C, H, W)``.
+        kh, kw: Kernel height and width.
+        stride: Stride (same in both dimensions).
+        pad: Zero padding (same on all sides).
+
+    Returns:
+        ``(cols, out_h, out_w)`` where ``cols`` has shape
+        ``(N, C*kh*kw, out_h*out_w)``.
+    """
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kh, stride, pad)
+    out_w = conv_output_size(w, kw, stride, pad)
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    windows = windows[:, :, :out_h, :out_w, :, :]
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * kh * kw, out_h * out_w)
+    return np.ascontiguousarray(cols), out_h, out_w
+
+
+def col2im(cols: np.ndarray, x_shape: tuple, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
+    """Scatter columns back to an input-shaped tensor (adjoint of im2col)."""
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * pad, w + 2 * pad
+    out_h = conv_output_size(h, kh, stride, pad)
+    out_w = conv_output_size(w, kw, stride, pad)
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    dx = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            dx[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += cols[
+                :, :, i, j
+            ]
+    if pad:
+        dx = dx[:, :, pad : hp - pad, pad : wp - pad]
+    return dx
+
+
+class Conv2D(Layer):
+    """2-D convolution: ``y = W * x + b`` over sliding windows.
+
+    Args:
+        in_channels: Number of input feature maps.
+        out_channels: Number of kernels / output feature maps.
+        kernel_size: Side length of the (square) kernel.
+        stride: Spatial stride.
+        pad: Zero padding on each side.
+        groups: Grouped convolution: input and output channels are split
+            into ``groups`` independent blocks (AlexNet's original
+            two-column convolutions use ``groups=2``).
+        bias: Whether to add a per-output-channel scalar bias.
+        weight_init: Initializer name or callable for the kernels.
+        dtype: Parameter dtype (float64 useful for gradient checks).
+        rng: ``numpy.random.Generator`` used for initialization.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        pad: int = 0,
+        groups: int = 1,
+        bias: bool = True,
+        weight_init: Union[str, callable] = "he",
+        dtype=np.float32,
+        rng: Optional[np.random.Generator] = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        rng = rng or np.random.default_rng(0)
+        if groups < 1 or in_channels % groups or out_channels % groups:
+            raise ValueError(
+                f"groups={groups} must divide in_channels={in_channels} "
+                f"and out_channels={out_channels}"
+            )
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.pad = pad
+        self.groups = groups
+        fan_in = (in_channels // groups) * kernel_size * kernel_size
+        fan_out = (out_channels // groups) * kernel_size * kernel_size
+        init = resolve_initializer(weight_init)
+        wshape = (out_channels, in_channels // groups, kernel_size, kernel_size)
+        self.weight = Parameter(init(wshape, fan_in, fan_out, rng, dtype), f"{self.name}.weight")
+        self.bias = Parameter(np.zeros(out_channels, dtype=dtype), f"{self.name}.bias") if bias else None
+        self._cache = None
+
+    @property
+    def params(self) -> list[Parameter]:
+        return [self.weight] + ([self.bias] if self.bias is not None else [])
+
+    def effective_weight(self) -> np.ndarray:
+        w = self.weight.data
+        if self.weight_quantizer is not None:
+            w = self.weight_quantizer(w)
+        return w
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        c, h, w = input_shape
+        if c != self.in_channels:
+            raise ValueError(f"{self.name}: expected {self.in_channels} channels, got {c}")
+        k, s, p = self.kernel_size, self.stride, self.pad
+        return (self.out_channels, conv_output_size(h, k, s, p), conv_output_size(w, k, s, p))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n = x.shape[0]
+        k, s, p = self.kernel_size, self.stride, self.pad
+        g = self.groups
+        w = self.effective_weight()
+        cols, out_h, out_w = im2col(x, k, k, s, p)
+        syn = (self.in_channels // g) * k * k
+        # im2col rows are channel-major, so group slicing is contiguous
+        cols_g = cols.reshape(n, g, syn, -1)
+        w_mat = w.reshape(g, self.out_channels // g, syn)
+        y = np.einsum("gfk,ngkp->ngfp", w_mat, cols_g, optimize=True)
+        y = y.reshape(n, self.out_channels, -1)
+        if self.bias is not None:
+            y += self.bias.data[None, :, None]
+        y = y.reshape(n, self.out_channels, out_h, out_w)
+        self._cache = (x.shape, cols_g, w_mat)
+        return self._quantize_output(y)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        x_shape, cols_g, w_mat = self._cache
+        n = grad.shape[0]
+        k, s, p = self.kernel_size, self.stride, self.pad
+        g = self.groups
+        gr = grad.reshape(n, g, self.out_channels // g, -1)
+        dw = np.einsum("ngfp,ngkp->gfk", gr, cols_g, optimize=True)
+        self.weight.grad = dw.reshape(self.weight.data.shape).astype(self.weight.data.dtype)
+        if self.bias is not None:
+            self.bias.grad = gr.sum(axis=(0, 3)).reshape(-1).astype(self.bias.data.dtype)
+        dcols = np.einsum("gfk,ngfp->ngkp", w_mat, gr, optimize=True)
+        dcols = dcols.reshape(n, -1, dcols.shape[-1])
+        return col2im(dcols, x_shape, k, k, s, p)
+
+    def macs(self, input_shape: tuple) -> int:
+        """Multiply-accumulate count for one sample of ``input_shape``."""
+        _, out_h, out_w = self.output_shape(input_shape)
+        per_output = (self.in_channels // self.groups) * self.kernel_size * self.kernel_size
+        return self.out_channels * out_h * out_w * per_output

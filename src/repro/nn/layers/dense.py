@@ -1,0 +1,87 @@
+"""Fully-connected (inner product) layer."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.nn.initializers import resolve_initializer
+from repro.nn.layers.base import Layer, Parameter
+
+
+class Dense(Layer):
+    """Fully-connected layer: ``y = x @ W.T + b``.
+
+    Args:
+        in_features: Input dimensionality.
+        out_features: Output dimensionality.
+        bias: Whether to add a bias vector.
+        weight_init: Initializer name or callable.
+        dtype: Parameter dtype.
+        rng: Random generator used for initialization.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        weight_init: Union[str, callable] = "xavier",
+        dtype=np.float32,
+        rng: Optional[np.random.Generator] = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        init = resolve_initializer(weight_init)
+        self.weight = Parameter(
+            init((out_features, in_features), in_features, out_features, rng, dtype),
+            f"{self.name}.weight",
+        )
+        self.bias = Parameter(np.zeros(out_features, dtype=dtype), f"{self.name}.bias") if bias else None
+        self._cache = None
+
+    @property
+    def params(self) -> list[Parameter]:
+        return [self.weight] + ([self.bias] if self.bias is not None else [])
+
+    def effective_weight(self) -> np.ndarray:
+        w = self.weight.data
+        if self.weight_quantizer is not None:
+            w = self.weight_quantizer(w)
+        return w
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        flat = int(np.prod(input_shape))
+        if flat != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected {self.in_features} input features, got {flat}"
+            )
+        return (self.out_features,)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2:
+            raise ValueError(f"{self.name}: expected 2-D input, got shape {x.shape}")
+        w = self.effective_weight()
+        y = x @ w.T
+        if self.bias is not None:
+            y = y + self.bias.data[None, :]
+        self._cache = (x, w)
+        return self._quantize_output(y)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        x, w = self._cache
+        self.weight.grad = (grad.T @ x).astype(self.weight.data.dtype)
+        if self.bias is not None:
+            self.bias.grad = grad.sum(axis=0).astype(self.bias.data.dtype)
+        return grad @ w
+
+    def macs(self, input_shape: tuple) -> int:
+        """Multiply-accumulate count for one sample."""
+        del input_shape
+        return self.in_features * self.out_features

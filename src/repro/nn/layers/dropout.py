@@ -1,0 +1,42 @@
+"""Inverted dropout regularization."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class Dropout(Layer):
+    """Inverted dropout: zero each activation with probability ``p``.
+
+    Active only in training mode; at inference the layer is the identity
+    (the 1/(1-p) scaling is applied during training, so no rescale is
+    needed at test time).
+    """
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None, name=None):
+        super().__init__(name=name)
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng or np.random.default_rng(0)
+        self._mask = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return self._quantize_output(x)
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return self._quantize_output((x * self._mask).astype(x.dtype, copy=False))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return input_shape

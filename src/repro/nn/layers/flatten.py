@@ -1,0 +1,21 @@
+"""Flatten layer: collapse all non-batch dimensions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class Flatten(Layer):
+    """Reshape ``(N, ...)`` to ``(N, prod(...))``."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return self._quantize_output(x.reshape(x.shape[0], -1))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad.reshape(self._shape)
+
+    def output_shape(self, input_shape: tuple) -> tuple:
+        return (int(np.prod(input_shape)),)

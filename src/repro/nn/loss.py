@@ -1,0 +1,72 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    z = logits - logits.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    z = logits - logits.max(axis=axis, keepdims=True)
+    return z - np.log(np.exp(z).sum(axis=axis, keepdims=True))
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels ``(N,)`` to one-hot ``(N, num_classes)``."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.min() < 0 or labels.max() >= num_classes:
+        raise ValueError("label out of range")
+    out = np.zeros((labels.shape[0], num_classes))
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+class Loss:
+    """Base class: ``forward(logits, target) -> float``; ``backward() -> dlogits``."""
+
+    def forward(self, logits: np.ndarray, target: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, logits: np.ndarray, target: np.ndarray) -> float:
+        return self.forward(logits, target)
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Mean cross entropy between softmax(logits) and integer labels."""
+
+    def forward(self, logits: np.ndarray, target: np.ndarray) -> float:
+        target = np.asarray(target)
+        n = logits.shape[0]
+        logp = log_softmax(logits, axis=1)
+        self._probs = np.exp(logp)
+        self._target = target
+        return float(-logp[np.arange(n), target].mean())
+
+    def backward(self) -> np.ndarray:
+        n = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(n), self._target] -= 1.0
+        return grad / n
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error over all elements (utility for regression tests)."""
+
+    def forward(self, logits: np.ndarray, target: np.ndarray) -> float:
+        self._diff = logits - target
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        return 2.0 * self._diff / self._diff.size

@@ -1,0 +1,114 @@
+"""Optimizers and learning-rate schedules.
+
+The paper fine-tunes with SGD, starting at 1e-3, dividing the rate by 10
+whenever learning levels off, and stopping once it drops below 1e-7.
+:class:`PlateauScheduler` implements exactly that policy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.layers.base import Parameter
+
+
+class SGD:
+    """Stochastic gradient descent with momentum and weight decay.
+
+    Update rule (Caffe-style):
+        ``v = momentum * v - lr * (grad + weight_decay * w)``
+        ``w += v``
+    """
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.params = list(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """Apply one update using each parameter's current gradient."""
+        for p, v in zip(self.params, self._velocity):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            v *= self.momentum
+            v -= self.lr * g
+            p.data = p.data + v
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class StepScheduler:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: SGD, step_size: int, gamma: float = 0.1):
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self, metric: float | None = None) -> None:
+        """Advance one epoch (``metric`` accepted for interface parity)."""
+        del metric
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+
+
+class PlateauScheduler:
+    """Divide the learning rate when the monitored metric stops improving.
+
+    Implements the paper's schedule: "decrease the rate by a factor of 10
+    when learning levels off and stop the training when the learning rate
+    drops below 1e-07".  :attr:`finished` turns True at that point.
+    """
+
+    def __init__(
+        self,
+        optimizer: SGD,
+        factor: float = 0.1,
+        patience: int = 3,
+        min_lr: float = 1e-7,
+        threshold: float = 1e-4,
+    ):
+        if not 0.0 < factor < 1.0:
+            raise ValueError("factor must be in (0, 1)")
+        self.optimizer = optimizer
+        self.factor = factor
+        self.patience = patience
+        self.min_lr = min_lr
+        self.threshold = threshold
+        self.best = np.inf
+        self._bad_epochs = 0
+        self.finished = False
+
+    def step(self, metric: float) -> None:
+        """Record the epoch's monitored metric (lower is better)."""
+        if metric < self.best - self.threshold:
+            self.best = metric
+            self._bad_epochs = 0
+            return
+        self._bad_epochs += 1
+        if self._bad_epochs > self.patience:
+            self.optimizer.lr *= self.factor
+            self._bad_epochs = 0
+            if self.optimizer.lr < self.min_lr:
+                self.finished = True

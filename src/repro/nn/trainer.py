@@ -1,0 +1,134 @@
+"""Training loop, evaluation helpers, and history tracking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.nn.data import ArrayDataset, BatchIterator
+from repro.nn.loss import Loss, SoftmaxCrossEntropy
+from repro.nn.network import Network
+from repro.nn.optim import SGD, PlateauScheduler
+
+
+def evaluate_topk(net: Network, dataset: ArrayDataset, k: int = 1, batch_size: int = 256) -> float:
+    """Top-k classification accuracy of ``net`` on ``dataset`` (fraction)."""
+    correct = 0
+    for start in range(0, len(dataset), batch_size):
+        x = dataset.x[start : start + batch_size]
+        y = dataset.y[start : start + batch_size]
+        logits = net.logits(x)
+        topk = np.argpartition(-logits, kth=min(k, logits.shape[1] - 1), axis=1)[:, :k]
+        correct += int((topk == y[:, None]).any(axis=1).sum())
+    return correct / len(dataset)
+
+
+def error_rate(net: Network, dataset: ArrayDataset, batch_size: int = 256) -> float:
+    """Top-1 error rate (1 - accuracy)."""
+    return 1.0 - evaluate_topk(net, dataset, k=1, batch_size=batch_size)
+
+
+@dataclass
+class EpochResult:
+    """Metrics recorded after each training epoch."""
+
+    epoch: int
+    train_loss: float
+    val_error: float
+    lr: float
+
+
+@dataclass
+class TrainHistory:
+    """Sequence of per-epoch results with convenience accessors."""
+
+    epochs: list[EpochResult] = field(default_factory=list)
+
+    def append(self, result: EpochResult) -> None:
+        self.epochs.append(result)
+
+    @property
+    def val_errors(self) -> list[float]:
+        return [e.val_error for e in self.epochs]
+
+    @property
+    def train_losses(self) -> list[float]:
+        return [e.train_loss for e in self.epochs]
+
+    def best_epoch(self) -> EpochResult:
+        if not self.epochs:
+            raise ValueError("history is empty")
+        return min(self.epochs, key=lambda e: e.val_error)
+
+
+class Trainer:
+    """Mini-batch SGD training driver.
+
+    Args:
+        net: Network to train.
+        optimizer: Parameter updater (typically :class:`SGD` over
+            ``net.params``).
+        loss: Loss object; defaults to softmax cross entropy.
+        scheduler: Optional LR schedule stepped once per epoch with the
+            validation error; a :class:`PlateauScheduler` reproduces the
+            paper's policy and its ``finished`` flag stops training.
+        batch_size: Mini-batch size.
+        rng: Generator controlling batch shuffling.
+        epoch_callback: Optional ``fn(trainer, EpochResult)`` hook invoked
+            after each epoch (used by the MF-DFP pipeline to snapshot
+            quantized weights).
+        augment: Optional batch transform (e.g. :class:`~repro.nn.augment.Augmenter`)
+            applied to training inputs only.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        optimizer: SGD,
+        loss: Optional[Loss] = None,
+        scheduler=None,
+        batch_size: int = 64,
+        rng: Optional[np.random.Generator] = None,
+        epoch_callback: Optional[Callable] = None,
+        augment: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ):
+        self.net = net
+        self.optimizer = optimizer
+        self.loss = loss or SoftmaxCrossEntropy()
+        self.scheduler = scheduler
+        self.batch_size = batch_size
+        self.rng = rng or np.random.default_rng(0)
+        self.epoch_callback = epoch_callback
+        self.augment = augment
+        self.history = TrainHistory()
+
+    def train_epoch(self, train: ArrayDataset) -> float:
+        """One pass over the training set; returns mean batch loss."""
+        batches = BatchIterator(train, self.batch_size, shuffle=True, rng=self.rng)
+        losses = []
+        for x, y in batches:
+            if self.augment is not None:
+                x = self.augment(x)
+            logits = self.net.forward(x, training=True)
+            losses.append(self.loss.forward(logits, y))
+            self.net.zero_grad()
+            self.net.backward(self.loss.backward())
+            self.optimizer.step()
+        return float(np.mean(losses)) if losses else float("nan")
+
+    def fit(self, train: ArrayDataset, val: ArrayDataset, epochs: int) -> TrainHistory:
+        """Train up to ``epochs`` epochs (or until the scheduler finishes)."""
+        for epoch in range(1, epochs + 1):
+            train_loss = self.train_epoch(train)
+            val_error = error_rate(self.net, val)
+            result = EpochResult(epoch, train_loss, val_error, self.optimizer.lr)
+            self.history.append(result)
+            if self.epoch_callback is not None:
+                self.epoch_callback(self, result)
+            if self.scheduler is not None:
+                self.scheduler.step(val_error)
+                if isinstance(self.scheduler, PlateauScheduler) and self.scheduler.finished:
+                    break
+        return self.history

@@ -1,0 +1,24 @@
+"""Reporting helpers: regenerate the paper's tables and figure series."""
+
+from repro.report.memory import MemoryReport, memory_report
+from repro.report.tables import (
+    Table1Row,
+    Table2Row,
+    Table3Row,
+    format_table,
+    table1_rows,
+    table2_row,
+    table3_rows,
+)
+
+__all__ = [
+    "MemoryReport",
+    "Table1Row",
+    "Table2Row",
+    "Table3Row",
+    "format_table",
+    "memory_report",
+    "table1_rows",
+    "table2_row",
+    "table3_rows",
+]

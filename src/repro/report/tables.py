@@ -1,0 +1,150 @@
+"""Row builders and text formatting for the paper's tables.
+
+Each ``table*_rows`` helper produces dataclass rows carrying both our
+measured values and (where available) the paper's reference values, so
+benchmarks and EXPERIMENTS.md can print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Optional, Sequence
+
+from repro.hw.accelerator import Accelerator, AcceleratorConfig
+from repro.hw.cost import PAPER_TABLE1, CostModel
+from repro.report.memory import memory_report
+from repro.nn.network import Network
+
+
+def format_table(rows: Sequence, title: str = "") -> str:
+    """Render a sequence of dataclass rows as an aligned text table."""
+    if not rows:
+        return title
+    names = [f.name for f in fields(rows[0])]
+    cells = [[_fmt(getattr(r, n)) for n in names] for r in rows]
+    widths = [max(len(n), *(len(c[i]) for c in cells)) for i, n in enumerate(names)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(n.ljust(w) for n, w in zip(names, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+# -- Table 1: design metrics ---------------------------------------------------
+@dataclass(frozen=True)
+class Table1Row:
+    design: str
+    area_mm2: float
+    power_mw: float
+    area_saving_pct: float
+    power_saving_pct: float
+    paper_area_mm2: float
+    paper_power_mw: float
+
+
+def table1_rows(cost_model: Optional[CostModel] = None) -> list[Table1Row]:
+    """Regenerate Table 1: FP32 baseline, MF-DFP, and 2-PU ensemble."""
+    model = cost_model or CostModel()
+    configs = [
+        ("Floating-point(32,32)", "fp32", 1, "fp32"),
+        ("Proposed MF-DFP(8,4)", "mfdfp", 1, "mfdfp"),
+        ("Ens. MF-DFP(8,4)", "mfdfp", 2, "mfdfp_x2"),
+    ]
+    rows = []
+    for label, precision, pus, key in configs:
+        breakdown = model.evaluate(precision, pus)
+        area_saving, power_saving = model.savings_vs_baseline(breakdown)
+        ref = PAPER_TABLE1[key]
+        rows.append(
+            Table1Row(
+                design=label,
+                area_mm2=breakdown.area_mm2,
+                power_mw=breakdown.power_mw,
+                area_saving_pct=area_saving,
+                power_saving_pct=power_saving,
+                paper_area_mm2=ref["area_mm2"],
+                paper_power_mw=ref["power_mw"],
+            )
+        )
+    return rows
+
+
+# -- Table 2: accuracy / time / energy -----------------------------------------
+@dataclass(frozen=True)
+class Table2Row:
+    benchmark: str
+    design: str
+    accuracy_pct: float
+    time_us: float
+    energy_uj: float
+    energy_saving_pct: float
+
+
+def table2_row(
+    benchmark: str,
+    design: str,
+    accuracy: float,
+    accelerator: Accelerator,
+    workload,
+    baseline_energy_uj: Optional[float] = None,
+) -> Table2Row:
+    """One Table 2 row: measure time/energy of ``workload`` on ``accelerator``."""
+    time_us = accelerator.latency_us(workload)
+    energy = accelerator.energy_uj(workload)
+    saving = 0.0 if baseline_energy_uj is None else 100.0 * (1 - energy / baseline_energy_uj)
+    return Table2Row(
+        benchmark=benchmark,
+        design=design,
+        accuracy_pct=100.0 * accuracy,
+        time_us=time_us,
+        energy_uj=energy,
+        energy_saving_pct=saving,
+    )
+
+
+# -- Table 3: memory -------------------------------------------------------------
+@dataclass(frozen=True)
+class Table3Row:
+    network: str
+    parameters: int
+    float_mb: float
+    mfdfp_mb: float
+    ensemble_mb: float
+    paper_float_mb: float
+    paper_mfdfp_mb: float
+
+
+#: Table 3 reference values (MB).
+PAPER_TABLE3 = {
+    "cifar10_full": {"float": 0.3417, "mfdfp": 0.0428},
+    "alexnet": {"float": 237.95, "mfdfp": 29.75},
+}
+
+
+def table3_rows(networks: Sequence[Network]) -> list[Table3Row]:
+    """Regenerate Table 3 for the given networks."""
+    rows = []
+    for net in networks:
+        report = memory_report(net)
+        ref = PAPER_TABLE3.get(net.name, {"float": float("nan"), "mfdfp": float("nan")})
+        rows.append(
+            Table3Row(
+                network=net.name,
+                parameters=report.parameters,
+                float_mb=report.float_mb,
+                mfdfp_mb=report.mfdfp_mb,
+                ensemble_mb=report.ensemble_mb,
+                paper_float_mb=ref["float"],
+                paper_mfdfp_mb=ref["mfdfp"],
+            )
+        )
+    return rows

@@ -1,0 +1,20 @@
+"""Network zoo: the architectures the paper evaluates.
+
+* :func:`cifar10_full` — Caffe's ``cifar10_full`` network [2], the
+  CIFAR-10 benchmark architecture (89,578 parameters → the 0.3417 MB of
+  Table 3).
+* :func:`alexnet` — AlexNet [20] as distributed in the Caffe Model Zoo
+  without grouped convolutions (62,378,344 parameters → the 237.95 MB of
+  Table 3).
+
+Both are built without local response normalization by default, since the
+paper removes LRN layers ("they are not amenable to our multiplier-free
+hardware implementation"); pass ``include_lrn=True`` for the original
+float topology.  Scaled-down variants are provided for laptop-scale
+training on the surrogate datasets.
+"""
+
+from repro.zoo.alexnet import alexnet, alexnet_small
+from repro.zoo.cifar10_full import cifar10_full, cifar10_small
+
+__all__ = ["alexnet", "alexnet_small", "cifar10_full", "cifar10_small"]

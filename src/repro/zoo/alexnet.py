@@ -1,0 +1,123 @@
+"""AlexNet (Krizhevsky et al., NIPS 2012) for the ImageNet experiments.
+
+Built as the single-column variant without grouped convolutions — the
+form distributed through the Caffe Model Zoo that the paper obtained its
+float model from.  Parameter count is 62,378,344, i.e. 237.95 MB at
+32 bits, matching Table 3 of the paper exactly.
+
+LRN layers are removed by default (the paper: "We remove all local
+response normalization layers since they are not amenable to our
+multiplier-free hardware implementation").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    LocalResponseNorm,
+    MaxPool2D,
+    ReLU,
+)
+from repro.nn.network import Network
+
+#: Caffe's AlexNet input resolution (center crop of a 256x256 image).
+ALEXNET_INPUT = (3, 227, 227)
+
+
+def alexnet(
+    num_classes: int = 1000,
+    include_lrn: bool = False,
+    include_dropout: bool = True,
+    grouped: bool = False,
+    dtype=np.float32,
+    rng: Optional[np.random.Generator] = None,
+    name: str = "alexnet",
+) -> Network:
+    """Build AlexNet for 3x227x227 inputs (floor-mode convs, ceil pools).
+
+    ``grouped=True`` builds Krizhevsky's original two-column network
+    (``groups=2`` on conv2/4/5, 60,965,224 parameters); the default is the
+    single-column Model-Zoo form the paper's Table 3 numbers correspond to
+    (62,378,344 parameters).
+    """
+    rng = rng or np.random.default_rng(0)
+    g = 2 if grouped else 1
+    layers = [
+        Conv2D(3, 96, 11, stride=4, pad=0, weight_init="he", dtype=dtype, rng=rng, name="conv1"),
+        ReLU(name="relu1"),
+    ]
+    if include_lrn:
+        layers.append(LocalResponseNorm(local_size=5, alpha=1e-4, beta=0.75, name="norm1"))
+    layers.append(MaxPool2D(3, stride=2, name="pool1"))
+    layers += [
+        Conv2D(96, 256, 5, stride=1, pad=2, groups=g, weight_init="he", dtype=dtype, rng=rng, name="conv2"),
+        ReLU(name="relu2"),
+    ]
+    if include_lrn:
+        layers.append(LocalResponseNorm(local_size=5, alpha=1e-4, beta=0.75, name="norm2"))
+    layers.append(MaxPool2D(3, stride=2, name="pool2"))
+    layers += [
+        Conv2D(256, 384, 3, stride=1, pad=1, weight_init="he", dtype=dtype, rng=rng, name="conv3"),
+        ReLU(name="relu3"),
+        Conv2D(384, 384, 3, stride=1, pad=1, groups=g, weight_init="he", dtype=dtype, rng=rng, name="conv4"),
+        ReLU(name="relu4"),
+        Conv2D(384, 256, 3, stride=1, pad=1, groups=g, weight_init="he", dtype=dtype, rng=rng, name="conv5"),
+        ReLU(name="relu5"),
+        MaxPool2D(3, stride=2, name="pool5"),
+        Flatten(name="flat"),
+        Dense(256 * 6 * 6, 4096, weight_init="xavier", dtype=dtype, rng=rng, name="fc6"),
+        ReLU(name="relu6"),
+    ]
+    if include_dropout:
+        layers.append(Dropout(0.5, rng=rng, name="drop6"))
+    layers += [
+        Dense(4096, 4096, weight_init="xavier", dtype=dtype, rng=rng, name="fc7"),
+        ReLU(name="relu7"),
+    ]
+    if include_dropout:
+        layers.append(Dropout(0.5, rng=rng, name="drop7"))
+    layers.append(
+        Dense(4096, num_classes, weight_init="xavier", dtype=dtype, rng=rng, name="fc8")
+    )
+    return Network(layers, input_shape=ALEXNET_INPUT, name=name)
+
+
+def alexnet_small(
+    num_classes: int = 20,
+    size: int = 32,
+    dtype=np.float32,
+    rng: Optional[np.random.Generator] = None,
+    name: str = "alexnet_small",
+) -> Network:
+    """AlexNet-style network scaled for the downscaled ImageNet surrogate.
+
+    Preserves the conv-heavy front / fc-heavy back structure of AlexNet at
+    a width and resolution trainable in numpy.
+    """
+    if size % 8:
+        raise ValueError("size must be divisible by 8")
+    rng = rng or np.random.default_rng(0)
+    final = size // 8
+    layers = [
+        Conv2D(3, 16, 3, stride=1, pad=1, weight_init="he", dtype=dtype, rng=rng, name="conv1"),
+        ReLU(name="relu1"),
+        MaxPool2D(3, stride=2, name="pool1"),
+        Conv2D(16, 32, 3, stride=1, pad=1, weight_init="he", dtype=dtype, rng=rng, name="conv2"),
+        ReLU(name="relu2"),
+        MaxPool2D(3, stride=2, name="pool2"),
+        Conv2D(32, 32, 3, stride=1, pad=1, weight_init="he", dtype=dtype, rng=rng, name="conv3"),
+        ReLU(name="relu3"),
+        MaxPool2D(3, stride=2, name="pool3"),
+        Flatten(name="flat"),
+        Dense(32 * final * final, 128, weight_init="xavier", dtype=dtype, rng=rng, name="fc6"),
+        ReLU(name="relu6"),
+        Dense(128, num_classes, weight_init="xavier", dtype=dtype, rng=rng, name="fc8"),
+    ]
+    return Network(layers, input_shape=(3, size, size), name=name)

@@ -1,0 +1,114 @@
+"""SQNR analysis and exponent histograms."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sqnr import (
+    exponent_histogram,
+    layer_sqnr_report,
+    quantization_noise_of,
+    sqnr_db,
+)
+from repro.core.mfdfp import MFDFPNetwork
+from repro.zoo import cifar10_small
+
+
+class TestSqnrDb:
+    def test_exact_match_is_infinite(self, rng):
+        x = rng.normal(size=100)
+        assert sqnr_db(x, x.copy()) == float("inf")
+
+    def test_known_value(self):
+        signal = np.array([1.0, 1.0])
+        noisy = np.array([1.1, 1.0])  # noise power 0.01, signal power 2
+        assert sqnr_db(signal, noisy) == pytest.approx(10 * np.log10(200))
+
+    def test_zero_signal_nonzero_noise(self):
+        assert sqnr_db(np.zeros(4), np.ones(4)) == float("-inf")
+
+    def test_monotone_in_noise(self, rng):
+        x = rng.normal(size=200)
+        small = x + rng.normal(scale=0.01, size=200)
+        large = x + rng.normal(scale=0.1, size=200)
+        assert sqnr_db(x, small) > sqnr_db(x, large)
+
+    def test_finer_quantization_higher_sqnr(self, rng):
+        from repro.core.dfp import DFPFormat, dfp_quantize
+
+        x = rng.uniform(-1, 1, size=500)
+        coarse = dfp_quantize(x, DFPFormat(8, 4))
+        fine = dfp_quantize(x, DFPFormat(8, 6))
+        assert sqnr_db(x, fine) > sqnr_db(x, coarse)
+
+
+class TestLayerReport:
+    @pytest.fixture
+    def nets(self, rng):
+        net = cifar10_small(size=16, dtype=np.float64)
+        float_net = net.clone()
+        MFDFPNetwork.from_float(net, rng.normal(size=(16, 3, 16, 16)))
+        return float_net, net
+
+    def test_one_report_per_layer(self, nets, rng):
+        float_net, quant_net = nets
+        reports = layer_sqnr_report(float_net, quant_net, rng.normal(size=(4, 3, 16, 16)))
+        assert len(reports) == len(float_net.layers)
+        assert [r.layer_name for r in reports] == [l.name for l in float_net.layers]
+
+    def test_sqnr_finite_and_positive(self, nets, rng):
+        float_net, quant_net = nets
+        reports = layer_sqnr_report(float_net, quant_net, rng.normal(size=(4, 3, 16, 16)))
+        for r in reports:
+            assert np.isfinite(r.sqnr_db)
+            assert r.sqnr_db > 0  # 8-bit quantization is far above 0 dB
+
+    def test_max_error_below_signal_range(self, nets, rng):
+        float_net, quant_net = nets
+        reports = layer_sqnr_report(float_net, quant_net, rng.normal(size=(4, 3, 16, 16)))
+        for r in reports:
+            assert r.max_abs_error < r.signal_range
+
+    def test_mismatched_networks_rejected(self, nets, rng):
+        float_net, quant_net = nets
+        from repro.nn import Network, ReLU
+
+        with pytest.raises(ValueError):
+            layer_sqnr_report(float_net, Network([ReLU()]), rng.normal(size=(1, 3, 16, 16)))
+
+    def test_one_call_helper(self, rng):
+        net = cifar10_small(size=16, dtype=np.float64)
+        reports = quantization_noise_of(
+            net, rng.normal(size=(8, 3, 16, 16)), rng.normal(size=(4, 3, 16, 16))
+        )
+        assert len(reports) == len(net.layers)
+
+
+class TestExponentHistogram:
+    def test_counts_sum_to_weight_count(self):
+        net = cifar10_small(size=16)
+        hists = exponent_histogram(net)
+        for layer in net.compute_layers():
+            assert hists[layer.name].sum() == layer.params[0].size
+
+    def test_bins_cover_exponent_range(self):
+        net = cifar10_small(size=16)
+        hists = exponent_histogram(net, min_exp=-7, max_exp=0)
+        assert all(len(h) == 8 for h in hists.values())
+
+    def test_known_weights(self, rng):
+        from repro.nn import Dense, Network
+
+        net = Network([Dense(4, 2, dtype=np.float64, name="fc")], input_shape=(4,))
+        net.layer("fc").weight.data = np.array(
+            [[1.0, 0.5, 0.5, 0.25], [0.25, 0.25, 1.0, 1.0]]
+        )
+        hist = exponent_histogram(net)["fc"]
+        # index 7 = e=0, index 6 = e=-1, index 5 = e=-2
+        assert hist[7] == 3
+        assert hist[6] == 2
+        assert hist[5] == 3
+
+    def test_only_parameterized_layers(self):
+        net = cifar10_small(size=16)
+        hists = exponent_histogram(net)
+        assert set(hists) == {l.name for l in net.compute_layers()}

@@ -1,0 +1,172 @@
+"""Binary / ternary / fixed-point baseline weight quantizers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.baselines import (
+    BinaryWeightQuantizer,
+    FixedPointWeightQuantizer,
+    TernaryWeightQuantizer,
+)
+
+
+class TestBinary:
+    def test_unscaled_is_pure_sign(self, rng):
+        q = BinaryWeightQuantizer(scaled=False)
+        w = rng.normal(size=50)
+        out = q(w)
+        assert set(np.unique(out)) <= {-1.0, 1.0}
+
+    def test_scaled_uses_mean_magnitude(self, rng):
+        q = BinaryWeightQuantizer(scaled=True)
+        w = rng.normal(scale=0.2, size=200)
+        out = q(w)
+        alpha = np.abs(w).mean()
+        assert np.allclose(np.abs(out), alpha)
+
+    def test_sign_preserved(self, rng):
+        q = BinaryWeightQuantizer()
+        w = rng.normal(size=100)
+        assert np.array_equal(np.sign(q(w)), np.where(w >= 0, 1.0, -1.0))
+
+    def test_scaled_minimizes_l2_among_scales(self, rng):
+        """alpha = E|w| is the L2-optimal symmetric scale for sign(w)."""
+        w = rng.normal(size=500)
+        q = BinaryWeightQuantizer(scaled=True)
+        err_opt = np.sum((w - q(w)) ** 2)
+        for alpha in (0.5, 1.0, 2.0):
+            err = np.sum((w - alpha * np.sign(w)) ** 2)
+            assert err_opt <= err + 1e-9
+
+    def test_dtype_preserved(self):
+        out = BinaryWeightQuantizer()(np.array([0.3], dtype=np.float32))
+        assert out.dtype == np.float32
+
+
+class TestTernary:
+    def test_three_levels(self, rng):
+        q = TernaryWeightQuantizer()
+        w = rng.normal(size=300)
+        out = q(w)
+        assert len(np.unique(np.round(out, 10))) <= 3
+
+    def test_small_weights_become_zero(self, rng):
+        q = TernaryWeightQuantizer(delta_ratio=0.7)
+        w = rng.normal(size=500)
+        out = q(w)
+        delta = 0.7 * np.abs(w).mean()
+        assert np.all(out[np.abs(w) <= delta] == 0.0)
+        assert np.all(out[np.abs(w) > delta] != 0.0)
+
+    def test_unscaled_levels_are_unit(self, rng):
+        q = TernaryWeightQuantizer(scaled=False)
+        out = q(rng.normal(size=100))
+        assert set(np.unique(out)) <= {-1.0, 0.0, 1.0}
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            TernaryWeightQuantizer(delta_ratio=0.0)
+
+    def test_sparsity_increases_with_threshold(self, rng):
+        w = rng.normal(size=1000)
+        loose = TernaryWeightQuantizer(delta_ratio=0.3)(w)
+        tight = TernaryWeightQuantizer(delta_ratio=1.5)(w)
+        assert (tight == 0).sum() > (loose == 0).sum()
+
+
+class TestFixedPointWeights:
+    def test_values_on_grid(self, rng):
+        q = FixedPointWeightQuantizer(bits=8)
+        w = rng.normal(scale=0.1, size=200)
+        out = q(w)
+        from repro.core.dfp import choose_fraction_length
+
+        f = choose_fraction_length(w, bits=8)
+        scaled = out * 2.0**f
+        assert np.allclose(scaled, np.rint(scaled))
+
+    def test_more_bits_less_error(self, rng):
+        w = rng.normal(scale=0.1, size=500)
+        err4 = np.abs(FixedPointWeightQuantizer(4)(w) - w).max()
+        err8 = np.abs(FixedPointWeightQuantizer(8)(w) - w).max()
+        assert err8 < err4
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            FixedPointWeightQuantizer(bits=1)
+
+    @given(st.lists(st.floats(-1, 1, allow_nan=False), min_size=2, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_property_error_bounded_by_half_step(self, values):
+        w = np.array(values)
+        if np.abs(w).max() == 0:
+            return
+        q = FixedPointWeightQuantizer(bits=8)
+        out = q(w)
+        from repro.core.dfp import choose_fraction_length
+
+        f = choose_fraction_length(w, bits=8)
+        assert np.abs(out - w).max() <= 2.0 ** -(f + 1) + 1e-12
+
+
+class TestBaselineIntegration:
+    def test_baseline_quantizer_attaches(self, trained_small_net, small_data):
+        from repro.core.quantizer import NetworkQuantizer
+
+        train, _ = small_data
+        net = trained_small_net.clone()
+        quantizer = NetworkQuantizer(weight_quantizer_factory=TernaryWeightQuantizer)
+        quantizer.quantize(net, train.x[:64])
+        assert isinstance(net.layer("conv1").weight_quantizer, TernaryWeightQuantizer)
+
+    def test_baseline_network_rejected_by_deploy(self, trained_small_net, small_data):
+        from repro.core.mfdfp import deploy
+        from repro.core.quantizer import NetworkQuantizer
+
+        train, _ = small_data
+        net = trained_small_net.clone()
+        quantizer = NetworkQuantizer(weight_quantizer_factory=BinaryWeightQuantizer)
+        plan = quantizer.quantize(net, train.x[:64])
+        with pytest.raises(ValueError, match="power-of-two"):
+            deploy(net, plan)
+
+    def test_pow2_not_worse_than_binary(self, trained_small_net, small_data):
+        """The paper's premise: 8 exponent levels beat 1-bit weights when
+        nothing is fine-tuned."""
+        from repro.core.quantizer import NetworkQuantizer
+        from repro.nn import error_rate
+
+        train, test = small_data
+        calib = train.x[:128]
+        pow2_net = trained_small_net.clone()
+        NetworkQuantizer().quantize(pow2_net, calib)
+        binary_net = trained_small_net.clone()
+        NetworkQuantizer(weight_quantizer_factory=BinaryWeightQuantizer).quantize(
+            binary_net, calib
+        )
+        assert error_rate(pow2_net, test) <= error_rate(binary_net, test) + 0.02
+
+
+class TestFixed8CostPoint:
+    def test_sits_between_fp32_and_mfdfp(self):
+        from repro.hw.cost import CostModel
+
+        model = CostModel()
+        fp32 = model.evaluate("fp32", 1)
+        fixed8 = model.evaluate("fixed8", 1)
+        mfdfp = model.evaluate("mfdfp", 1)
+        assert mfdfp.area_mm2 < fixed8.area_mm2 < fp32.area_mm2
+        assert mfdfp.power_mw < fixed8.power_mw < fp32.power_mw
+
+    def test_shift_datapath_beats_int8_multipliers(self):
+        """The marginal benefit of the paper's core trick: vs an int8
+        multiplier design, shifts still save a meaningful fraction."""
+        from repro.hw.cost import CostModel
+
+        model = CostModel()
+        fixed8 = model.evaluate("fixed8", 1)
+        mfdfp = model.evaluate("mfdfp", 1)
+        assert 1.0 - mfdfp.area_mm2 / fixed8.area_mm2 > 0.10
+        assert 1.0 - mfdfp.power_mw / fixed8.power_mw > 0.15

@@ -1,0 +1,145 @@
+"""Student-teacher loss: Eq. 1 values and Eq. 2 gradient approximation."""
+
+import numpy as np
+import pytest
+
+from repro.core.distill import DistillationLoss, soften
+from repro.nn.loss import softmax
+
+
+class TestSoften:
+    def test_high_temperature_flattens(self, rng):
+        z = rng.normal(size=(4, 10)) * 5
+        p_hot = soften(z, tau=100.0)
+        assert np.all(np.abs(p_hot - 0.1) < 0.02)
+
+    def test_tau_one_is_softmax(self, rng):
+        z = rng.normal(size=(3, 5))
+        assert np.allclose(soften(z, 1.0), softmax(z))
+
+    def test_invalid_tau(self):
+        with pytest.raises(ValueError):
+            soften(np.zeros((1, 2)), 0.0)
+
+
+class TestLossValue:
+    def test_matches_manual_computation(self, rng):
+        tau, beta = 4.0, 0.5
+        loss = DistillationLoss(tau=tau, beta=beta)
+        z_s = rng.normal(size=(3, 5))
+        z_t = rng.normal(size=(3, 5))
+        y = np.array([0, 2, 4])
+        loss.set_teacher_logits(z_t)
+        value = loss.forward(z_s, y)
+
+        p_s = softmax(z_s)
+        hard = -np.log(p_s[np.arange(3), y]).mean()
+        p_t_soft = softmax(z_t / tau)
+        p_s_soft = softmax(z_s / tau)
+        soft = -(p_t_soft * np.log(p_s_soft)).sum(axis=1).mean()
+        assert np.isclose(value, hard + beta * soft)
+
+    def test_beta_zero_is_plain_cross_entropy(self, rng):
+        loss = DistillationLoss(tau=20.0, beta=0.0)
+        z_s = rng.normal(size=(4, 6))
+        loss.set_teacher_logits(rng.normal(size=(4, 6)))
+        y = np.array([1, 2, 3, 0])
+        value = loss.forward(z_s, y)
+        p = softmax(z_s)
+        assert np.isclose(value, -np.log(p[np.arange(4), y]).mean())
+
+    def test_matching_teacher_minimizes_soft_term(self, rng):
+        """Soft term is minimal (equal to teacher entropy) when z_s == z_t."""
+        loss = DistillationLoss(tau=5.0, beta=1.0)
+        z_t = rng.normal(size=(2, 4))
+        y = np.array([0, 1])
+        loss.set_teacher_logits(z_t)
+        matched = loss.forward(z_t.copy(), y)
+        loss.set_teacher_logits(z_t)
+        mismatched = loss.forward(z_t + rng.normal(size=(2, 4)), y)
+        # subtract the common hard term by comparing to beta=0 losses
+        plain = DistillationLoss(tau=5.0, beta=0.0)
+        plain.set_teacher_logits(z_t)
+        hard_matched = plain.forward(z_t.copy(), y)
+        soft_matched = matched - hard_matched
+        p_t = softmax(z_t / 5.0)
+        teacher_entropy = -(p_t * np.log(p_t)).sum(axis=1).mean()
+        assert soft_matched >= teacher_entropy - 1e-9
+        assert np.isclose(soft_matched, teacher_entropy, atol=1e-9)
+        del mismatched  # mismatched case covered by gradient tests
+
+    def test_requires_teacher_logits(self, rng):
+        loss = DistillationLoss()
+        with pytest.raises(RuntimeError):
+            loss.forward(rng.normal(size=(2, 3)), np.array([0, 1]))
+
+    def test_shape_mismatch_rejected(self, rng):
+        loss = DistillationLoss()
+        loss.set_teacher_logits(rng.normal(size=(2, 4)))
+        with pytest.raises(ValueError):
+            loss.forward(rng.normal(size=(2, 3)), np.array([0, 1]))
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            DistillationLoss(tau=0.0)
+        with pytest.raises(ValueError):
+            DistillationLoss(beta=-1.0)
+
+
+class TestGradient:
+    def test_numerical_gradient(self, rng, gradcheck):
+        loss = DistillationLoss(tau=3.0, beta=0.4)
+        z_s = rng.normal(size=(3, 5))
+        z_t = rng.normal(size=(3, 5))
+        y = np.array([0, 1, 2])
+
+        def f():
+            loss.set_teacher_logits(z_t)
+            return loss.forward(z_s, y)
+
+        f()
+        grad = loss.backward()
+        num = gradcheck(f, z_s)
+        assert np.allclose(grad, num, atol=1e-6)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            DistillationLoss().backward()
+
+    def test_eq2_large_tau_approximation(self, rng):
+        """For tau >> |z| and zero-mean logits, the soft-term gradient
+        approaches beta/(N*tau^2) * (z_s - z_t) — Eq. 2 of the paper."""
+        tau, beta = 100.0, 0.2
+        loss = DistillationLoss(tau=tau, beta=beta)
+        z_s = rng.normal(size=(4, 10)) * 0.5
+        z_s -= z_s.mean(axis=1, keepdims=True)
+        z_t = rng.normal(size=(4, 10)) * 0.5
+        z_t -= z_t.mean(axis=1, keepdims=True)
+        y = np.zeros(4, dtype=int)
+        loss.set_teacher_logits(z_t)
+        loss.forward(z_s, y)
+        grad = loss.backward() * 4  # per-sample gradient
+
+        # subtract the hard-label part to isolate the soft term
+        p_hard = softmax(z_s)
+        hard_grad = p_hard.copy()
+        hard_grad[np.arange(4), y] -= 1.0
+        soft_grad = grad - hard_grad
+
+        approx = loss.approx_soft_gradient(z_s, z_t)
+        # relative agreement within a few percent at tau = 100
+        denom = np.abs(approx).max()
+        assert np.abs(soft_grad - approx).max() / denom < 0.05
+
+    def test_soft_gradient_vanishes_when_student_matches_teacher(self, rng):
+        loss = DistillationLoss(tau=10.0, beta=1.0)
+        z = rng.normal(size=(3, 6))
+        y = np.array([0, 1, 2])
+        loss.set_teacher_logits(z.copy())
+        loss.forward(z, y)
+        grad = loss.backward()
+        plain = DistillationLoss(tau=10.0, beta=0.0)
+        plain.set_teacher_logits(z.copy())
+        plain.forward(z, y)
+        hard_grad = plain.backward()
+        assert np.allclose(grad, hard_grad, atol=1e-12)

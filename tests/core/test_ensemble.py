@@ -1,0 +1,72 @@
+"""Ensembles: logit averaging and accuracy (Phase 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import Ensemble
+from repro.nn import ArrayDataset, Dense, Flatten, Network
+
+
+def make_member(seed):
+    rng = np.random.default_rng(seed)
+    return Network(
+        [Flatten(), Dense(8, 4, dtype=np.float64, rng=rng, name="fc")],
+        input_shape=(8,),
+        name=f"member{seed}",
+    )
+
+
+class TestEnsemble:
+    def test_requires_members(self):
+        with pytest.raises(ValueError):
+            Ensemble([])
+
+    def test_len(self):
+        assert len(Ensemble([make_member(0), make_member(1)])) == 2
+
+    def test_logits_are_mean_of_members(self, rng):
+        members = [make_member(i) for i in range(3)]
+        ens = Ensemble(members)
+        x = rng.normal(size=(5, 8))
+        expected = np.mean([m.logits(x) for m in members], axis=0)
+        assert np.allclose(ens.logits(x), expected)
+
+    def test_single_member_is_identity(self, rng):
+        member = make_member(0)
+        ens = Ensemble([member])
+        x = rng.normal(size=(3, 8))
+        assert np.allclose(ens.logits(x), member.logits(x))
+
+    def test_predict_is_argmax_of_mean(self, rng):
+        ens = Ensemble([make_member(0), make_member(1)])
+        x = rng.normal(size=(6, 8))
+        assert np.array_equal(ens.predict(x), ens.logits(x).argmax(axis=1))
+
+    def test_accuracy_bounds(self, rng):
+        ens = Ensemble([make_member(0), make_member(1)])
+        data = ArrayDataset(rng.normal(size=(40, 8)), rng.integers(0, 4, size=40))
+        acc = ens.accuracy(data)
+        assert 0.0 <= acc <= 1.0
+
+    def test_topk_accuracy_monotone(self, rng):
+        ens = Ensemble([make_member(0)])
+        data = ArrayDataset(rng.normal(size=(30, 8)), rng.integers(0, 4, size=30))
+        assert ens.accuracy(data, k=4) == 1.0
+        assert ens.accuracy(data, k=2) >= ens.accuracy(data, k=1)
+
+    def test_ensemble_can_fix_a_corrupted_member(self, rng):
+        """Averaging suppresses one member's gross logit error."""
+        good = make_member(0)
+        bad = good.clone()
+        data_x = rng.normal(size=(20, 8))
+        labels = good.predict(data_x)  # treat good net's output as truth
+        # corrupt the bad member mildly: its logits are noisy versions
+        bad.layer("fc").weight.data += rng.normal(scale=0.05, size=(4, 8))
+        ens = Ensemble([good, bad])
+        data = ArrayDataset(data_x, labels)
+        assert ens.accuracy(data) >= 0.9
+
+    def test_accuracy_batching_consistent(self, rng):
+        ens = Ensemble([make_member(0), make_member(1)])
+        data = ArrayDataset(rng.normal(size=(25, 8)), rng.integers(0, 4, size=25))
+        assert np.isclose(ens.accuracy(data, batch_size=4), ens.accuracy(data, batch_size=25))

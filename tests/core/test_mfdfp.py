@@ -1,0 +1,218 @@
+"""MFDFPNetwork wrapper, shadow-weight training semantics, deployment."""
+
+import numpy as np
+import pytest
+
+from repro.core.mfdfp import MFDFPNetwork, deploy
+from repro.core.pow2 import pow2_quantize
+from repro.nn import (
+    SGD,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    LocalResponseNorm,
+    MaxPool2D,
+    Network,
+    ReLU,
+    Tanh,
+)
+from repro.nn.loss import SoftmaxCrossEntropy
+
+
+def small_net(dtype=np.float64, seed=0):
+    rng = np.random.default_rng(seed)
+    return Network(
+        [
+            Conv2D(1, 4, 3, pad=1, dtype=dtype, rng=rng, name="conv1"),
+            ReLU(name="relu1"),
+            MaxPool2D(2, stride=2, name="pool1"),
+            Flatten(name="flat"),
+            Dense(4 * 4 * 4, 3, dtype=dtype, rng=rng, name="fc"),
+        ],
+        input_shape=(1, 8, 8),
+        name="small",
+    )
+
+
+@pytest.fixture
+def calib(rng):
+    return rng.normal(size=(16, 1, 8, 8))
+
+
+class TestFromFloat:
+    def test_forward_sees_pow2_weights(self, calib):
+        net = small_net()
+        mf = MFDFPNetwork.from_float(net, calib)
+        qw = mf.quantized_weights()["conv1"]
+        assert np.array_equal(qw, pow2_quantize(net.layer("conv1").weight.data))
+
+    def test_master_weights_stay_float(self, calib):
+        net = small_net()
+        original = net.layer("conv1").weight.data.copy()
+        MFDFPNetwork.from_float(net, calib)
+        assert np.array_equal(net.layer("conv1").weight.data, original)
+
+    def test_to_float_strips_hooks(self, calib, rng):
+        net = small_net()
+        x = rng.normal(size=(2, 1, 8, 8))
+        y_before = net.logits(x)
+        mf = MFDFPNetwork.from_float(net, calib)
+        mf.to_float()
+        assert np.allclose(net.logits(x), y_before)
+
+    def test_delegation(self, calib, rng):
+        net = small_net()
+        mf = MFDFPNetwork.from_float(net, calib)
+        x = rng.normal(size=(2, 1, 8, 8))
+        assert np.array_equal(mf.predict(x), net.predict(x))
+        assert len(mf.params) == len(net.params)
+
+
+class TestShadowWeightTraining:
+    def test_small_gradients_accumulate_into_quantized_jumps(self, calib):
+        """The Courbariaux mechanism: many small float updates eventually
+        flip a power-of-two weight even though each single update would
+        be absorbed by rounding."""
+        net = small_net()
+        mf = MFDFPNetwork.from_float(net, calib)
+        layer = net.layer("fc")
+        w0_quant = mf.quantized_weights()["fc"].copy()
+        # apply many tiny updates to the float master
+        idx = (0, 0)
+        for _ in range(1000):
+            layer.weight.data[idx] *= 1.01
+        w1_quant = mf.quantized_weights()["fc"]
+        assert w1_quant[idx] != w0_quant[idx]
+
+    def test_single_tiny_update_does_not_move_quantized_weight(self, calib):
+        net = small_net()
+        mf = MFDFPNetwork.from_float(net, calib)
+        layer = net.layer("fc")
+        w0 = mf.quantized_weights()["fc"].copy()
+        layer.weight.data *= 1.0001
+        assert np.array_equal(mf.quantized_weights()["fc"], w0)
+
+    def test_training_step_updates_master_not_quantized_grid(self, calib, rng):
+        net = small_net()
+        mf = MFDFPNetwork.from_float(net, calib)
+        opt = SGD(mf.params, lr=1e-4, momentum=0.0)
+        loss = SoftmaxCrossEntropy()
+        x = rng.normal(size=(4, 1, 8, 8))
+        y = np.array([0, 1, 2, 0])
+        before = net.layer("fc").weight.data.copy()
+        logits = mf.forward(x, training=True)
+        loss.forward(logits, y)
+        net.zero_grad()
+        net.backward(loss.backward())
+        opt.step()
+        after = net.layer("fc").weight.data
+        assert not np.array_equal(before, after)
+        # master values are NOT powers of two (they are the shadow copy)
+        log = np.log2(np.abs(after[np.abs(after) > 1e-12]))
+        assert not np.allclose(log, np.rint(log))
+
+
+class TestDeploy:
+    def test_op_sequence(self, calib):
+        mf = MFDFPNetwork.from_float(small_net(), calib)
+        dep = mf.deploy()
+        assert [op.kind for op in dep.ops] == ["conv", "maxpool", "flatten", "dense"]
+
+    def test_relu_fused_into_conv(self, calib):
+        mf = MFDFPNetwork.from_float(small_net(), calib)
+        dep = mf.deploy()
+        assert dep.ops[0].activation == "relu"
+        assert dep.ops[-1].activation == "none"
+
+    def test_weight_codes_match_quantized_weights(self, calib):
+        mf = MFDFPNetwork.from_float(small_net(), calib)
+        dep = mf.deploy()
+        sign, exp = dep.ops[0].weight_fields()
+        decoded = sign * np.exp2(exp.astype(np.float64))
+        assert np.allclose(decoded.reshape(-1), mf.quantized_weights()["conv1"].ravel())
+
+    def test_radix_indices_follow_plan(self, calib):
+        mf = MFDFPNetwork.from_float(small_net(), calib)
+        dep = mf.deploy()
+        conv = dep.ops[0]
+        assert conv.m == mf.plan.input_fmt.frac
+        assert conv.n == mf.plan.spec("relu1").out_fmt.frac
+
+    def test_bias_on_accumulator_grid(self, calib):
+        net = small_net()
+        mf = MFDFPNetwork.from_float(net, calib)
+        dep = mf.deploy()
+        conv = dep.ops[0]
+        scale = 2.0 ** (conv.in_frac + 7)
+        expected = np.rint(net.layer("conv1").bias.data * scale)
+        assert np.array_equal(conv.bias_int, expected.astype(np.int64))
+
+    def test_parameter_count_matches_network(self, calib):
+        net = small_net()
+        mf = MFDFPNetwork.from_float(net, calib)
+        assert mf.deploy().parameter_count() == net.param_count()
+
+    def test_memory_is_8x_smaller_than_float(self, calib):
+        net = small_net()
+        dep = MFDFPNetwork.from_float(net, calib).deploy()
+        float_bytes = net.param_count() * 4
+        assert float_bytes / dep.weight_memory_bytes() == 8.0
+
+    def test_dropout_vanishes(self, calib, rng):
+        net = Network(
+            [
+                Flatten(name="flat"),
+                Dense(64, 8, dtype=np.float64, rng=rng, name="fc1"),
+                ReLU(name="relu1"),
+                Dropout(0.5, name="drop"),
+                Dense(8, 3, dtype=np.float64, rng=rng, name="fc2"),
+            ],
+            input_shape=(1, 8, 8),
+        )
+        mf = MFDFPNetwork.from_float(net, calib)
+        dep = mf.deploy()
+        assert [op.kind for op in dep.ops] == ["flatten", "dense", "dense"]
+
+    def test_tanh_rejected(self, calib, rng):
+        net = Network(
+            [Flatten(), Dense(64, 3, dtype=np.float64, rng=rng), Tanh()],
+            input_shape=(1, 8, 8),
+        )
+        mf = MFDFPNetwork.from_float(net, calib)
+        with pytest.raises(ValueError, match="not supported"):
+            mf.deploy()
+
+    def test_lrn_rejected(self, calib, rng):
+        net = Network(
+            [
+                Conv2D(1, 4, 3, pad=1, dtype=np.float64, rng=rng, name="c"),
+                ReLU(),
+                LocalResponseNorm(3),
+                Flatten(),
+                Dense(256, 3, dtype=np.float64, rng=rng),
+            ],
+            input_shape=(1, 8, 8),
+        )
+        mf = MFDFPNetwork.from_float(net, calib)
+        with pytest.raises(ValueError, match="not supported"):
+            mf.deploy()
+
+    def test_deploy_requires_input_shape(self, calib, rng):
+        net = Network([Flatten(), Dense(64, 3, dtype=np.float64, rng=rng)])
+        mf = MFDFPNetwork.from_float(net, calib.reshape(16, 1, 8, 8))
+        net.input_shape = None
+        with pytest.raises(ValueError, match="input_shape"):
+            mf.deploy()
+
+
+class TestBiasCalibration:
+    def test_biases_snapped_to_accumulator_grid(self, calib):
+        net = small_net()
+        mf = MFDFPNetwork.from_float(net, calib)
+        mf.calibrate_bias_to_accumulator_grid()
+        for name in ("conv1", "fc"):
+            layer = net.layer(name)
+            frac = mf.plan.spec(name).in_fmt.frac + 7
+            scaled = layer.bias.data * 2.0**frac
+            assert np.allclose(scaled, np.rint(scaled))

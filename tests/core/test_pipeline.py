@@ -1,0 +1,138 @@
+"""Algorithm 1 phases: fine-tuning recovers accuracy, distillation helps."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MFDFPConfig,
+    MFDFPNetwork,
+    build_mfdfp_ensemble,
+    phase1_finetune,
+    phase2_distill,
+    run_algorithm1,
+)
+from repro.nn import SGD, Trainer, error_rate
+from repro.zoo import cifar10_small
+
+
+@pytest.fixture(scope="module")
+def problem():
+    """Small trained float net + data, shared by the phase tests."""
+    from repro.datasets import cifar10_surrogate
+
+    train, test = cifar10_surrogate(n_train=300, n_test=100, size=16, seed=5)
+    net = cifar10_small(size=16, rng=np.random.default_rng(2))
+    optimizer = SGD(net.params, lr=0.02, momentum=0.9)
+    Trainer(net, optimizer, batch_size=32, rng=np.random.default_rng(3)).fit(
+        train, test, epochs=8
+    )
+    return net, train, test
+
+
+def fast_config(**overrides):
+    defaults = dict(phase1_epochs=4, phase2_epochs=4, lr=5e-3, batch_size=32)
+    defaults.update(overrides)
+    return MFDFPConfig(**defaults)
+
+
+class TestPhase1:
+    def test_finetuning_recovers_quantization_loss(self, problem):
+        net, train, test = problem
+        float_err = error_rate(net, test)
+        student = net.clone()
+        mf = MFDFPNetwork.from_float(student, train.x[:128])
+        err_after_quant = error_rate(mf.net, test)
+        history = phase1_finetune(mf, train, test, fast_config())
+        err_after_ft = history.epochs[-1].val_error
+        # fine-tuning should not be worse than raw quantization
+        assert err_after_ft <= err_after_quant + 0.02
+        # and should end within a reasonable gap of the float network
+        assert err_after_ft <= float_err + 0.15
+
+    def test_history_length_bounded_by_epochs(self, problem):
+        net, train, test = problem
+        mf = MFDFPNetwork.from_float(net.clone(), train.x[:128])
+        history = phase1_finetune(mf, train, test, fast_config(phase1_epochs=3))
+        assert 1 <= len(history.epochs) <= 3
+
+    def test_weights_remain_pow2_in_forward(self, problem):
+        net, train, test = problem
+        mf = MFDFPNetwork.from_float(net.clone(), train.x[:128])
+        phase1_finetune(mf, train, test, fast_config(phase1_epochs=2))
+        for name, w in mf.quantized_weights().items():
+            log = np.log2(np.abs(w))
+            assert np.allclose(log, np.rint(log)), name
+
+
+class TestPhase2:
+    def test_distillation_runs_and_tracks_history(self, problem):
+        net, train, test = problem
+        teacher = net.clone()
+        mf = MFDFPNetwork.from_float(net.clone(), train.x[:128])
+        history = phase2_distill(mf, teacher, train, test, fast_config(phase2_epochs=3))
+        assert 1 <= len(history.epochs) <= 3
+        assert all(np.isfinite(e.train_loss) for e in history.epochs)
+
+    def test_distillation_not_worse_than_no_training(self, problem):
+        net, train, test = problem
+        teacher = net.clone()
+        mf = MFDFPNetwork.from_float(net.clone(), train.x[:128])
+        before = error_rate(mf.net, test)
+        history = phase2_distill(mf, teacher, train, test, fast_config())
+        assert history.epochs[-1].val_error <= before + 0.05
+
+
+class TestAlgorithm1:
+    def test_end_to_end(self, problem):
+        net, train, test = problem
+        result = run_algorithm1(net.clone(), train, test, train.x[:128], fast_config())
+        assert result.phase1.epochs and result.phase2.epochs
+        assert 0.0 <= result.final_val_error <= 1.0
+        assert np.isfinite(result.float_val_error)
+
+    def test_quantized_close_to_float(self, problem):
+        """The paper's headline: < ~1% degradation.  On the small surrogate
+        we allow a wider but still tight band."""
+        net, train, test = problem
+        result = run_algorithm1(net.clone(), train, test, train.x[:128], fast_config())
+        assert result.final_val_error <= result.float_val_error + 0.12
+
+    def test_error_curve_concatenates_phases(self, problem):
+        net, train, test = problem
+        result = run_algorithm1(net.clone(), train, test, train.x[:128], fast_config())
+        curve = result.error_curve()
+        assert len(curve) == len(result.phase1.epochs) + len(result.phase2.epochs)
+        epochs = [e for e, _, _ in curve]
+        assert epochs == sorted(epochs)
+        phases = [p for _, _, p in curve]
+        assert phases.index("phase2") == len(result.phase1.epochs)
+
+    def test_deployable_after_training(self, problem):
+        net, train, test = problem
+        result = run_algorithm1(net.clone(), train, test, train.x[:128], fast_config())
+        dep = result.mfdfp.deploy()
+        assert dep.parameter_count() == net.param_count()
+
+
+class TestEnsemblePipeline:
+    def test_requires_two_networks(self, problem):
+        net, train, test = problem
+        with pytest.raises(ValueError):
+            build_mfdfp_ensemble([net.clone()], train, test, train.x[:64])
+
+    def test_builds_ensemble_of_results(self, problem):
+        net, train, test = problem
+        nets = [net.clone(), net.clone()]
+        # decorrelate the second starting point a little
+        rng = np.random.default_rng(0)
+        for p in nets[1].params:
+            p.data = p.data + rng.normal(scale=0.01, size=p.data.shape)
+        ensemble, results = build_mfdfp_ensemble(
+            nets, train, test, train.x[:128], fast_config(phase1_epochs=2, phase2_epochs=2)
+        )
+        assert len(ensemble) == 2
+        assert len(results) == 2
+        acc = ensemble.accuracy(test)
+        best_member = max(1 - r.final_val_error for r in results)
+        # ensembling should be at least competitive with its members
+        assert acc >= best_member - 0.08

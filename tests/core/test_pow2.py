@@ -1,0 +1,174 @@
+"""Power-of-two weight quantization and the 4-bit encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pow2 import (
+    Pow2WeightQuantizer,
+    pow2_code_fields,
+    pow2_decode4,
+    pow2_encode4,
+    pow2_exponents,
+    pow2_quantize,
+)
+
+
+class TestExponents:
+    def test_exact_powers(self):
+        w = np.array([1.0, 0.5, 0.25, 0.0078125])  # 2^0, 2^-1, 2^-2, 2^-7
+        assert np.array_equal(pow2_exponents(w), [0, -1, -2, -7])
+
+    def test_rounds_in_log_domain(self):
+        # log2(0.7) = -0.515 -> rounds to -1; log2(0.72) = -0.474 -> 0
+        assert pow2_exponents(np.array([0.7]))[0] == -1
+        assert pow2_exponents(np.array([0.72]))[0] == 0
+
+    def test_clamped_at_min(self):
+        assert pow2_exponents(np.array([1e-9]))[0] == -7
+
+    def test_clamped_at_max(self):
+        assert pow2_exponents(np.array([100.0]))[0] == 0
+
+    def test_zero_maps_to_min_exp(self):
+        """The format has no exact zero (paper: e = max[round(log2|w|), -7])."""
+        assert pow2_exponents(np.array([0.0]))[0] == -7
+
+    def test_sign_ignored_for_exponent(self):
+        assert pow2_exponents(np.array([-0.5]))[0] == -1
+
+    def test_custom_bounds(self):
+        assert pow2_exponents(np.array([8.0]), min_exp=-3, max_exp=3)[0] == 3
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            pow2_exponents(np.array([1.0]), min_exp=0, max_exp=-1)
+
+    def test_stochastic_requires_rng(self):
+        with pytest.raises(ValueError):
+            pow2_exponents(np.array([0.3]), mode="stochastic")
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            pow2_exponents(np.array([0.3]), mode="banana")
+
+    def test_stochastic_expectation(self):
+        """Stochastic rounding: E[e] equals log2|w| (within the clamp)."""
+        rng = np.random.default_rng(0)
+        w = np.full(20000, 0.375)  # log2 = -1.415
+        e = pow2_exponents(w, mode="stochastic", rng=rng)
+        assert set(np.unique(e)) <= {-2, -1}
+        assert abs(e.mean() - np.log2(0.375)) < 0.02
+
+    def test_deterministic_is_mode_of_stochastic(self):
+        rng = np.random.default_rng(1)
+        w = np.full(5000, 0.4)  # log2 = -1.32: closer to -1
+        det = pow2_exponents(w[:1])[0]
+        sto = pow2_exponents(w, mode="stochastic", rng=rng)
+        values, counts = np.unique(sto, return_counts=True)
+        assert values[counts.argmax()] == det
+
+
+class TestQuantize:
+    def test_result_is_signed_power_of_two(self, rng):
+        w = rng.normal(scale=0.1, size=200)
+        q = pow2_quantize(w)
+        log = np.log2(np.abs(q))
+        assert np.allclose(log, np.rint(log))
+        assert np.all(np.abs(q) <= 1.0)
+        assert np.all(np.abs(q) >= 2.0**-7)
+
+    def test_sign_preserved(self, rng):
+        w = rng.normal(scale=0.1, size=100)
+        w[w == 0] = 0.05
+        q = pow2_quantize(w)
+        assert np.array_equal(np.sign(q), np.sign(w))
+
+    def test_nearest_in_log_domain(self, rng):
+        """The chosen power of two minimizes |log2|w| - e| within bounds."""
+        w = rng.uniform(2.0**-7, 1.0, size=300)
+        q = pow2_quantize(w)
+        chosen = np.log2(np.abs(q))
+        target = np.log2(np.abs(w))
+        for e in range(-7, 1):
+            assert np.all(np.abs(chosen - target) <= np.abs(e - target) + 1e-12)
+
+    def test_dtype_preserved(self):
+        q = pow2_quantize(np.array([0.3], dtype=np.float32))
+        assert q.dtype == np.float32
+
+    @given(st.lists(st.floats(-2.0, 2.0, allow_nan=False), min_size=1, max_size=50))
+    @settings(max_examples=150, deadline=None)
+    def test_property_always_valid_output(self, values):
+        q = pow2_quantize(np.array(values))
+        mag = np.abs(q)
+        assert np.all(mag >= 2.0**-7 - 1e-15)
+        assert np.all(mag <= 1.0 + 1e-15)
+        assert np.allclose(np.log2(mag), np.rint(np.log2(mag)))
+
+    def test_idempotent(self, rng):
+        w = rng.normal(scale=0.2, size=50)
+        q = pow2_quantize(w)
+        assert np.array_equal(pow2_quantize(q), q)
+
+
+class TestEncoding:
+    def test_roundtrip(self, rng):
+        w = rng.normal(scale=0.1, size=100)
+        codes = pow2_encode4(w)
+        assert np.array_equal(pow2_decode4(codes), pow2_quantize(w))
+
+    def test_codes_fit_4_bits(self, rng):
+        codes = pow2_encode4(rng.normal(size=1000))
+        assert codes.dtype == np.uint8
+        assert codes.max() <= 0x0F
+
+    def test_known_encodings(self):
+        # +2^0 -> 0b0000; -2^0 -> 0b1000; +2^-7 -> 0b0111; -2^-3 -> 0b1011
+        w = np.array([1.0, -1.0, 0.0078125, -0.125])
+        assert np.array_equal(pow2_encode4(w), [0b0000, 0b1000, 0b0111, 0b1011])
+
+    def test_decode_rejects_wide_codes(self):
+        with pytest.raises(ValueError):
+            pow2_decode4(np.array([16]))
+
+    def test_encode_rejects_wide_exponent_range(self):
+        with pytest.raises(ValueError):
+            pow2_encode4(np.array([0.5]), min_exp=-8, max_exp=0)
+        with pytest.raises(ValueError):
+            pow2_encode4(np.array([0.5]), min_exp=-3, max_exp=2)
+
+    def test_code_fields(self):
+        codes = pow2_encode4(np.array([-0.25, 0.5]))
+        sign, e = pow2_code_fields(codes)
+        assert np.array_equal(sign, [-1, 1])
+        assert np.array_equal(e, [-2, -1])
+
+    @given(st.lists(st.floats(-1.5, 1.5, allow_nan=False), min_size=1, max_size=40))
+    @settings(max_examples=150, deadline=None)
+    def test_property_encode_decode_roundtrip(self, values):
+        w = np.array(values)
+        assert np.array_equal(pow2_decode4(pow2_encode4(w)), pow2_quantize(w))
+
+
+class TestPow2WeightQuantizer:
+    def test_callable_matches_function(self, rng):
+        q = Pow2WeightQuantizer()
+        w = rng.normal(scale=0.1, size=30)
+        assert np.array_equal(q(w), pow2_quantize(w))
+
+    def test_shape_preserved(self, rng):
+        q = Pow2WeightQuantizer()
+        w = rng.normal(size=(4, 3, 5, 5))
+        assert q(w).shape == w.shape
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            Pow2WeightQuantizer(mode="nope")
+
+    def test_stochastic_uses_rng(self):
+        q = Pow2WeightQuantizer(mode="stochastic", rng=np.random.default_rng(0))
+        w = np.full(1000, 0.375)
+        out = q(w)
+        assert len(np.unique(out)) == 2  # both neighbours appear

@@ -1,0 +1,169 @@
+"""Network quantization planning: profiling, boundaries, hooks."""
+
+import numpy as np
+import pytest
+
+from repro.core.dfp import DFPQuantizer
+from repro.core.pow2 import Pow2WeightQuantizer
+from repro.core.quantizer import (
+    NetworkQuantizer,
+    profile_activation_ranges,
+    strip_quantization,
+)
+from repro.nn import AvgPool2D, Conv2D, Dense, Flatten, MaxPool2D, Network, ReLU
+
+
+def build_net(dtype=np.float64, seed=0):
+    rng = np.random.default_rng(seed)
+    return Network(
+        [
+            Conv2D(1, 4, 3, pad=1, dtype=dtype, rng=rng, name="conv1"),
+            ReLU(name="relu1"),
+            MaxPool2D(2, stride=2, name="pool1"),
+            Conv2D(4, 4, 3, pad=1, dtype=dtype, rng=rng, name="conv2"),
+            ReLU(name="relu2"),
+            AvgPool2D(2, stride=2, name="pool2"),
+            Flatten(name="flat"),
+            Dense(4 * 2 * 2, 3, dtype=dtype, rng=rng, name="fc"),
+        ],
+        input_shape=(1, 8, 8),
+        name="qnet",
+    )
+
+
+@pytest.fixture
+def calib(rng):
+    return rng.normal(size=(16, 1, 8, 8))
+
+
+class TestProfiling:
+    def test_ranges_cover_all_layers(self, calib):
+        net = build_net()
+        input_max, ranges = profile_activation_ranges(net, calib)
+        assert set(ranges) == {layer.name for layer in net.layers}
+        assert input_max == pytest.approx(np.abs(calib).max())
+
+    def test_ranges_are_max_abs(self, calib):
+        net = build_net()
+        _, ranges = profile_activation_ranges(net, calib)
+        out = calib
+        for layer in net.layers:
+            out = layer.forward(out)
+            assert ranges[layer.name] == pytest.approx(np.abs(out).max())
+
+    def test_rejects_already_quantized_net(self, calib):
+        net = build_net()
+        net.layers[0].weight_quantizer = Pow2WeightQuantizer()
+        with pytest.raises(ValueError, match="float network"):
+            profile_activation_ranges(net, calib)
+
+
+class TestPlanning:
+    def test_plan_covers_all_layers(self, calib):
+        net = build_net()
+        plan = NetworkQuantizer().plan(net, calib)
+        assert len(plan.layers) == len(net.layers)
+
+    def test_boundary_chaining(self, calib):
+        """Each layer's in_fmt is the previous layer's out_fmt."""
+        net = build_net()
+        plan = NetworkQuantizer().plan(net, calib)
+        prev = plan.input_fmt
+        for spec in plan.layers:
+            assert spec.in_fmt == prev
+            prev = spec.out_fmt
+
+    def test_compute_layer_defers_to_activation_boundary(self, calib):
+        """conv followed by ReLU shares the ReLU's output format."""
+        net = build_net()
+        plan = NetworkQuantizer().plan(net, calib)
+        conv_spec = plan.spec("conv1")
+        relu_spec = plan.spec("relu1")
+        assert not conv_spec.quantize_output
+        assert relu_spec.quantize_output
+        assert conv_spec.out_fmt == relu_spec.out_fmt
+
+    def test_final_dense_owns_its_boundary(self, calib):
+        net = build_net()
+        plan = NetworkQuantizer().plan(net, calib)
+        assert plan.spec("fc").quantize_output
+
+    def test_weight_quantization_only_on_compute_layers(self, calib):
+        net = build_net()
+        plan = NetworkQuantizer().plan(net, calib)
+        for spec in plan.layers:
+            expected = spec.layer_name in ("conv1", "conv2", "fc")
+            assert spec.quantize_weights == expected
+
+    def test_dynamic_gives_per_layer_fracs(self, calib):
+        """With ranges differing across layers, fraction lengths differ."""
+        net = build_net()
+        # inflate conv2 weights so its output range is much larger
+        net.layer("conv2").weight.data *= 20
+        plan = NetworkQuantizer(dynamic=True).plan(net, calib)
+        fracs = set(plan.fraction_lengths().values())
+        assert len(fracs) > 1
+
+    def test_static_gives_single_frac(self, calib):
+        net = build_net()
+        net.layer("conv2").weight.data *= 20
+        plan = NetworkQuantizer(dynamic=False).plan(net, calib)
+        fracs = set(plan.fraction_lengths().values())
+        assert len(fracs) == 1
+        assert plan.input_fmt.frac in fracs
+
+    def test_spec_lookup_missing(self, calib):
+        plan = NetworkQuantizer().plan(build_net(), calib)
+        with pytest.raises(KeyError):
+            plan.spec("nonexistent")
+
+    def test_custom_bits(self, calib):
+        plan = NetworkQuantizer(bits=6).plan(build_net(), calib)
+        assert plan.input_fmt.bits == 6
+        assert all(s.out_fmt.bits == 6 for s in plan.layers)
+
+
+class TestApplication:
+    def test_hooks_attached(self, calib):
+        net = build_net()
+        NetworkQuantizer().quantize(net, calib)
+        assert isinstance(net.input_quantizer, DFPQuantizer)
+        assert isinstance(net.layer("conv1").weight_quantizer, Pow2WeightQuantizer)
+        assert net.layer("conv1").output_quantizer is None  # deferred to relu1
+        assert isinstance(net.layer("relu1").output_quantizer, DFPQuantizer)
+
+    def test_quantized_forward_changes_output(self, calib):
+        net = build_net()
+        x = calib[:4]
+        y_float = net.logits(x)
+        NetworkQuantizer().quantize(net, calib)
+        y_quant = net.logits(x)
+        assert not np.allclose(y_float, y_quant)
+
+    def test_quantized_output_on_grid(self, calib):
+        net = build_net()
+        quantizer = NetworkQuantizer()
+        plan = quantizer.quantize(net, calib)
+        y = net.logits(calib[:4])
+        f = plan.spec("fc").out_fmt.frac
+        scaled = y * 2.0**f
+        assert np.allclose(scaled, np.rint(scaled))
+
+    def test_strip_restores_float_behaviour(self, calib):
+        net = build_net()
+        x = calib[:4]
+        y_float = net.logits(x)
+        NetworkQuantizer().quantize(net, calib)
+        strip_quantization(net)
+        assert np.allclose(net.logits(x), y_float)
+
+    def test_quantization_is_reasonably_accurate(self, calib):
+        """8-bit dynamic fixed point stays close to float activations."""
+        net = build_net()
+        x = calib[:8]
+        y_float = net.logits(x)
+        NetworkQuantizer().quantize(net, calib)
+        y_quant = net.logits(x)
+        # pow2 weights are coarse; outputs correlate strongly regardless
+        corr = np.corrcoef(y_float.ravel(), y_quant.ravel())[0, 1]
+        assert corr > 0.7

@@ -1,0 +1,83 @@
+"""CIFAR-10 / ImageNet providers: surrogates and the real-file loader."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.cifar10 import (
+    CIFAR10_SHAPE,
+    cifar10_surrogate,
+    load_real_cifar10,
+)
+from repro.datasets.imagenet import IMAGENET_SHAPE, imagenet_surrogate
+
+
+class TestCifar10Surrogate:
+    def test_default_shapes(self):
+        train, test = cifar10_surrogate(n_train=30, n_test=10)
+        assert train.x.shape[1:] == CIFAR10_SHAPE
+        assert len(train) == 30 and len(test) == 10
+
+    def test_ten_classes(self):
+        train, _ = cifar10_surrogate(n_train=500, n_test=10)
+        assert set(np.unique(train.y)) == set(range(10))
+
+    def test_reduced_size(self):
+        train, _ = cifar10_surrogate(n_train=10, n_test=5, size=16)
+        assert train.x.shape[1:] == (3, 16, 16)
+
+    def test_deterministic(self):
+        a, _ = cifar10_surrogate(n_train=20, n_test=5, seed=1)
+        b, _ = cifar10_surrogate(n_train=20, n_test=5, seed=1)
+        assert np.array_equal(a.x, b.x)
+
+
+class TestImagenetSurrogate:
+    def test_constants_match_paper_setup(self):
+        assert IMAGENET_SHAPE == (3, 227, 227)
+
+    def test_default_shapes(self):
+        train, test = imagenet_surrogate(n_train=40, n_test=10)
+        assert train.x.shape == (40, 3, 32, 32)
+        assert len(test) == 10
+
+    def test_class_count_configurable(self):
+        train, _ = imagenet_surrogate(n_train=400, n_test=10, num_classes=30)
+        assert train.y.max() < 30
+        assert len(np.unique(train.y)) > 20
+
+
+class TestRealCifar10Loader:
+    def _write_fake_batches(self, root, n_per_batch=4):
+        """Write syntactically valid CIFAR-10 binary batches."""
+        rng = np.random.default_rng(0)
+        for name in [f"data_batch_{i}.bin" for i in range(1, 6)] + ["test_batch.bin"]:
+            records = []
+            for r in range(n_per_batch):
+                label = np.array([r % 10], dtype=np.uint8)
+                pixels = rng.integers(0, 256, size=3072, dtype=np.uint8)
+                records.append(np.concatenate([label, pixels]))
+            np.concatenate(records).tofile(root / name)
+
+    def test_missing_files_raise(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_real_cifar10(tmp_path)
+
+    def test_parses_binary_format(self, tmp_path):
+        self._write_fake_batches(tmp_path)
+        train, test = load_real_cifar10(tmp_path)
+        assert train.x.shape == (20, 3, 32, 32)  # 5 batches x 4 records
+        assert test.x.shape == (4, 3, 32, 32)
+        assert train.y.tolist() == [0, 1, 2, 3] * 5
+
+    def test_normalization_zero_mean(self, tmp_path):
+        self._write_fake_batches(tmp_path, n_per_batch=8)
+        train, _ = load_real_cifar10(tmp_path)
+        assert abs(train.x.mean()) < 1e-6
+        assert train.x.dtype == np.float32
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        self._write_fake_batches(tmp_path)
+        with open(tmp_path / "data_batch_1.bin", "ab") as f:
+            f.write(b"\x00" * 7)  # no longer a multiple of the record size
+        with pytest.raises(ValueError):
+            load_real_cifar10(tmp_path)

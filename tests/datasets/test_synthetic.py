@@ -1,0 +1,89 @@
+"""Synthetic class-conditional image generator."""
+
+import numpy as np
+
+from repro.datasets.synthetic import (
+    SyntheticImageConfig,
+    SyntheticImageGenerator,
+    make_classification_images,
+)
+
+
+class TestGenerator:
+    def test_shapes(self):
+        gen = SyntheticImageGenerator(SyntheticImageConfig(num_classes=4, height=16, width=16))
+        ds = gen.dataset(50)
+        assert ds.x.shape == (50, 3, 16, 16)
+        assert ds.y.shape == (50,)
+
+    def test_labels_in_range(self):
+        gen = SyntheticImageGenerator(SyntheticImageConfig(num_classes=7))
+        ds = gen.dataset(200)
+        assert ds.y.min() >= 0
+        assert ds.y.max() < 7
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticImageGenerator(seed=42).dataset(20)
+        b = SyntheticImageGenerator(seed=42).dataset(20)
+        assert np.array_equal(a.x, b.x)
+        assert np.array_equal(a.y, b.y)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticImageGenerator(seed=1).dataset(20)
+        b = SyntheticImageGenerator(seed=2).dataset(20)
+        assert not np.array_equal(a.x, b.x)
+
+    def test_streams_are_disjoint_draws(self):
+        gen = SyntheticImageGenerator(seed=0)
+        train = gen.dataset(30, stream=0)
+        test = gen.dataset(30, stream=1)
+        assert not np.array_equal(train.x, test.x)
+
+    def test_same_stream_reproducible(self):
+        gen = SyntheticImageGenerator(seed=0)
+        a = gen.dataset(15, stream=0)
+        b = gen.dataset(15, stream=0)
+        assert np.array_equal(a.x, b.x)
+
+    def test_values_bounded(self):
+        ds = SyntheticImageGenerator(seed=3).dataset(100)
+        assert np.abs(ds.x).max() <= 2.0
+
+    def test_dtype(self):
+        ds = SyntheticImageGenerator().dataset(5)
+        assert ds.x.dtype == np.float32
+        assert ds.y.dtype == np.int64
+
+    def test_classes_are_distinguishable(self):
+        """Nearest-prototype classification on clean prototypes should beat
+        chance by a wide margin — the task must be learnable."""
+        config = SyntheticImageConfig(num_classes=5, noise=0.2, max_shift=0, jitter=0.0)
+        gen = SyntheticImageGenerator(config, seed=0)
+        ds = gen.dataset(200)
+        protos = gen.prototypes.mean(axis=1).reshape(5, -1)  # class means
+        flat = ds.x.reshape(len(ds), -1)
+        dists = ((flat[:, None, :] - protos[None]) ** 2).sum(-1)
+        acc = (dists.argmin(1) == ds.y).mean()
+        assert acc > 0.6  # chance would be 0.2
+
+    def test_sample_shape_property(self):
+        gen = SyntheticImageGenerator(SyntheticImageConfig(channels=1, height=8, width=12))
+        assert gen.sample_shape == (1, 8, 12)
+
+
+class TestConvenienceWrapper:
+    def test_make_classification_images(self):
+        train, test = make_classification_images(40, 10, num_classes=3, size=8)
+        assert len(train) == 40
+        assert len(test) == 10
+        assert train.x.shape[1:] == (3, 8, 8)
+
+    def test_train_test_from_same_prototypes(self):
+        """Train and test must represent the same task (shared classes)."""
+        train, test = make_classification_images(100, 100, num_classes=2, size=8, seed=9)
+        # class-conditional means should correlate across the splits
+        m_train = np.stack([train.x[train.y == c].mean(0) for c in range(2)])
+        m_test = np.stack([test.x[test.y == c].mean(0) for c in range(2)])
+        same = np.corrcoef(m_train[0].ravel(), m_test[0].ravel())[0, 1]
+        cross = np.corrcoef(m_train[0].ravel(), m_test[1].ravel())[0, 1]
+        assert same > cross

@@ -1,0 +1,130 @@
+"""65 nm cost model: Table 1 anchors, savings bands, scaling laws."""
+
+import numpy as np
+import pytest
+
+from repro.hw.cost import (
+    FP32_BASELINE_AREA_MM2,
+    FP32_BASELINE_POWER_MW,
+    PAPER_TABLE1,
+    CostModel,
+    barrel_shifter_ge,
+    fp32_adder_ge,
+    fp32_multiplier_ge,
+    int_adder_ge,
+    register_ge,
+)
+from repro.hw.memory import BufferConfig
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CostModel()
+
+
+class TestComponentCounts:
+    def test_fp32_multiplier_much_larger_than_shifter(self):
+        assert fp32_multiplier_ge() > 50 * barrel_shifter_ge(16, 3)
+
+    def test_fp32_adder_much_larger_than_int_adder(self):
+        assert fp32_adder_ge() > 10 * int_adder_ge(20)
+
+    def test_int_adder_linear_in_width(self):
+        assert int_adder_ge(20) == 2 * int_adder_ge(10)
+
+    def test_register_linear(self):
+        assert register_ge(32) == 2 * register_ge(16)
+
+
+class TestBaselineAnchors:
+    def test_fp32_area_matches_paper_exactly(self, model):
+        b = model.evaluate("fp32", 1)
+        assert b.area_mm2 == pytest.approx(FP32_BASELINE_AREA_MM2, rel=1e-9)
+
+    def test_fp32_power_matches_paper_exactly(self, model):
+        b = model.evaluate("fp32", 1)
+        assert b.power_mw == pytest.approx(FP32_BASELINE_POWER_MW, rel=1e-9)
+
+    def test_fp32_savings_are_zero(self, model):
+        area, power = model.savings_vs_baseline(model.evaluate("fp32", 1))
+        assert area == pytest.approx(0.0)
+        assert power == pytest.approx(0.0)
+
+
+class TestMfdfpPredictions:
+    def test_area_saving_in_paper_band(self, model):
+        """Paper: 87.97% area saving.  The model's gate-ratio prediction
+        must land within a few points of that."""
+        area, _ = model.savings_vs_baseline(model.evaluate("mfdfp", 1))
+        assert 85.0 < area < 91.0
+
+    def test_power_saving_in_paper_band(self, model):
+        """Paper: 89.79% power saving."""
+        _, power = model.savings_vs_baseline(model.evaluate("mfdfp", 1))
+        assert 87.0 < power < 92.0
+
+    def test_area_close_to_paper_value(self, model):
+        b = model.evaluate("mfdfp", 1)
+        assert abs(b.area_mm2 - PAPER_TABLE1["mfdfp"]["area_mm2"]) < 0.4
+
+    def test_power_close_to_paper_value(self, model):
+        b = model.evaluate("mfdfp", 1)
+        assert abs(b.power_mw - PAPER_TABLE1["mfdfp"]["power_mw"]) < 20.0
+
+
+class TestEnsemblePredictions:
+    def test_ensemble_nearly_doubles_single(self, model):
+        single = model.evaluate("mfdfp", 1)
+        double = model.evaluate("mfdfp", 2)
+        assert 1.9 < double.area_mm2 / single.area_mm2 <= 2.0
+        assert 1.9 < double.power_mw / single.power_mw <= 2.0
+
+    def test_ensemble_savings_in_paper_band(self, model):
+        """Paper: 76.0% area, 80.15% power for the 2-PU ensemble."""
+        area, power = model.savings_vs_baseline(model.evaluate("mfdfp", 2))
+        assert 72.0 < area < 80.0
+        assert 77.0 < power < 83.0
+
+    def test_monotone_in_pus(self, model):
+        areas = [model.evaluate("mfdfp", n).area_mm2 for n in (1, 2, 3, 4)]
+        assert all(a < b for a, b in zip(areas, areas[1:]))
+
+
+class TestModelStructure:
+    def test_unknown_precision_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.evaluate("int8", 1)
+
+    def test_nonpositive_pus_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.evaluate("mfdfp", 0)
+
+    def test_multipliers_dominate_fp32_area(self, model):
+        b = model.evaluate("fp32", 1)
+        fractions = b.item_area_fraction()
+        assert fractions["pu0.multipliers"] > 0.3
+
+    def test_buffers_dominate_mfdfp_area(self, model):
+        """After removing multipliers, SRAM is the biggest piece."""
+        b = model.evaluate("mfdfp", 1)
+        fractions = b.item_area_fraction()
+        logic = sum(v for k, v in fractions.items() if "buffers" not in k)
+        assert fractions["pu0.buffers"] > 0.25
+        assert fractions["pu0.buffers"] < logic  # but not everything
+
+    def test_custom_buffers_change_cost(self, model):
+        small = BufferConfig(input_words=1024, output_words=1024, weight_words=4096)
+        a = model.evaluate("mfdfp", 1, small).area_mm2
+        b = model.evaluate("mfdfp", 1).area_mm2
+        assert a < b
+
+    def test_mfdfp_weight_buffer_8x_narrower(self):
+        fp = CostModel._fp32_buffers()
+        mf = BufferConfig()
+        assert fp.weight_bits == 8 * mf.weight_bits
+
+    def test_area_power_positive(self, model):
+        for precision in ("fp32", "mfdfp"):
+            b = model.evaluate(precision, 1)
+            assert b.area_mm2 > 0
+            assert b.power_mw > 0

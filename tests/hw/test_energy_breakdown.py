@@ -1,0 +1,50 @@
+"""Per-layer energy breakdown."""
+
+import numpy as np
+import pytest
+
+from repro.hw import Accelerator, AcceleratorConfig
+from repro.zoo import cifar10_full
+
+
+@pytest.fixture(scope="module")
+def breakdown():
+    acc = Accelerator(AcceleratorConfig(precision="mfdfp"))
+    return acc, acc.energy_breakdown(cifar10_full())
+
+
+class TestEnergyBreakdown:
+    def test_sums_to_total_energy(self, breakdown):
+        acc, rows = breakdown
+        total = sum(r["energy_uj"] for r in rows)
+        assert total == pytest.approx(acc.energy_uj(cifar10_full()))
+
+    def test_times_sum_to_latency(self, breakdown):
+        acc, rows = breakdown
+        total = sum(r["time_us"] for r in rows)
+        assert total == pytest.approx(acc.latency_us(cifar10_full()))
+
+    def test_one_row_per_scheduled_layer(self, breakdown):
+        _, rows = breakdown
+        names = [r["name"] for r in rows]
+        assert names == ["conv1", "pool1", "conv2", "pool2", "conv3", "pool3", "ip1"]
+
+    def test_conv2_dominates(self, breakdown):
+        """conv2 has the most MACs in cifar10_full; it must dominate."""
+        _, rows = breakdown
+        by_name = {r["name"]: r["energy_uj"] for r in rows}
+        assert by_name["conv2"] == max(by_name.values())
+
+    def test_all_positive(self, breakdown):
+        _, rows = breakdown
+        assert all(r["energy_uj"] > 0 and r["cycles"] > 0 for r in rows)
+
+    def test_works_on_deployed(self, rng):
+        from repro.core.mfdfp import MFDFPNetwork
+        from repro.zoo import cifar10_small
+
+        net = cifar10_small(size=16, dtype=np.float64)
+        dep = MFDFPNetwork.from_float(net, rng.normal(size=(4, 3, 16, 16))).deploy()
+        acc = Accelerator(AcceleratorConfig(precision="mfdfp"))
+        rows = acc.energy_breakdown(dep)
+        assert sum(r["energy_uj"] for r in rows) == pytest.approx(acc.energy_uj(dep))

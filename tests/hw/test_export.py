@@ -1,0 +1,81 @@
+"""Serialization of deployed networks."""
+
+import numpy as np
+import pytest
+
+from repro.core.mfdfp import MFDFPNetwork
+from repro.hw.accelerator import execute_deployed
+from repro.hw.export import FORMAT_VERSION, load_deployed, save_deployed
+from repro.zoo import cifar10_small
+
+
+@pytest.fixture
+def deployed(rng):
+    net = cifar10_small(size=16, dtype=np.float64)
+    mf = MFDFPNetwork.from_float(net, rng.normal(size=(8, 3, 16, 16)))
+    return mf.deploy()
+
+
+class TestRoundtrip:
+    def test_metadata_preserved(self, deployed, tmp_path):
+        path = tmp_path / "net.npz"
+        save_deployed(deployed, path)
+        loaded = load_deployed(path)
+        assert loaded.name == deployed.name
+        assert loaded.input_shape == deployed.input_shape
+        assert loaded.input_frac == deployed.input_frac
+        assert loaded.bits == deployed.bits
+        assert len(loaded.ops) == len(deployed.ops)
+
+    def test_op_fields_preserved(self, deployed, tmp_path):
+        path = tmp_path / "net.npz"
+        save_deployed(deployed, path)
+        loaded = load_deployed(path)
+        for a, b in zip(deployed.ops, loaded.ops):
+            assert a.kind == b.kind
+            assert a.in_frac == b.in_frac
+            assert a.out_frac == b.out_frac
+            assert a.activation == b.activation
+
+    def test_weights_bit_identical(self, deployed, tmp_path):
+        path = tmp_path / "net.npz"
+        save_deployed(deployed, path)
+        loaded = load_deployed(path)
+        for a, b in zip(deployed.ops, loaded.ops):
+            if a.weight_codes is None:
+                assert b.weight_codes is None
+            else:
+                assert np.array_equal(a.weight_codes, b.weight_codes)
+                assert np.array_equal(a.bias_int, b.bias_int)
+
+    def test_execution_bit_identical(self, deployed, tmp_path, rng):
+        path = tmp_path / "net.npz"
+        save_deployed(deployed, path)
+        loaded = load_deployed(path)
+        x = rng.normal(size=(8, 3, 16, 16))
+        assert np.array_equal(execute_deployed(deployed, x), execute_deployed(loaded, x))
+
+    def test_memory_accounting_preserved(self, deployed, tmp_path):
+        path = tmp_path / "net.npz"
+        save_deployed(deployed, path)
+        loaded = load_deployed(path)
+        assert loaded.parameter_count() == deployed.parameter_count()
+        assert loaded.weight_memory_mb() == deployed.weight_memory_mb()
+
+
+class TestErrors:
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(ValueError, match="missing header"):
+            load_deployed(path)
+
+    def test_wrong_version_rejected(self, deployed, tmp_path, monkeypatch):
+        import repro.hw.export as export_mod
+
+        path = tmp_path / "net.npz"
+        monkeypatch.setattr(export_mod, "FORMAT_VERSION", FORMAT_VERSION + 1)
+        save_deployed(deployed, path)
+        monkeypatch.setattr(export_mod, "FORMAT_VERSION", FORMAT_VERSION)
+        with pytest.raises(ValueError, match="unsupported format version"):
+            load_deployed(path)

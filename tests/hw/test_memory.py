@@ -1,0 +1,95 @@
+"""Buffer geometry and access accounting."""
+
+import pytest
+
+from repro.hw.memory import BufferConfig, DmaEngine, MemorySubsystem, SramBuffer
+
+
+class TestBufferConfig:
+    def test_default_is_mfdfp_widths(self):
+        c = BufferConfig()
+        assert c.input_bits == 8
+        assert c.weight_bits == 4
+
+    def test_total_bits(self):
+        c = BufferConfig(input_words=10, output_words=20, weight_words=30,
+                         input_bits=8, output_bits=8, weight_bits=4)
+        assert c.total_bits == 10 * 8 + 20 * 8 + 30 * 4
+
+    def test_scaled_to_fp32_is_wider(self):
+        base = BufferConfig()
+        fp = base.scaled_to_precision(activation_bits=32, weight_bits=32)
+        assert fp.input_words == base.input_words  # geometry unchanged
+        assert fp.total_bits > base.total_bits
+
+    def test_fp32_vs_mfdfp_bit_ratio(self):
+        """Activations 4x wider, weights 8x wider."""
+        base = BufferConfig(input_words=100, output_words=100, weight_words=100)
+        fp = base.scaled_to_precision(32, 32)
+        act_bits = 200 * 8
+        w_bits = 100 * 4
+        assert fp.total_bits == act_bits * 4 + w_bits * 8
+
+    def test_kbytes(self):
+        c = BufferConfig(input_words=1024, output_words=0, weight_words=0, input_bits=8)
+        assert c.total_kbytes == 1.0
+
+
+class TestSramBuffer:
+    def test_counters(self):
+        buf = SramBuffer("b", 128, 8)
+        buf.read(10)
+        buf.write(3)
+        assert (buf.reads, buf.writes) == (10, 3)
+        buf.reset_counters()
+        assert (buf.reads, buf.writes) == (0, 0)
+
+    def test_bits(self):
+        assert SramBuffer("b", 128, 8).bits == 1024
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SramBuffer("b", 0, 8)
+
+    def test_negative_access_rejected(self):
+        buf = SramBuffer("b", 16, 8)
+        with pytest.raises(ValueError):
+            buf.read(-1)
+        with pytest.raises(ValueError):
+            buf.write(-1)
+
+
+class TestDma:
+    def test_transfer_accumulates(self):
+        dma = DmaEngine("input")
+        dma.transfer(100)
+        dma.transfer(50)
+        assert dma.bytes_transferred == 150
+        dma.reset()
+        assert dma.bytes_transferred == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DmaEngine("x").transfer(-1)
+
+
+class TestMemorySubsystem:
+    def test_three_buffers(self):
+        mem = MemorySubsystem(BufferConfig())
+        assert {b.name for b in mem.buffers} == {"input", "weights", "output"}
+
+    def test_record_layer(self):
+        mem = MemorySubsystem(BufferConfig())
+        mem.record_layer(inputs_read=5, weights_read=7, outputs_written=3)
+        assert mem.input_buffer.reads == 5
+        assert mem.weight_buffer.reads == 7
+        assert mem.output_buffer.writes == 3
+        assert mem.total_accesses() == 15
+
+    def test_reset(self):
+        mem = MemorySubsystem(BufferConfig())
+        mem.record_layer(1, 2, 3)
+        mem.dma["input"].transfer(10)
+        mem.reset_counters()
+        assert mem.total_accesses() == 0
+        assert mem.dma["input"].bytes_transferred == 0

@@ -1,0 +1,87 @@
+"""Hardware ensemble execution (Phase 3 on the multi-PU accelerator)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mfdfp import MFDFPNetwork
+from repro.hw import Accelerator, AcceleratorConfig
+from repro.zoo import cifar10_small
+
+
+@pytest.fixture(scope="module")
+def two_members():
+    rng = np.random.default_rng(0)
+    members = []
+    for seed in (1, 2):
+        net = cifar10_small(size=16, dtype=np.float64, rng=np.random.default_rng(seed))
+        calib = rng.normal(size=(8, 3, 16, 16))
+        members.append(MFDFPNetwork.from_float(net, calib).deploy())
+    return members
+
+
+class TestRunEnsemble:
+    def test_averages_member_logits(self, two_members, rng):
+        acc = Accelerator(AcceleratorConfig(precision="mfdfp", num_pus=2))
+        x = rng.normal(size=(4, 3, 16, 16))
+        z = acc.run_ensemble(two_members, x)
+        expected = (acc.run(two_members[0], x) + acc.run(two_members[1], x)) / 2
+        assert np.allclose(z, expected)
+
+    def test_single_member_allowed(self, two_members, rng):
+        acc = Accelerator(AcceleratorConfig(precision="mfdfp", num_pus=1))
+        x = rng.normal(size=(2, 3, 16, 16))
+        assert np.allclose(
+            acc.run_ensemble(two_members[:1], x), acc.run(two_members[0], x)
+        )
+
+    def test_requires_enough_pus(self, two_members, rng):
+        acc = Accelerator(AcceleratorConfig(precision="mfdfp", num_pus=1))
+        with pytest.raises(ValueError, match="processing units"):
+            acc.run_ensemble(two_members, rng.normal(size=(1, 3, 16, 16)))
+
+    def test_requires_members(self):
+        acc = Accelerator(AcceleratorConfig(precision="mfdfp", num_pus=2))
+        with pytest.raises(ValueError, match="at least one"):
+            acc.run_ensemble([], np.zeros((1, 3, 16, 16)))
+
+    def test_fp32_rejected(self, two_members, rng):
+        acc = Accelerator(AcceleratorConfig(precision="fp32", num_pus=2))
+        with pytest.raises(ValueError):
+            acc.run_ensemble(two_members, rng.normal(size=(1, 3, 16, 16)))
+
+
+class TestSkipWeightLayers:
+    def test_skipped_layer_keeps_float_weights(self, rng):
+        from repro.core.quantizer import NetworkQuantizer
+
+        net = cifar10_small(size=16, dtype=np.float64)
+        calib = rng.normal(size=(8, 3, 16, 16))
+        quantizer = NetworkQuantizer(skip_weight_layers=("conv1",))
+        quantizer.quantize(net, calib)
+        assert net.layer("conv1").weight_quantizer is None
+        assert net.layer("conv2").weight_quantizer is not None
+
+    def test_skipped_network_cannot_deploy(self, rng):
+        from repro.core.mfdfp import deploy
+        from repro.core.quantizer import NetworkQuantizer
+
+        net = cifar10_small(size=16, dtype=np.float64)
+        calib = rng.normal(size=(8, 3, 16, 16))
+        quantizer = NetworkQuantizer(skip_weight_layers=("conv1",))
+        plan = quantizer.quantize(net, calib)
+        with pytest.raises(ValueError, match="float weights"):
+            deploy(net, plan)
+
+    def test_skipping_first_layer_reduces_error(self, trained_small_net, small_data, rng):
+        """The classic ablation: exempting the first layer's weights from
+        quantization should not hurt (usually helps slightly)."""
+        from repro.core.quantizer import NetworkQuantizer
+        from repro.nn import error_rate
+
+        train, test = small_data
+        calib = train.x[:128]
+        full = trained_small_net.clone()
+        NetworkQuantizer().quantize(full, calib)
+        partial = trained_small_net.clone()
+        NetworkQuantizer(skip_weight_layers=("conv1",)).quantize(partial, calib)
+        assert error_rate(partial, test) <= error_rate(full, test) + 0.05

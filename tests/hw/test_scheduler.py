@@ -1,0 +1,103 @@
+"""Tile scheduler: hand-computed cycle counts and latency properties."""
+
+import numpy as np
+import pytest
+
+from repro.core.mfdfp import MFDFPNetwork
+from repro.hw.scheduler import TileScheduler
+from repro.nn import Conv2D, Dense, Flatten, LocalResponseNorm, MaxPool2D, Network, ReLU
+from repro.zoo import alexnet, cifar10_full
+
+
+class TestHandComputedCycles:
+    def test_conv_cycles(self):
+        """conv1 of cifar10_full: 32x32 positions, 32 channels (2 tiles of
+        16), 75 synapses (5 chunks of 16): 1024 * 2 * 5 = 10240 cycles."""
+        sched = TileScheduler(pipeline_depth=0)
+        net = Network(
+            [Conv2D(3, 32, 5, pad=2, name="conv1")], input_shape=(3, 32, 32), name="c"
+        )
+        s = sched.schedule_network(net)
+        assert s.layers[0].cycles == 1024 * 2 * 5
+        assert s.layers[0].macs == 32 * 1024 * 75
+
+    def test_dense_cycles(self):
+        """ip1: 10 outputs (1 tile), 1024 inputs (64 chunks): 64 cycles."""
+        sched = TileScheduler(pipeline_depth=0)
+        net = Network([Dense(1024, 10, name="ip1")], input_shape=(1024,), name="d")
+        s = sched.schedule_network(net)
+        assert s.layers[0].cycles == 64
+
+    def test_pool_cycles(self):
+        """pool1 3x3 on 32x32x32 -> 16x16x32 outputs * 9 / 16 elems."""
+        sched = TileScheduler(pipeline_depth=0)
+        net = Network([MaxPool2D(3, stride=2, name="p")], input_shape=(32, 32, 32), name="p")
+        s = sched.schedule_network(net)
+        assert s.layers[0].cycles == int(np.ceil(32 * 16 * 16 * 9 / 16))
+
+    def test_pipeline_depth_added_per_layer(self):
+        net = Network(
+            [Conv2D(3, 16, 3, pad=1, name="c"), ReLU(), Flatten(), Dense(16 * 64, 10, name="d")],
+            input_shape=(3, 8, 8),
+            name="n",
+        )
+        shallow = TileScheduler(pipeline_depth=0).schedule_network(net)
+        deep = TileScheduler(pipeline_depth=5).schedule_network(net)
+        assert deep.total_cycles == shallow.total_cycles + 5 * 2  # conv + dense
+
+
+class TestFullNetworks:
+    def test_cifar10_full_latency_magnitude(self):
+        """The paper reports ~246.5 us at 250 MHz; our model must land in
+        the same regime (tile model, no DMA stalls): 150-350 us."""
+        sched = TileScheduler(clock_mhz=250.0, pipeline_depth=4)
+        s = sched.schedule_network(cifar10_full())
+        assert 150.0 < s.time_us() < 350.0
+
+    def test_alexnet_latency_magnitude(self):
+        """Paper: ~15.7 ms; accept the same order of magnitude."""
+        sched = TileScheduler(clock_mhz=250.0, pipeline_depth=4)
+        s = sched.schedule_network(alexnet())
+        assert 8_000.0 < s.time_us() < 40_000.0
+
+    def test_compute_cycles_dominated_by_convs(self):
+        s = TileScheduler().schedule_network(cifar10_full())
+        conv_cycles = sum(l.cycles for l in s.layers if l.kind == "conv")
+        assert conv_cycles / s.total_cycles > 0.8
+
+    def test_utilization_bounded(self):
+        s = TileScheduler().schedule_network(cifar10_full())
+        assert 0.0 < s.utilization() <= 1.0
+
+    def test_lrn_rejected(self):
+        net = cifar10_full(include_lrn=True)
+        with pytest.raises(ValueError, match="LRN"):
+            TileScheduler().schedule_network(net)
+
+
+class TestDeployedVsNetworkSchedules:
+    def test_same_cycles_for_same_topology(self, rng):
+        """Scheduling the float net and its deployed MF-DFP twin gives the
+        same cycle count (same tiles; precision does not change the
+        schedule)."""
+        from repro.zoo import cifar10_small
+
+        net = cifar10_small(size=16, dtype=np.float64)
+        calib = rng.normal(size=(8, 3, 16, 16))
+        mf = MFDFPNetwork.from_float(net, calib)
+        dep = mf.deploy()
+        sched = TileScheduler(pipeline_depth=3)
+        cycles_net = sched.schedule_network(mf.to_float()).total_cycles
+        cycles_dep = sched.schedule_deployed(dep).total_cycles
+        assert cycles_net == cycles_dep
+
+    def test_time_scales_with_clock(self):
+        net = cifar10_full()
+        fast = TileScheduler(clock_mhz=500.0).schedule_network(net)
+        slow = TileScheduler(clock_mhz=250.0).schedule_network(net)
+        assert np.isclose(slow.time_us(), 2 * fast.time_us())
+
+    def test_network_without_input_shape_rejected(self):
+        net = Network([Dense(8, 4)])
+        with pytest.raises(ValueError):
+            TileScheduler().schedule_network(net)

@@ -1,0 +1,74 @@
+"""RTL golden-vector generation."""
+
+import numpy as np
+import pytest
+
+from repro.hw.vectors import (
+    NeuronVector,
+    generate_neuron_vectors,
+    read_vectors,
+    verify_vectors,
+    write_vectors,
+)
+
+
+@pytest.fixture(scope="module")
+def vectors():
+    return generate_neuron_vectors(count=64, rng=np.random.default_rng(5))
+
+
+class TestGeneration:
+    def test_count(self, vectors):
+        assert len(vectors) == 64
+
+    def test_deterministic(self):
+        a = generate_neuron_vectors(16, np.random.default_rng(3))
+        b = generate_neuron_vectors(16, np.random.default_rng(3))
+        assert a == b
+
+    def test_corner_cases_included(self, vectors):
+        """The all-max-product corners (adder-tree extremes) are present."""
+        assert vectors[0].x_codes == (127,) * 16
+        assert vectors[0].w_codes == (0x0,) * 16
+        assert vectors[1].w_codes == (0x8,) * 16
+
+    def test_corner_expected_values(self, vectors):
+        # all +max products: 16 * 16256 at acc grid m+7=7, n=0 -> saturates
+        assert vectors[0].expected == 127
+        assert vectors[1].expected == -127
+
+    def test_outputs_in_8bit_range(self, vectors):
+        assert all(-127 <= v.expected <= 127 for v in vectors)
+
+    def test_all_verify_against_model(self, vectors):
+        assert verify_vectors(vectors) == 0
+
+    def test_corrupted_vector_detected(self, vectors):
+        import dataclasses
+
+        bad = dataclasses.replace(vectors[10], expected=(vectors[10].expected + 1) % 127)
+        assert verify_vectors([bad]) == 1
+
+
+class TestFileFormat:
+    def test_roundtrip(self, vectors, tmp_path):
+        path = tmp_path / "neuron_vectors.txt"
+        write_vectors(vectors, path)
+        loaded = read_vectors(path)
+        assert loaded == vectors
+
+    def test_header_and_comments_skipped(self, tmp_path, vectors):
+        path = tmp_path / "v.txt"
+        write_vectors(vectors[:2], path)
+        with open(path) as f:
+            first = f.readline()
+        assert first.startswith("#")
+        assert len(read_vectors(path)) == 2
+
+    def test_line_roundtrip(self, vectors):
+        for v in vectors[:8]:
+            assert NeuronVector.from_line(v.to_line()) == v
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            NeuronVector.from_line("1 2 3")

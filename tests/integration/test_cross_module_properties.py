@@ -1,0 +1,177 @@
+"""Cross-module consistency properties.
+
+These tie together guarantees that individual module tests state locally:
+scheduler scaling laws, cost-model monotonicity, quantization-plan
+coherence, and accounting identities that must hold across the whole
+stack.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mfdfp import MFDFPNetwork
+from repro.core.quantizer import NetworkQuantizer
+from repro.hw.cost import CostModel
+from repro.hw.scheduler import TileScheduler
+from repro.nn import Conv2D, Dense, Flatten, Network, ReLU
+from repro.report import memory_report
+
+
+class TestSchedulerScalingLaws:
+    @given(channels=st.sampled_from([16, 32, 64, 128]))
+    @settings(max_examples=8, deadline=None)
+    def test_conv_cycles_linear_in_output_channels(self, channels):
+        """F is tiled by 16, so cycles scale linearly in F for F % 16 == 0."""
+        sched = TileScheduler(pipeline_depth=0)
+
+        def cycles(f):
+            net = Network([Conv2D(16, f, 3, pad=1, name="c")], input_shape=(16, 8, 8), name="n")
+            return sched.schedule_network(net).layers[0].cycles
+
+        assert cycles(channels) == (channels // 16) * cycles(16)
+
+    @given(size=st.sampled_from([8, 16, 32]))
+    @settings(max_examples=6, deadline=None)
+    def test_conv_cycles_quadratic_in_spatial_size(self, size):
+        sched = TileScheduler(pipeline_depth=0)
+
+        def cycles(s):
+            net = Network([Conv2D(16, 16, 3, pad=1, name="c")], input_shape=(16, s, s), name="n")
+            return sched.schedule_network(net).layers[0].cycles
+
+        assert cycles(size) == (size * size // 64) * cycles(8)
+
+    def test_macs_invariant_under_tiling_parameters(self):
+        """MAC count is a property of the network, not the tile size."""
+        from repro.zoo import cifar10_full
+
+        net = cifar10_full()
+        a = TileScheduler(pipeline_depth=0).schedule_network(net).total_macs
+        b = TileScheduler(pipeline_depth=9).schedule_network(net).total_macs
+        assert a == b
+
+    def test_total_macs_match_layer_definitions(self):
+        from repro.zoo import cifar10_full
+
+        net = cifar10_full()
+        schedule = TileScheduler().schedule_network(net)
+        expected = 0
+        shape = net.input_shape
+        for layer in net.layers:
+            if hasattr(layer, "macs"):
+                expected += layer.macs(shape)
+            shape = layer.output_shape(shape)
+        assert schedule.total_macs == expected
+
+
+class TestCostModelProperties:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return CostModel()
+
+    @given(pus=st.integers(1, 4))
+    @settings(max_examples=4, deadline=None)
+    def test_area_additive_in_pus(self, pus):
+        """area(n PUs) = shared + n * per-PU: perfectly affine."""
+        model = CostModel()
+        a1 = model.evaluate("mfdfp", 1).area_mm2
+        a2 = model.evaluate("mfdfp", 2).area_mm2
+        an = model.evaluate("mfdfp", pus).area_mm2
+        per_pu = a2 - a1
+        shared = a1 - per_pu
+        assert an == pytest.approx(shared + pus * per_pu, rel=1e-9)
+
+    def test_precision_ordering_consistent_across_metrics(self, model):
+        """mfdfp < fixed8 < fp32 holds for area, power, and buffer bits."""
+        points = {p: model.evaluate(p, 1) for p in ("mfdfp", "fixed8", "fp32")}
+        for metric in ("area_mm2", "power_mw"):
+            values = [getattr(points[p], metric) for p in ("mfdfp", "fixed8", "fp32")]
+            assert values == sorted(values)
+
+    def test_calibration_independent_of_query_order(self):
+        a = CostModel().evaluate("mfdfp", 1).area_mm2
+        model = CostModel()
+        model.evaluate("fp32", 2)
+        model.evaluate("fixed8", 1)
+        assert model.evaluate("mfdfp", 1).area_mm2 == a
+
+
+class TestQuantizationPlanProperties:
+    @given(seed=st.integers(0, 2**16), bits=st.sampled_from([6, 8, 10]))
+    @settings(max_examples=15, deadline=None)
+    def test_plan_boundaries_chain_for_random_nets(self, seed, bits):
+        rng = np.random.default_rng(seed)
+        net = Network(
+            [
+                Conv2D(3, 4, 3, pad=1, dtype=np.float64, rng=rng, name="c1"),
+                ReLU(name="r1"),
+                Flatten(name="f"),
+                Dense(4 * 36, 3, dtype=np.float64, rng=rng, name="d1"),
+            ],
+            input_shape=(3, 6, 6),
+            name="p",
+        )
+        calib = rng.normal(scale=float(rng.uniform(0.1, 5.0)), size=(8, 3, 6, 6))
+        plan = NetworkQuantizer(bits=bits).plan(net, calib)
+        prev = plan.input_fmt
+        for spec in plan.layers:
+            assert spec.in_fmt == prev
+            assert spec.out_fmt.bits == bits
+            prev = spec.out_fmt
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=10, deadline=None)
+    def test_calibration_batch_never_saturates_its_own_plan(self, seed):
+        """By construction, the calibration data itself fits the chosen
+        formats at every boundary (that is what Ristretto's rule means)."""
+        rng = np.random.default_rng(seed)
+        net = Network(
+            [
+                Conv2D(2, 4, 3, pad=1, dtype=np.float64, rng=rng, name="c1"),
+                ReLU(name="r1"),
+                Flatten(name="f"),
+                Dense(4 * 16, 3, dtype=np.float64, rng=rng, name="d1"),
+            ],
+            input_shape=(2, 4, 4),
+            name="p",
+        )
+        calib = rng.normal(scale=float(rng.uniform(0.5, 3.0)), size=(8, 2, 4, 4))
+        plan = NetworkQuantizer().plan(net, calib)
+        out = calib
+        for layer, spec in zip(net.layers, plan.layers):
+            out = layer.forward(out)
+            if spec.quantize_output:
+                # Only boundary-owning layers make the no-saturation
+                # promise: a conv sharing its ReLU's boundary may emit
+                # large negatives that the ReLU clamps by design.
+                assert float(np.abs(out).max()) <= spec.out_fmt.max_value + 1e-9
+
+
+class TestAccountingIdentities:
+    def test_deployed_memory_equals_report_memory(self, rng):
+        from repro.zoo import cifar10_small
+
+        net = cifar10_small(size=16, dtype=np.float64)
+        dep = MFDFPNetwork.from_float(net, rng.normal(size=(8, 3, 16, 16))).deploy()
+        report = memory_report(net)
+        assert dep.weight_memory_mb() == pytest.approx(report.mfdfp_mb)
+
+    def test_float_bytes_are_param_count_times_four(self):
+        from repro.zoo import cifar10_full
+
+        net = cifar10_full()
+        report = memory_report(net)
+        assert report.float_mb * (1 << 20) == net.param_count() * 4
+
+    def test_energy_identity_across_interfaces(self):
+        """energy_uj == power * time == sum of the per-layer breakdown."""
+        from repro.hw import Accelerator, AcceleratorConfig
+        from repro.zoo import cifar10_full
+
+        net = cifar10_full()
+        acc = Accelerator(AcceleratorConfig(precision="mfdfp"))
+        direct = acc.energy_uj(net)
+        assert direct == pytest.approx(acc.power_mw * 1e-3 * acc.latency_us(net))
+        assert direct == pytest.approx(sum(r["energy_uj"] for r in acc.energy_breakdown(net)))

@@ -1,0 +1,93 @@
+"""End-to-end integration: the full paper pipeline on the surrogate.
+
+float training -> Algorithm 1 (quantize, fine-tune, distill) -> deploy ->
+bit-accurate accelerator inference -> hardware metrics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Ensemble, MFDFPConfig, run_algorithm1
+from repro.hw import Accelerator, AcceleratorConfig
+from repro.nn import error_rate
+from repro.report import memory_report
+
+
+@pytest.fixture(scope="module")
+def pipeline_result(trained_small_net, small_data):
+    train, test = small_data
+    config = MFDFPConfig(phase1_epochs=4, phase2_epochs=4, lr=5e-3, batch_size=32)
+    result = run_algorithm1(
+        trained_small_net.clone(), train, test, train.x[:128], config,
+        rng=np.random.default_rng(0),
+    )
+    return result, train, test
+
+
+class TestFullPipeline:
+    def test_quantized_accuracy_close_to_float(self, pipeline_result):
+        result, _, test = pipeline_result
+        assert result.final_val_error <= result.float_val_error + 0.12
+
+    def test_deployed_network_runs_on_accelerator(self, pipeline_result):
+        result, _, test = pipeline_result
+        dep = result.mfdfp.deploy()
+        acc = Accelerator(AcceleratorConfig(precision="mfdfp"))
+        logits = acc.run(dep, test.x[:64])
+        hw_err = 1.0 - float((logits.argmax(1) == test.y[:64]).mean())
+        sw_err = error_rate(result.mfdfp.net, test.subset(np.arange(64)))
+        # hardware inference tracks the software quantized simulation
+        assert abs(hw_err - sw_err) <= 0.08
+
+    def test_hardware_metrics_consistent(self, pipeline_result):
+        result, _, _ = pipeline_result
+        dep = result.mfdfp.deploy()
+        fp = Accelerator(AcceleratorConfig(precision="fp32"))
+        mf = Accelerator(AcceleratorConfig(precision="mfdfp"))
+        float_net = result.mfdfp.net
+        assert mf.energy_uj(dep) < 0.15 * fp.energy_uj(float_net)
+        assert mf.latency_us(dep) <= fp.latency_us(float_net)
+
+    def test_memory_footprint_8x(self, pipeline_result):
+        result, _, _ = pipeline_result
+        report = memory_report(result.mfdfp.net)
+        assert report.compression_ratio == 8.0
+
+    def test_figure3_error_ordering(self, pipeline_result):
+        """Phase-2 (student-teacher) final error must not exceed the raw
+        post-quantization error, and the curve must be recorded for both
+        phases — the structure Figure 3 plots."""
+        result, _, _ = pipeline_result
+        curve = result.error_curve()
+        phases = {p for _, _, p in curve}
+        assert phases == {"phase1", "phase2"}
+        final_phase2 = curve[-1][1]
+        first_phase1 = curve[0][1]
+        assert final_phase2 <= first_phase1 + 0.05
+
+
+class TestEnsembleIntegration:
+    def test_two_member_ensemble_runs_end_to_end(self, trained_small_net, small_data):
+        train, test = small_data
+        rng = np.random.default_rng(3)
+        member_nets = [trained_small_net.clone(), trained_small_net.clone()]
+        for p in member_nets[1].params:
+            p.data = p.data + rng.normal(scale=0.02, size=p.data.shape)
+        config = MFDFPConfig(phase1_epochs=2, phase2_epochs=2, lr=5e-3, batch_size=32)
+        results = [
+            run_algorithm1(net, train, test, train.x[:128], config, rng=rng)
+            for net in member_nets
+        ]
+        ensemble = Ensemble([r.mfdfp for r in results])
+        acc_ens = ensemble.accuracy(test)
+        accs = [1 - r.final_val_error for r in results]
+        assert acc_ens >= min(accs) - 0.05
+
+    def test_ensemble_hw_parallel_latency(self, trained_small_net, small_data):
+        """2-PU accelerator runs the ensemble at single-network latency but
+        roughly double power (Table 1/2 structure)."""
+        single = Accelerator(AcceleratorConfig(precision="mfdfp", num_pus=1))
+        double = Accelerator(AcceleratorConfig(precision="mfdfp", num_pus=2))
+        net = trained_small_net
+        assert single.latency_us(net) == double.latency_us(net)
+        assert 1.8 < double.power_mw / single.power_mw <= 2.0

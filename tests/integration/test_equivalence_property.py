@@ -1,0 +1,99 @@
+"""Property test: hw integer execution == sw quantized simulation for
+randomly generated network topologies.
+
+This is the strongest verification in the suite: hypothesis draws random
+conv/pool/dense stacks, random weights, and random inputs; the deployed
+integer datapath must agree with the float64 quantized simulation on
+every sample (exactly for maxpool-only nets, within 1 LSB when average
+pooling's non-dyadic division is involved).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mfdfp import MFDFPNetwork
+from repro.hw.accelerator import execute_deployed
+from repro.nn import AvgPool2D, Conv2D, Dense, Flatten, MaxPool2D, Network, ReLU
+
+
+def build_random_net(rng, n_blocks, channels, use_avgpool, size=8, classes=4):
+    """Random conv(+relu)(+pool) stack ending in flatten+dense."""
+    layers = []
+    in_ch = 3
+    cur = size
+    for i in range(n_blocks):
+        out_ch = channels[i]
+        layers.append(
+            Conv2D(in_ch, out_ch, 3, pad=1, dtype=np.float64, rng=rng, name=f"conv{i}")
+        )
+        layers.append(ReLU(name=f"relu{i}"))
+        if cur >= 4 and i < 2:
+            pool_cls = AvgPool2D if use_avgpool else MaxPool2D
+            layers.append(pool_cls(2, stride=2, name=f"pool{i}"))
+            cur //= 2
+        in_ch = out_ch
+    layers.append(Flatten(name="flat"))
+    layers.append(
+        Dense(in_ch * cur * cur, classes, dtype=np.float64, rng=rng, name="fc")
+    )
+    return Network(layers, input_shape=(3, size, size), name="randnet")
+
+
+@st.composite
+def net_specs(draw):
+    seed = draw(st.integers(0, 2**20))
+    n_blocks = draw(st.integers(1, 3))
+    channels = [draw(st.sampled_from([2, 4, 8])) for _ in range(n_blocks)]
+    use_avgpool = draw(st.booleans())
+    scale = draw(st.floats(0.2, 3.0))
+    return seed, n_blocks, channels, use_avgpool, scale
+
+
+class TestRandomNetEquivalence:
+    @given(spec=net_specs())
+    @settings(max_examples=25, deadline=None)
+    def test_hw_matches_sw_quantized_simulation(self, spec):
+        seed, n_blocks, channels, use_avgpool, scale = spec
+        rng = np.random.default_rng(seed)
+        net = build_random_net(rng, n_blocks, channels, use_avgpool)
+        calib = rng.normal(scale=scale, size=(12, 3, 8, 8))
+        mf = MFDFPNetwork.from_float(net, calib)
+        mf.calibrate_bias_to_accumulator_grid()
+        dep = mf.deploy()
+        x = rng.normal(scale=scale, size=(6, 3, 8, 8))
+        hw_codes = execute_deployed(dep, x, check_widths=True)
+        f = dep.ops[-1].out_frac
+        sw_codes = np.rint(mf.logits(x) * 2.0**f)
+        tolerance = 1 if use_avgpool else 0
+        assert np.abs(hw_codes - sw_codes).max() <= tolerance
+
+    @given(spec=net_specs())
+    @settings(max_examples=10, deadline=None)
+    def test_deploy_roundtrip_preserves_execution(self, spec, tmp_path_factory):
+        from repro.hw.export import load_deployed, save_deployed
+
+        seed, n_blocks, channels, use_avgpool, scale = spec
+        rng = np.random.default_rng(seed)
+        net = build_random_net(rng, n_blocks, channels, use_avgpool)
+        calib = rng.normal(scale=scale, size=(8, 3, 8, 8))
+        dep = MFDFPNetwork.from_float(net, calib).deploy()
+        path = tmp_path_factory.mktemp("dep") / "net.npz"
+        save_deployed(dep, path)
+        loaded = load_deployed(path)
+        x = rng.normal(scale=scale, size=(4, 3, 8, 8))
+        assert np.array_equal(execute_deployed(dep, x), execute_deployed(loaded, x))
+
+
+class TestSaturationBehaviour:
+    @pytest.mark.parametrize("scale", [10.0, 100.0])
+    def test_out_of_calibration_inputs_saturate_gracefully(self, rng, scale):
+        """Inputs far beyond calibration range saturate, never overflow."""
+        net = build_random_net(rng, 2, [4, 4], use_avgpool=False)
+        calib = rng.normal(size=(8, 3, 8, 8))  # unit-scale calibration
+        mf = MFDFPNetwork.from_float(net, calib)
+        dep = mf.deploy()
+        x = rng.normal(scale=scale, size=(4, 3, 8, 8))
+        codes = execute_deployed(dep, x, check_widths=True)
+        assert np.abs(codes).max() <= 127

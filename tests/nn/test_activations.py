@@ -1,0 +1,81 @@
+"""Activation layers: values and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers.activations import ReLU, Sigmoid, Tanh
+
+
+class TestReLU:
+    def test_values(self):
+        x = np.array([-2.0, -0.0, 0.5, 3.0])
+        assert np.allclose(ReLU().forward(x), [0.0, 0.0, 0.5, 3.0])
+
+    def test_gradient_mask(self):
+        layer = ReLU()
+        x = np.array([-1.0, 2.0])
+        layer.forward(x)
+        assert np.allclose(layer.backward(np.array([5.0, 5.0])), [0.0, 5.0])
+
+    def test_zero_input_gets_zero_gradient(self):
+        layer = ReLU()
+        layer.forward(np.array([0.0]))
+        assert layer.backward(np.array([1.0]))[0] == 0.0
+
+    def test_numerical_gradient(self, rng, gradcheck):
+        layer = ReLU()
+        x = rng.normal(size=(3, 4)) + 0.1  # keep away from the kink
+        x = np.where(np.abs(x) < 0.05, 0.2, x)
+        g = rng.normal(size=(3, 4))
+        layer.forward(x)
+        dx = layer.backward(g)
+        num = gradcheck(lambda: float((layer.forward(x) * g).sum()), x)
+        assert np.allclose(dx, num, atol=1e-6)
+
+    def test_shape_preserved(self):
+        assert ReLU().output_shape((3, 4, 4)) == (3, 4, 4)
+
+
+class TestTanh:
+    def test_values(self):
+        x = np.array([0.0, 100.0, -100.0])
+        y = Tanh().forward(x)
+        assert np.allclose(y, [0.0, 1.0, -1.0])
+
+    def test_numerical_gradient(self, rng, gradcheck):
+        layer = Tanh()
+        x = rng.normal(size=(2, 5))
+        g = rng.normal(size=(2, 5))
+        layer.forward(x)
+        dx = layer.backward(g)
+        num = gradcheck(lambda: float((layer.forward(x) * g).sum()), x)
+        assert np.allclose(dx, num, atol=1e-6)
+
+
+class TestSigmoid:
+    def test_values(self):
+        x = np.array([0.0])
+        assert np.allclose(Sigmoid().forward(x), [0.5])
+
+    def test_extreme_inputs_stable(self):
+        x = np.array([-1000.0, 1000.0])
+        y = Sigmoid().forward(x)
+        assert np.all(np.isfinite(y))
+        assert np.allclose(y, [0.0, 1.0])
+
+    def test_numerical_gradient(self, rng, gradcheck):
+        layer = Sigmoid()
+        x = rng.normal(size=(2, 5))
+        g = rng.normal(size=(2, 5))
+        layer.forward(x)
+        dx = layer.backward(g)
+        num = gradcheck(lambda: float((layer.forward(x) * g).sum()), x)
+        assert np.allclose(dx, num, atol=1e-6)
+
+
+class TestOutputQuantizerHook:
+    @pytest.mark.parametrize("cls", [ReLU, Tanh, Sigmoid])
+    def test_hook_applied(self, cls):
+        layer = cls()
+        layer.output_quantizer = lambda y: np.zeros_like(y)
+        assert np.allclose(layer.forward(np.array([1.0, 2.0])), 0.0)

@@ -1,0 +1,114 @@
+"""Data augmentation: flips, shift-crops, trainer integration."""
+
+import numpy as np
+import pytest
+
+from repro.nn.augment import Augmenter, random_horizontal_flip, random_shift_crop
+
+
+class TestFlip:
+    def test_shape_preserved(self, rng):
+        x = rng.normal(size=(8, 3, 6, 6))
+        assert random_horizontal_flip(x, rng).shape == x.shape
+
+    def test_p_zero_is_identity(self, rng):
+        x = rng.normal(size=(8, 3, 6, 6))
+        assert np.array_equal(random_horizontal_flip(x, rng, p=0.0), x)
+
+    def test_p_one_flips_all(self, rng):
+        x = rng.normal(size=(4, 1, 2, 3))
+        out = random_horizontal_flip(x, rng, p=1.0)
+        assert np.array_equal(out, x[:, :, :, ::-1])
+
+    def test_double_flip_is_identity(self, rng):
+        x = rng.normal(size=(4, 1, 3, 3))
+        out = random_horizontal_flip(random_horizontal_flip(x, np.random.default_rng(0), p=1.0),
+                                     np.random.default_rng(1), p=1.0)
+        assert np.array_equal(out, x)
+
+    def test_original_untouched(self, rng):
+        x = rng.normal(size=(4, 1, 3, 3))
+        backup = x.copy()
+        random_horizontal_flip(x, rng, p=1.0)
+        assert np.array_equal(x, backup)
+
+    def test_rejects_non_nchw(self, rng):
+        with pytest.raises(ValueError):
+            random_horizontal_flip(rng.normal(size=(4, 3)), rng)
+
+
+class TestShiftCrop:
+    def test_shape_preserved(self, rng):
+        x = rng.normal(size=(8, 3, 6, 6))
+        assert random_shift_crop(x, rng, pad=2).shape == x.shape
+
+    def test_pad_zero_is_identity(self, rng):
+        x = rng.normal(size=(4, 1, 5, 5))
+        assert np.array_equal(random_shift_crop(x, rng, pad=0), x)
+
+    def test_content_is_shifted_original(self, rng):
+        """Every output is np.roll-like: the original content at an offset,
+        with zeros filling the border."""
+        x = np.arange(16.0).reshape(1, 1, 4, 4) + 1  # strictly positive
+        out = random_shift_crop(x, np.random.default_rng(0), pad=1)
+        # non-zero values of the output must be a subset of the input values
+        nz = out[out > 0]
+        assert set(nz.tolist()) <= set(x.ravel().tolist())
+
+    def test_negative_pad_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_shift_crop(rng.normal(size=(1, 1, 4, 4)), rng, pad=-1)
+
+    def test_shifts_vary_across_batch(self):
+        x = np.arange(36.0).reshape(1, 1, 6, 6).repeat(32, axis=0)
+        out = random_shift_crop(x, np.random.default_rng(3), pad=2)
+        distinct = {out[i].tobytes() for i in range(32)}
+        assert len(distinct) > 5
+
+
+class TestAugmenter:
+    def test_composition_runs(self, rng):
+        aug = Augmenter(flip=True, crop_pad=2, rng=rng)
+        x = rng.normal(size=(8, 3, 8, 8))
+        assert aug(x).shape == x.shape
+
+    def test_disabled_is_identity(self, rng):
+        aug = Augmenter(flip=False, crop_pad=0)
+        x = rng.normal(size=(4, 3, 8, 8))
+        assert np.array_equal(aug(x), x)
+
+    def test_reproducible_with_seed(self, rng):
+        x = rng.normal(size=(8, 3, 8, 8))
+        a = Augmenter(rng=np.random.default_rng(7))(x)
+        b = Augmenter(rng=np.random.default_rng(7))(x)
+        assert np.array_equal(a, b)
+
+    def test_trainer_integration(self):
+        """Trainer with augmentation still learns the blob problem."""
+        from repro.nn import SGD, ArrayDataset, Conv2D, Dense, Flatten, Network, ReLU, Trainer
+
+        rng = np.random.default_rng(0)
+        # two classes distinguished by which half of the image is bright
+        n = 120
+        x = rng.normal(scale=0.1, size=(n, 1, 8, 8)).astype(np.float64)
+        y = rng.integers(0, 2, size=n)
+        x[y == 0, :, :, :4] += 1.0
+        x[y == 1, :, :, 4:] += 1.0
+        data = ArrayDataset(x, y)
+        net = Network(
+            [
+                Conv2D(1, 4, 3, pad=1, dtype=np.float64, rng=rng),
+                ReLU(),
+                Flatten(),
+                Dense(4 * 64, 2, dtype=np.float64, rng=rng),
+            ],
+            input_shape=(1, 8, 8),
+        )
+        trainer = Trainer(
+            net,
+            SGD(net.params, lr=0.05, momentum=0.9),
+            batch_size=16,
+            augment=Augmenter(flip=False, crop_pad=1, rng=rng),
+        )
+        history = trainer.fit(data, data, epochs=6)
+        assert history.epochs[-1].val_error < 0.2

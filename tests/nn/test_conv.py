@@ -1,0 +1,170 @@
+"""Conv2D: geometry, im2col/col2im, known values, gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers.conv import Conv2D, col2im, conv_output_size, im2col
+
+
+class TestConvOutputSize:
+    def test_unit_kernel(self):
+        assert conv_output_size(8, 1, 1, 0) == 8
+
+    def test_same_padding(self):
+        assert conv_output_size(32, 5, 1, 2) == 32
+
+    def test_stride(self):
+        assert conv_output_size(227, 11, 4, 0) == 55
+
+    def test_floor_mode(self):
+        # (10 - 3) // 2 + 1 = 4 (floor, as in Caffe convolutions)
+        assert conv_output_size(10, 3, 2, 0) == 4
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2col:
+    def test_shapes(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols, oh, ow = im2col(x, 3, 3, 1, 1)
+        assert (oh, ow) == (8, 8)
+        assert cols.shape == (2, 3 * 9, 64)
+
+    def test_values_identity_kernel_position(self, rng):
+        x = rng.normal(size=(1, 1, 4, 4))
+        cols, oh, ow = im2col(x, 1, 1, 1, 0)
+        assert np.allclose(cols[0, 0].reshape(4, 4), x[0, 0])
+
+    def test_stride_skips_positions(self, rng):
+        x = rng.normal(size=(1, 1, 5, 5))
+        cols, oh, ow = im2col(x, 3, 3, 2, 0)
+        assert (oh, ow) == (2, 2)
+        # first column is the top-left 3x3 patch, flattened
+        assert np.allclose(cols[0, :, 0], x[0, 0, 0:3, 0:3].ravel())
+        # last column is the bottom-right patch starting at (2, 2)
+        assert np.allclose(cols[0, :, -1], x[0, 0, 2:5, 2:5].ravel())
+
+    def test_padding_zeroes(self, rng):
+        x = rng.normal(size=(1, 1, 3, 3))
+        cols, oh, ow = im2col(x, 3, 3, 1, 1)
+        # first patch includes the zero padding at top-left
+        patch = cols[0, :, 0].reshape(3, 3)
+        assert np.all(patch[0, :] == 0)
+        assert np.all(patch[:, 0] == 0)
+
+    def test_col2im_is_adjoint_of_im2col(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+        x = rng.normal(size=(2, 3, 7, 6))
+        cols, oh, ow = im2col(x, 3, 3, 2, 1)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, 3, 3, 2, 1)).sum())
+        assert np.isclose(lhs, rhs)
+
+
+class TestConvForward:
+    def test_known_values_1x1(self):
+        layer = Conv2D(1, 1, 1, bias=True, dtype=np.float64)
+        layer.weight.data = np.full((1, 1, 1, 1), 2.0)
+        layer.bias.data = np.array([1.0])
+        x = np.arange(4.0).reshape(1, 1, 2, 2)
+        y = layer.forward(x)
+        assert np.allclose(y, 2 * x + 1)
+
+    def test_known_values_sum_kernel(self):
+        layer = Conv2D(1, 1, 2, bias=False, dtype=np.float64)
+        layer.weight.data = np.ones((1, 1, 2, 2))
+        x = np.arange(9.0).reshape(1, 1, 3, 3)
+        y = layer.forward(x)
+        expected = np.array([[0 + 1 + 3 + 4, 1 + 2 + 4 + 5], [3 + 4 + 6 + 7, 4 + 5 + 7 + 8]])
+        assert np.allclose(y[0, 0], expected)
+
+    def test_multi_channel_sums_over_channels(self, rng):
+        layer = Conv2D(3, 1, 1, bias=False, dtype=np.float64)
+        layer.weight.data = np.ones((1, 3, 1, 1))
+        x = rng.normal(size=(2, 3, 4, 4))
+        y = layer.forward(x)
+        assert np.allclose(y[:, 0], x.sum(axis=1))
+
+    def test_output_shape_method_matches_forward(self, rng):
+        layer = Conv2D(3, 8, 5, stride=2, pad=2, dtype=np.float64)
+        x = rng.normal(size=(2, 3, 11, 13))
+        y = layer.forward(x)
+        assert y.shape[1:] == layer.output_shape((3, 11, 13))
+
+    def test_channel_mismatch_raises(self):
+        layer = Conv2D(3, 8, 3)
+        with pytest.raises(ValueError):
+            layer.output_shape((4, 8, 8))
+
+    def test_macs_count(self):
+        layer = Conv2D(3, 32, 5, stride=1, pad=2)
+        # 32x32 output positions, 32 kernels, 75 synapses each
+        assert layer.macs((3, 32, 32)) == 32 * 32 * 32 * 75
+
+    def test_bias_disabled(self, rng):
+        layer = Conv2D(2, 4, 3, bias=False)
+        assert layer.bias is None
+        assert len(layer.params) == 1
+
+
+class TestConvBackward:
+    @pytest.mark.parametrize("stride,pad", [(1, 0), (1, 2), (2, 1)])
+    def test_grad_wrt_input(self, rng, gradcheck, stride, pad):
+        layer = Conv2D(2, 3, 3, stride=stride, pad=pad, dtype=np.float64, rng=rng)
+        x = rng.normal(size=(2, 2, 6, 6))
+        g = rng.normal(size=layer.forward(x).shape)
+        dx = layer.backward(g)
+        num = gradcheck(lambda: float((layer.forward(x) * g).sum()), x)
+        assert np.allclose(dx, num, atol=1e-6)
+
+    def test_grad_wrt_weight(self, rng, gradcheck):
+        layer = Conv2D(2, 3, 3, pad=1, dtype=np.float64, rng=rng)
+        x = rng.normal(size=(2, 2, 5, 5))
+        g = rng.normal(size=layer.forward(x).shape)
+        layer.backward(g)
+        num = gradcheck(lambda: float((layer.forward(x) * g).sum()), layer.weight.data)
+        assert np.allclose(layer.weight.grad, num, atol=1e-6)
+
+    def test_grad_wrt_bias(self, rng, gradcheck):
+        layer = Conv2D(2, 3, 3, dtype=np.float64, rng=rng)
+        x = rng.normal(size=(2, 2, 5, 5))
+        g = rng.normal(size=layer.forward(x).shape)
+        layer.backward(g)
+        num = gradcheck(lambda: float((layer.forward(x) * g).sum()), layer.bias.data)
+        assert np.allclose(layer.bias.grad, num, atol=1e-6)
+
+    def test_backward_before_forward_raises(self):
+        layer = Conv2D(1, 1, 1)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 1, 1, 1)))
+
+
+class TestConvQuantizerHooks:
+    def test_weight_quantizer_applied(self, rng):
+        layer = Conv2D(1, 1, 1, bias=False, dtype=np.float64)
+        layer.weight.data = np.array([[[[0.3]]]])
+        layer.weight_quantizer = lambda w: np.round(w)
+        x = np.ones((1, 1, 2, 2))
+        assert np.allclose(layer.forward(x), 0.0)
+        assert layer.weight.data[0, 0, 0, 0] == 0.3  # master untouched
+
+    def test_output_quantizer_applied(self, rng):
+        layer = Conv2D(1, 1, 1, bias=False, dtype=np.float64)
+        layer.weight.data = np.array([[[[1.0]]]])
+        layer.output_quantizer = lambda y: np.floor(y)
+        x = np.full((1, 1, 2, 2), 1.7)
+        assert np.allclose(layer.forward(x), 1.0)
+
+    def test_gradient_flows_to_master_under_quantized_forward(self, rng):
+        """Gradients are w.r.t. quantized weights but land on the master."""
+        layer = Conv2D(1, 1, 1, bias=False, dtype=np.float64)
+        layer.weight.data = np.array([[[[0.4]]]])
+        layer.weight_quantizer = lambda w: np.ones_like(w)  # forward sees 1.0
+        x = np.full((1, 1, 1, 1), 3.0)
+        y = layer.forward(x)
+        assert y[0, 0, 0, 0] == 3.0
+        layer.backward(np.ones_like(y))
+        assert layer.weight.grad[0, 0, 0, 0] == 3.0  # dL/dw_q = x

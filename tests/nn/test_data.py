@@ -1,0 +1,94 @@
+"""Datasets, batching, splitting."""
+
+import numpy as np
+import pytest
+
+from repro.nn.data import ArrayDataset, BatchIterator, train_val_split
+
+
+def make_dataset(n=20, rng=None):
+    rng = rng or np.random.default_rng(0)
+    return ArrayDataset(rng.normal(size=(n, 3)), rng.integers(0, 4, size=n))
+
+
+class TestArrayDataset:
+    def test_length_and_indexing(self):
+        ds = make_dataset(10)
+        assert len(ds) == 10
+        x, y = ds[3]
+        assert x.shape == (3,)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((5, 2)), np.zeros(4, dtype=int))
+
+    def test_labels_must_be_1d(self):
+        with pytest.raises(ValueError):
+            ArrayDataset(np.zeros((5, 2)), np.zeros((5, 1), dtype=int))
+
+    def test_num_classes(self):
+        ds = ArrayDataset(np.zeros((4, 2)), np.array([0, 1, 2, 1]))
+        assert ds.num_classes == 3
+
+    def test_subset(self):
+        ds = make_dataset(10)
+        sub = ds.subset([0, 5])
+        assert len(sub) == 2
+        assert np.allclose(sub.x[1], ds.x[5])
+
+    def test_sample_shape(self):
+        ds = ArrayDataset(np.zeros((4, 3, 8, 8)), np.zeros(4, dtype=int))
+        assert ds.sample_shape() == (3, 8, 8)
+
+
+class TestTrainValSplit:
+    def test_sizes(self, rng):
+        train, val = train_val_split(make_dataset(100), val_fraction=0.2, rng=rng)
+        assert len(train) == 80
+        assert len(val) == 20
+
+    def test_disjoint_and_complete(self, rng):
+        ds = ArrayDataset(np.arange(50, dtype=float).reshape(50, 1), np.zeros(50, dtype=int))
+        train, val = train_val_split(ds, 0.3, rng=rng)
+        combined = np.sort(np.concatenate([train.x.ravel(), val.x.ravel()]))
+        assert np.array_equal(combined, np.arange(50, dtype=float))
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_val_split(make_dataset(), val_fraction=0.0)
+
+
+class TestBatchIterator:
+    def test_batch_count(self):
+        it = BatchIterator(make_dataset(23), batch_size=8, shuffle=False)
+        assert len(it) == 3
+        batches = list(it)
+        assert [len(b[0]) for b in batches] == [8, 8, 7]
+
+    def test_drop_last(self):
+        it = BatchIterator(make_dataset(23), batch_size=8, shuffle=False, drop_last=True)
+        assert len(it) == 2
+        assert all(len(x) == 8 for x, _ in it)
+
+    def test_unshuffled_order(self):
+        ds = ArrayDataset(np.arange(6, dtype=float).reshape(6, 1), np.arange(6))
+        it = BatchIterator(ds, batch_size=4, shuffle=False)
+        x, y = next(iter(it))
+        assert np.array_equal(y, [0, 1, 2, 3])
+
+    def test_shuffle_covers_everything(self, rng):
+        ds = ArrayDataset(np.zeros((30, 1)), np.arange(30))
+        it = BatchIterator(ds, batch_size=7, shuffle=True, rng=rng)
+        seen = np.concatenate([y for _, y in it])
+        assert np.array_equal(np.sort(seen), np.arange(30))
+
+    def test_shuffle_changes_between_epochs(self):
+        ds = ArrayDataset(np.zeros((64, 1)), np.arange(64))
+        it = BatchIterator(ds, batch_size=64, shuffle=True, rng=np.random.default_rng(5))
+        first = next(iter(it))[1].copy()
+        second = next(iter(it))[1].copy()
+        assert not np.array_equal(first, second)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            BatchIterator(make_dataset(), batch_size=0)

@@ -1,0 +1,85 @@
+"""Dense layer: values, gradients, hooks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers.dense import Dense
+
+
+class TestDenseForward:
+    def test_known_values(self):
+        layer = Dense(2, 2, dtype=np.float64)
+        layer.weight.data = np.array([[1.0, 2.0], [3.0, 4.0]])
+        layer.bias.data = np.array([0.5, -0.5])
+        x = np.array([[1.0, 1.0]])
+        assert np.allclose(layer.forward(x), [[3.5, 6.5]])
+
+    def test_batch_independence(self, rng):
+        layer = Dense(4, 3, dtype=np.float64, rng=rng)
+        x = rng.normal(size=(5, 4))
+        y = layer.forward(x)
+        y0 = layer.forward(x[:1])
+        assert np.allclose(y[0], y0[0])
+
+    def test_rejects_non_2d(self, rng):
+        layer = Dense(4, 3)
+        with pytest.raises(ValueError):
+            layer.forward(rng.normal(size=(2, 2, 2)))
+
+    def test_no_bias(self):
+        layer = Dense(3, 2, bias=False, dtype=np.float64)
+        assert layer.bias is None
+        x = np.zeros((1, 3))
+        assert np.allclose(layer.forward(x), 0.0)
+
+    def test_output_shape_flattens(self):
+        layer = Dense(12, 5)
+        assert layer.output_shape((3, 2, 2)) == (5,)
+        with pytest.raises(ValueError):
+            layer.output_shape((3, 2, 3))
+
+    def test_macs(self):
+        assert Dense(1024, 10).macs((1024,)) == 10240
+
+
+class TestDenseBackward:
+    def test_grad_wrt_input(self, rng, gradcheck):
+        layer = Dense(4, 3, dtype=np.float64, rng=rng)
+        x = rng.normal(size=(2, 4))
+        g = rng.normal(size=(2, 3))
+        layer.forward(x)
+        dx = layer.backward(g)
+        num = gradcheck(lambda: float((layer.forward(x) * g).sum()), x)
+        assert np.allclose(dx, num, atol=1e-6)
+
+    def test_grad_wrt_weight_and_bias(self, rng, gradcheck):
+        layer = Dense(4, 3, dtype=np.float64, rng=rng)
+        x = rng.normal(size=(2, 4))
+        g = rng.normal(size=(2, 3))
+        layer.forward(x)
+        layer.backward(g)
+        num_w = gradcheck(lambda: float((layer.forward(x) * g).sum()), layer.weight.data)
+        num_b = gradcheck(lambda: float((layer.forward(x) * g).sum()), layer.bias.data)
+        assert np.allclose(layer.weight.grad, num_w, atol=1e-6)
+        assert np.allclose(layer.bias.grad, num_b, atol=1e-6)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Dense(2, 2).backward(np.zeros((1, 2)))
+
+
+class TestDenseHooks:
+    def test_weight_quantizer_is_forward_only(self):
+        layer = Dense(1, 1, bias=False, dtype=np.float64)
+        layer.weight.data = np.array([[0.6]])
+        layer.weight_quantizer = lambda w: np.sign(w)
+        y = layer.forward(np.array([[2.0]]))
+        assert y[0, 0] == 2.0
+        assert layer.weight.data[0, 0] == 0.6
+
+    def test_effective_weight(self):
+        layer = Dense(1, 1, bias=False, dtype=np.float64)
+        layer.weight.data = np.array([[0.6]])
+        assert layer.effective_weight()[0, 0] == 0.6
+        layer.weight_quantizer = lambda w: np.sign(w)
+        assert layer.effective_weight()[0, 0] == 1.0

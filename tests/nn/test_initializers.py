@@ -1,0 +1,49 @@
+"""Initializer statistics and registry."""
+
+import numpy as np
+import pytest
+
+from repro.nn.initializers import (
+    gaussian_init,
+    he_init,
+    resolve_initializer,
+    xavier_init,
+    zeros_init,
+)
+
+
+class TestInitializers:
+    def test_gaussian_statistics(self, rng):
+        w = gaussian_init((200, 200), 200, 200, rng, np.float64, std=0.01)
+        assert abs(w.mean()) < 1e-3
+        assert abs(w.std() - 0.01) < 1e-3
+
+    def test_he_scale(self, rng):
+        fan_in = 128
+        w = he_init((400, fan_in), fan_in, 400, rng, np.float64)
+        assert abs(w.std() - np.sqrt(2.0 / fan_in)) < 0.01
+
+    def test_xavier_bound(self, rng):
+        fan_in, fan_out = 64, 32
+        bound = np.sqrt(6.0 / (fan_in + fan_out))
+        w = xavier_init((fan_out, fan_in), fan_in, fan_out, rng, np.float64)
+        assert w.min() >= -bound
+        assert w.max() <= bound
+
+    def test_zeros(self, rng):
+        assert np.all(zeros_init((3, 3), 3, 3, rng, np.float32) == 0)
+
+    def test_dtype_respected(self, rng):
+        assert he_init((4, 4), 4, 4, rng, np.float32).dtype == np.float32
+
+    def test_resolve_by_name(self):
+        assert resolve_initializer("he") is he_init
+        assert resolve_initializer("xavier") is xavier_init
+
+    def test_resolve_callable_passthrough(self):
+        fn = lambda *a, **k: None  # noqa: E731
+        assert resolve_initializer(fn) is fn
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown initializer"):
+            resolve_initializer("bogus")

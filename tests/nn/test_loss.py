@@ -1,0 +1,105 @@
+"""Loss functions: softmax, cross entropy, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn.loss import (
+    MeanSquaredError,
+    SoftmaxCrossEntropy,
+    log_softmax,
+    one_hot,
+    softmax,
+)
+
+
+class TestSoftmax:
+    def test_sums_to_one(self, rng):
+        p = softmax(rng.normal(size=(5, 10)))
+        assert np.allclose(p.sum(axis=1), 1.0)
+
+    def test_invariant_to_shift(self, rng):
+        z = rng.normal(size=(3, 4))
+        assert np.allclose(softmax(z), softmax(z + 100.0))
+
+    def test_numerically_stable_for_large_logits(self):
+        z = np.array([[1000.0, 0.0]])
+        p = softmax(z)
+        assert np.all(np.isfinite(p))
+        assert np.isclose(p[0, 0], 1.0)
+
+    def test_log_softmax_consistent(self, rng):
+        z = rng.normal(size=(4, 6))
+        assert np.allclose(np.exp(log_softmax(z)), softmax(z))
+
+    def test_uniform_logits(self):
+        p = softmax(np.zeros((1, 4)))
+        assert np.allclose(p, 0.25)
+
+
+class TestOneHot:
+    def test_values(self):
+        oh = one_hot(np.array([0, 2]), 3)
+        assert np.allclose(oh, [[1, 0, 0], [0, 0, 1]])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)
+        with pytest.raises(ValueError):
+            one_hot(np.array([-1]), 3)
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValueError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_near_zero_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[100.0, 0.0, 0.0]])
+        assert loss.forward(logits, np.array([0])) < 1e-6
+
+    def test_uniform_prediction_log_k(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.zeros((2, 10))
+        assert np.isclose(loss.forward(logits, np.array([3, 7])), np.log(10))
+
+    def test_gradient_formula(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(4, 5))
+        target = np.array([0, 1, 2, 3])
+        loss.forward(logits, target)
+        grad = loss.backward()
+        expected = softmax(logits)
+        expected[np.arange(4), target] -= 1.0
+        assert np.allclose(grad, expected / 4)
+
+    def test_gradient_numerical(self, rng, gradcheck):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(3, 4))
+        target = np.array([1, 0, 3])
+        loss.forward(logits, target)
+        grad = loss.backward()
+        num = gradcheck(lambda: loss.forward(logits, target), logits)
+        assert np.allclose(grad, num, atol=1e-6)
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(4, 6))
+        loss.forward(logits, np.array([0, 1, 2, 3]))
+        assert np.allclose(loss.backward().sum(axis=1), 0.0, atol=1e-12)
+
+
+class TestMeanSquaredError:
+    def test_zero_at_match(self, rng):
+        loss = MeanSquaredError()
+        x = rng.normal(size=(3, 3))
+        assert loss.forward(x, x.copy()) == 0.0
+
+    def test_gradient_numerical(self, rng, gradcheck):
+        loss = MeanSquaredError()
+        pred = rng.normal(size=(2, 3))
+        target = rng.normal(size=(2, 3))
+        loss.forward(pred, target)
+        grad = loss.backward()
+        num = gradcheck(lambda: loss.forward(pred, target), pred)
+        assert np.allclose(grad, num, atol=1e-6)

@@ -1,0 +1,125 @@
+"""SGD, momentum, weight decay, and the paper's LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers.base import Parameter
+from repro.nn.optim import SGD, PlateauScheduler, StepScheduler
+
+
+def make_param(value=1.0):
+    p = Parameter(np.array([value]))
+    p.grad = np.array([0.5])
+    return p
+
+
+class TestSGD:
+    def test_vanilla_step(self):
+        p = make_param(1.0)
+        opt = SGD([p], lr=0.1, momentum=0.0)
+        opt.step()
+        assert np.isclose(p.data[0], 1.0 - 0.1 * 0.5)
+
+    def test_momentum_accumulates(self):
+        p = make_param(0.0)
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        opt.step()  # v = -0.05
+        p.grad = np.array([0.5])
+        opt.step()  # v = 0.9*(-0.05) - 0.05 = -0.095
+        assert np.isclose(p.data[0], -0.05 - 0.095)
+
+    def test_weight_decay(self):
+        p = make_param(2.0)
+        p.grad = np.array([0.0])
+        opt = SGD([p], lr=0.1, momentum=0.0, weight_decay=0.01)
+        opt.step()
+        assert np.isclose(p.data[0], 2.0 - 0.1 * 0.01 * 2.0)
+
+    def test_zero_grad(self):
+        p = make_param()
+        SGD([p], lr=0.1).zero_grad()
+        assert np.all(p.grad == 0.0)
+
+    def test_invalid_hyperparams(self):
+        p = make_param()
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.1, momentum=1.0)
+
+    def test_converges_on_quadratic(self):
+        """min (w - 3)^2: SGD with momentum should reach the optimum."""
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            p.grad = 2 * (p.data - 3.0)
+            opt.step()
+        assert abs(p.data[0] - 3.0) < 1e-3
+
+
+class TestStepScheduler:
+    def test_decays_every_step_size(self):
+        p = make_param()
+        opt = SGD([p], lr=1.0)
+        sched = StepScheduler(opt, step_size=2, gamma=0.1)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        assert np.isclose(opt.lr, 0.1)
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepScheduler(SGD([make_param()], lr=1.0), step_size=0)
+
+
+class TestPlateauScheduler:
+    def test_no_decay_while_improving(self):
+        opt = SGD([make_param()], lr=1e-3)
+        sched = PlateauScheduler(opt, patience=1)
+        for metric in [0.5, 0.4, 0.3, 0.2]:
+            sched.step(metric)
+        assert opt.lr == 1e-3
+
+    def test_decays_after_patience_exceeded(self):
+        opt = SGD([make_param()], lr=1e-3)
+        sched = PlateauScheduler(opt, factor=0.1, patience=2)
+        sched.step(0.5)
+        for _ in range(3):  # three non-improving epochs > patience of 2
+            sched.step(0.5)
+        assert np.isclose(opt.lr, 1e-4)
+
+    def test_finishes_below_min_lr(self):
+        """The paper stops training once lr < 1e-7."""
+        opt = SGD([make_param()], lr=1e-3)
+        sched = PlateauScheduler(opt, factor=0.1, patience=0, min_lr=1e-7)
+        sched.step(0.5)
+        for _ in range(10):
+            sched.step(0.5)
+            if sched.finished:
+                break
+        assert sched.finished
+        assert opt.lr < 1e-7
+
+    def test_improvement_resets_patience(self):
+        opt = SGD([make_param()], lr=1e-3)
+        sched = PlateauScheduler(opt, factor=0.1, patience=2)
+        sched.step(0.5)
+        sched.step(0.5)
+        sched.step(0.5)
+        sched.step(0.1)  # improvement: reset counter
+        sched.step(0.1)
+        sched.step(0.1)
+        assert opt.lr == 1e-3
+
+    def test_threshold_filters_noise(self):
+        """Tiny improvements below the threshold do not count."""
+        opt = SGD([make_param()], lr=1e-3)
+        sched = PlateauScheduler(opt, factor=0.1, patience=1, threshold=1e-2)
+        sched.step(0.500)
+        sched.step(0.499)  # within threshold: counts as a bad epoch
+        sched.step(0.498)
+        assert np.isclose(opt.lr, 1e-4)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            PlateauScheduler(SGD([make_param()], lr=1.0), factor=1.5)

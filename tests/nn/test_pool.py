@@ -1,0 +1,133 @@
+"""Pooling: Caffe ceil-mode geometry, known values, gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers.pool import AvgPool2D, MaxPool2D, pool_output_size
+
+
+class TestPoolOutputSize:
+    def test_caffe_cifar10_chain(self):
+        """cifar10_full pools 3/2 three times: 32 -> 16 -> 8 -> 4."""
+        size = 32
+        for expected in (16, 8, 4):
+            size = pool_output_size(size, 3, 2, 0, ceil_mode=True)
+            assert size == expected
+
+    def test_alexnet_chain(self):
+        """AlexNet pools 3/2: 55 -> 27 -> 13 -> 6 (exact divisions)."""
+        for before, after in [(55, 27), (27, 13), (13, 6)]:
+            assert pool_output_size(before, 3, 2, 0, ceil_mode=True) == after
+
+    def test_floor_vs_ceil(self):
+        assert pool_output_size(32, 3, 2, 0, ceil_mode=False) == 15
+        assert pool_output_size(32, 3, 2, 0, ceil_mode=True) == 16
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            pool_output_size(1, 3, 2, 0, ceil_mode=False)
+
+
+class TestMaxPoolForward:
+    def test_known_values_2x2(self):
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        layer = MaxPool2D(2, stride=2)
+        assert layer.forward(x)[0, 0, 0, 0] == 4.0
+
+    def test_overlapping_windows(self):
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        layer = MaxPool2D(3, stride=1, ceil_mode=False)
+        y = layer.forward(x)
+        assert y.shape == (1, 1, 2, 2)
+        assert np.allclose(y[0, 0], [[10, 11], [14, 15]])
+
+    def test_ceil_mode_border_window_clips(self):
+        """The last (partial) window must use only valid elements."""
+        x = np.arange(36.0).reshape(1, 1, 6, 6)
+        layer = MaxPool2D(3, stride=2, ceil_mode=True)
+        y = layer.forward(x)
+        # ceil((6-3)/2)+1 = 3; the last window starts at 4 and is clipped
+        assert y.shape == (1, 1, 3, 3)
+        assert y[0, 0, 2, 2] == 35.0  # bottom-right valid element
+
+    def test_negative_inputs_not_masked_by_padding(self):
+        """Implicit padding must not win the max over negative inputs."""
+        x = np.full((1, 1, 5, 5), -3.0)
+        layer = MaxPool2D(3, stride=2, ceil_mode=True)
+        y = layer.forward(x)
+        assert np.all(y == -3.0)
+
+    def test_output_shape_matches_forward(self, rng):
+        layer = MaxPool2D(3, stride=2)
+        x = rng.normal(size=(2, 4, 9, 11))
+        assert layer.forward(x).shape[1:] == layer.output_shape((4, 9, 11))
+
+
+class TestMaxPoolBackward:
+    def test_routes_gradient_to_argmax(self):
+        x = np.array([[[[1.0, 5.0], [3.0, 2.0]]]])
+        layer = MaxPool2D(2, stride=2)
+        layer.forward(x)
+        dx = layer.backward(np.array([[[[7.0]]]]))
+        expected = np.array([[[[0.0, 7.0], [0.0, 0.0]]]])
+        assert np.allclose(dx, expected)
+
+    def test_overlapping_gradient_accumulates(self):
+        """One input element that is the max of several windows gets the sum."""
+        x = np.zeros((1, 1, 3, 3))
+        x[0, 0, 1, 1] = 10.0  # max of all four 2x2 stride-1 windows
+        layer = MaxPool2D(2, stride=1, ceil_mode=False)
+        layer.forward(x)
+        dx = layer.backward(np.ones((1, 1, 2, 2)))
+        assert dx[0, 0, 1, 1] == 4.0
+
+    def test_numerical_gradient(self, rng, gradcheck):
+        # Distinct values to keep argmax stable under the epsilon probe.
+        x = rng.permutation(36).astype(np.float64).reshape(1, 1, 6, 6)
+        layer = MaxPool2D(3, stride=2)
+        g = rng.normal(size=layer.forward(x).shape)
+        dx = layer.backward(g)
+        num = gradcheck(lambda: float((layer.forward(x) * g).sum()), x)
+        assert np.allclose(dx, num, atol=1e-6)
+
+
+class TestAvgPoolForward:
+    def test_known_values(self):
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        layer = AvgPool2D(2, stride=2)
+        assert layer.forward(x)[0, 0, 0, 0] == 2.5
+
+    def test_border_window_divides_by_valid_count(self):
+        """Caffe-style: partial windows average only valid elements."""
+        x = np.ones((1, 1, 5, 5))
+        layer = AvgPool2D(3, stride=2, ceil_mode=True)
+        y = layer.forward(x)
+        # all-ones input must pool to all-ones everywhere, even at borders
+        assert np.allclose(y, 1.0)
+
+    def test_constant_preserved(self, rng):
+        x = np.full((2, 3, 8, 8), 0.7, dtype=np.float64)
+        layer = AvgPool2D(3, stride=2)
+        assert np.allclose(layer.forward(x), 0.7)
+
+
+class TestAvgPoolBackward:
+    def test_uniform_distribution(self):
+        x = np.zeros((1, 1, 2, 2))
+        layer = AvgPool2D(2, stride=2)
+        layer.forward(x)
+        dx = layer.backward(np.array([[[[4.0]]]]))
+        assert np.allclose(dx, 1.0)
+
+    @pytest.mark.parametrize("kernel,stride", [(2, 2), (3, 2), (3, 1)])
+    def test_numerical_gradient(self, rng, gradcheck, kernel, stride):
+        x = rng.normal(size=(1, 2, 6, 6))
+        layer = AvgPool2D(kernel, stride=stride)
+        g = rng.normal(size=layer.forward(x).shape)
+        dx = layer.backward(g)
+        num = gradcheck(lambda: float((layer.forward(x) * g).sum()), x)
+        assert np.allclose(dx, num, atol=1e-6)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            AvgPool2D(2).backward(np.zeros((1, 1, 1, 1)))

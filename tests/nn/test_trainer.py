@@ -1,0 +1,127 @@
+"""Trainer: learning, history, schedules, callbacks, evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    ArrayDataset,
+    Dense,
+    Network,
+    PlateauScheduler,
+    ReLU,
+    Trainer,
+    error_rate,
+    evaluate_topk,
+)
+
+
+def blob_dataset(n=200, seed=0):
+    """Two well-separated Gaussian blobs — linearly separable."""
+    rng = np.random.default_rng(seed)
+    x0 = rng.normal(loc=[-2.0, -2.0], scale=0.5, size=(n // 2, 2))
+    x1 = rng.normal(loc=[2.0, 2.0], scale=0.5, size=(n // 2, 2))
+    x = np.concatenate([x0, x1]).astype(np.float64)
+    y = np.concatenate([np.zeros(n // 2, dtype=int), np.ones(n // 2, dtype=int)])
+    return ArrayDataset(x, y)
+
+
+def mlp(seed=0):
+    rng = np.random.default_rng(seed)
+    return Network(
+        [
+            Dense(2, 16, dtype=np.float64, rng=rng, name="fc1"),
+            ReLU(),
+            Dense(16, 2, dtype=np.float64, rng=rng, name="fc2"),
+        ],
+        input_shape=(2,),
+        name="mlp",
+    )
+
+
+class TestTraining:
+    def test_learns_separable_problem(self):
+        train = blob_dataset(200, seed=0)
+        val = blob_dataset(80, seed=1)
+        net = mlp()
+        trainer = Trainer(net, SGD(net.params, lr=0.05, momentum=0.9), batch_size=16)
+        history = trainer.fit(train, val, epochs=10)
+        assert history.epochs[-1].val_error < 0.05
+
+    def test_loss_decreases(self):
+        train = blob_dataset(200)
+        val = blob_dataset(40, seed=2)
+        net = mlp()
+        trainer = Trainer(net, SGD(net.params, lr=0.05, momentum=0.9), batch_size=16)
+        history = trainer.fit(train, val, epochs=6)
+        assert history.train_losses[-1] < history.train_losses[0]
+
+    def test_history_records_every_epoch(self):
+        train = blob_dataset(64)
+        net = mlp()
+        trainer = Trainer(net, SGD(net.params, lr=0.01))
+        history = trainer.fit(train, train, epochs=4)
+        assert [e.epoch for e in history.epochs] == [1, 2, 3, 4]
+        assert all(np.isfinite(e.train_loss) for e in history.epochs)
+
+    def test_best_epoch(self):
+        train = blob_dataset(128)
+        net = mlp()
+        trainer = Trainer(net, SGD(net.params, lr=0.05, momentum=0.9))
+        history = trainer.fit(train, train, epochs=5)
+        best = history.best_epoch()
+        assert best.val_error == min(history.val_errors)
+
+    def test_callback_invoked(self):
+        train = blob_dataset(64)
+        net = mlp()
+        calls = []
+        trainer = Trainer(
+            net,
+            SGD(net.params, lr=0.01),
+            epoch_callback=lambda tr, res: calls.append(res.epoch),
+        )
+        trainer.fit(train, train, epochs=3)
+        assert calls == [1, 2, 3]
+
+    def test_plateau_scheduler_stops_training(self):
+        train = blob_dataset(64)
+        net = mlp()
+        opt = SGD(net.params, lr=1e-6)
+        scheduler = PlateauScheduler(opt, factor=0.1, patience=0, min_lr=1e-5)
+        trainer = Trainer(net, opt, scheduler=scheduler)
+        history = trainer.fit(train, train, epochs=50)
+        assert len(history.epochs) < 50
+
+
+class TestEvaluation:
+    def test_error_rate_plus_accuracy_is_one(self):
+        data = blob_dataset(50, seed=3)
+        net = mlp()
+        err = error_rate(net, data)
+        acc = evaluate_topk(net, data, k=1)
+        assert np.isclose(err + acc, 1.0)
+
+    def test_topk_monotone_in_k(self):
+        rng = np.random.default_rng(0)
+        data = ArrayDataset(rng.normal(size=(40, 2)), rng.integers(0, 2, size=40))
+        net = mlp()
+        assert evaluate_topk(net, data, k=2) >= evaluate_topk(net, data, k=1)
+
+    def test_topk_all_classes_is_perfect(self):
+        data = blob_dataset(30, seed=4)
+        net = mlp()
+        assert evaluate_topk(net, data, k=2) == 1.0
+
+    def test_batched_evaluation_matches_full(self):
+        data = blob_dataset(60, seed=5)
+        net = mlp()
+        assert np.isclose(
+            evaluate_topk(net, data, batch_size=7), evaluate_topk(net, data, batch_size=60)
+        )
+
+    def test_empty_history_best_epoch_raises(self):
+        from repro.nn.trainer import TrainHistory
+
+        with pytest.raises(ValueError):
+            TrainHistory().best_epoch()

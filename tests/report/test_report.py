@@ -1,0 +1,109 @@
+"""Report generation: table rows, formatting, memory accounting."""
+
+import numpy as np
+import pytest
+
+from repro.hw import Accelerator, AcceleratorConfig
+from repro.report import (
+    format_table,
+    memory_report,
+    table1_rows,
+    table2_row,
+    table3_rows,
+)
+from repro.zoo import alexnet, cifar10_full
+
+
+@pytest.fixture(scope="module")
+def t1():
+    return table1_rows()
+
+
+class TestTable1:
+    def test_three_designs(self, t1):
+        assert [r.design for r in t1] == [
+            "Floating-point(32,32)",
+            "Proposed MF-DFP(8,4)",
+            "Ens. MF-DFP(8,4)",
+        ]
+
+    def test_baseline_row_matches_paper(self, t1):
+        fp = t1[0]
+        assert fp.area_mm2 == pytest.approx(fp.paper_area_mm2, rel=1e-6)
+        assert fp.power_mw == pytest.approx(fp.paper_power_mw, rel=1e-6)
+
+    def test_mfdfp_row_close_to_paper(self, t1):
+        mf = t1[1]
+        assert mf.area_mm2 == pytest.approx(mf.paper_area_mm2, rel=0.15)
+        assert mf.power_mw == pytest.approx(mf.paper_power_mw, rel=0.15)
+
+    def test_savings_ordering(self, t1):
+        """Single MF-DFP saves more than the ensemble; both save a lot."""
+        _, mf, ens = t1
+        assert mf.area_saving_pct > ens.area_saving_pct > 70.0
+        assert mf.power_saving_pct > ens.power_saving_pct > 75.0
+
+
+class TestTable2Row:
+    def test_energy_saving_computed_vs_baseline(self):
+        net = cifar10_full()
+        fp = Accelerator(AcceleratorConfig(precision="fp32"))
+        mf = Accelerator(AcceleratorConfig(precision="mfdfp"))
+        base_energy = fp.energy_uj(net)
+        row = table2_row("CIFAR-10", "MF-DFP (8,4)", 0.8077, mf, net, base_energy)
+        assert row.accuracy_pct == pytest.approx(80.77)
+        assert 87.0 < row.energy_saving_pct < 92.0
+
+    def test_baseline_row_has_zero_saving(self):
+        net = cifar10_full()
+        fp = Accelerator(AcceleratorConfig(precision="fp32"))
+        row = table2_row("CIFAR-10", "Floating-Point", 0.8153, fp, net)
+        assert row.energy_saving_pct == 0.0
+
+
+class TestTable3:
+    def test_cifar_row_matches_paper(self):
+        rows = table3_rows([cifar10_full()])
+        row = rows[0]
+        assert row.float_mb == pytest.approx(0.3417, abs=5e-5)
+        assert row.mfdfp_mb == pytest.approx(0.0428, abs=5e-4)
+        assert row.paper_float_mb == 0.3417
+
+    def test_alexnet_row_matches_paper(self):
+        row = table3_rows([alexnet()])[0]
+        assert row.float_mb == pytest.approx(237.95, abs=0.01)
+        assert row.mfdfp_mb == pytest.approx(29.75, abs=0.02)
+
+    def test_unknown_network_gets_nan_reference(self, rng):
+        from repro.zoo import cifar10_small
+
+        row = table3_rows([cifar10_small()])[0]
+        assert np.isnan(row.paper_float_mb)
+
+
+class TestMemoryReport:
+    def test_exact_8x_compression(self):
+        report = memory_report(cifar10_full())
+        assert report.compression_ratio == 8.0
+
+    def test_ensemble_doubles(self):
+        report = memory_report(cifar10_full(), ensemble_size=2)
+        assert report.ensemble_mb == pytest.approx(2 * report.mfdfp_mb)
+
+    def test_parameter_count_forwarded(self):
+        assert memory_report(cifar10_full()).parameters == 89_578
+
+
+class TestFormatting:
+    def test_format_contains_headers_and_values(self, t1):
+        text = format_table(t1, title="Table 1")
+        assert "Table 1" in text
+        assert "area_mm2" in text
+        assert "16.52" in text
+
+    def test_empty_rows(self):
+        assert format_table([], title="empty") == "empty"
+
+    def test_columns_aligned(self, t1):
+        lines = format_table(t1).splitlines()
+        assert len({len(l) for l in lines[0:2]}) == 1  # header and rule align

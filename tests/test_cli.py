@@ -1,0 +1,48 @@
+"""CLI smoke tests (fast subcommands only; table2/fig3 train and are
+exercised through their underlying library functions elsewhere)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for cmd in ("table1", "table2", "table3", "schedule", "fig3"):
+            args = parser.parse_args([cmd])
+            assert callable(args.fn)
+
+    def test_epochs_flag(self):
+        args = build_parser().parse_args(["table2", "--epochs", "4"])
+        assert args.epochs == 4
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table9"])
+
+
+class TestFastCommands:
+    def test_table1_prints_all_designs(self, capsys):
+        main(["table1"])
+        out = capsys.readouterr().out
+        assert "Floating-point(32,32)" in out
+        assert "Proposed MF-DFP(8,4)" in out
+        assert "16.52" in out
+
+    def test_table3_prints_both_networks(self, capsys):
+        main(["table3"])
+        out = capsys.readouterr().out
+        assert "cifar10_full" in out
+        assert "alexnet" in out
+        assert "237.95" in out
+
+    def test_schedule_prints_latencies(self, capsys):
+        main(["schedule"])
+        out = capsys.readouterr().out
+        assert "fp32" in out and "mfdfp" in out
+        assert "us" in out and "uJ" in out

@@ -1,0 +1,123 @@
+"""Network zoo: exact parameter counts (Table 3 anchors) and geometry."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import LocalResponseNorm
+from repro.zoo import alexnet, alexnet_small, cifar10_full, cifar10_small
+
+
+class TestCifar10Full:
+    def test_parameter_count_matches_table3(self):
+        """89,578 params x 32 bits = 0.3417 MB, exactly Table 3's value."""
+        net = cifar10_full()
+        assert net.param_count() == 89_578
+        assert net.param_count() * 4 / 2**20 == pytest.approx(0.3417, abs=5e-5)
+
+    def test_layer_geometry(self):
+        shapes = dict(cifar10_full().layer_shapes())
+        assert shapes["conv1"] == (32, 32, 32)
+        assert shapes["pool1"] == (32, 16, 16)
+        assert shapes["pool2"] == (32, 8, 8)
+        assert shapes["pool3"] == (64, 4, 4)
+        assert shapes["ip1"] == (10,)
+
+    def test_forward_shape(self, rng):
+        net = cifar10_full()
+        assert net.forward(rng.normal(size=(2, 3, 32, 32)).astype(np.float32)).shape == (2, 10)
+
+    def test_lrn_variant(self):
+        net = cifar10_full(include_lrn=True)
+        assert any(isinstance(l, LocalResponseNorm) for l in net.layers)
+        assert net.param_count() == 89_578  # LRN adds no parameters
+
+    def test_no_lrn_by_default(self):
+        assert not any(isinstance(l, LocalResponseNorm) for l in cifar10_full().layers)
+
+    def test_custom_class_count(self):
+        net = cifar10_full(num_classes=100)
+        assert dict(net.layer_shapes())["ip1"] == (100,)
+
+
+class TestAlexNet:
+    def test_parameter_count_matches_table3(self):
+        """62,378,344 params x 32 bits = 237.95 MB, exactly Table 3."""
+        net = alexnet()
+        assert net.param_count() == 62_378_344
+        assert net.param_count() * 4 / 2**20 == pytest.approx(237.95, abs=0.005)
+
+    def test_layer_geometry(self):
+        shapes = dict(alexnet().layer_shapes())
+        assert shapes["conv1"] == (96, 55, 55)
+        assert shapes["pool1"] == (96, 27, 27)
+        assert shapes["pool2"] == (256, 13, 13)
+        assert shapes["pool5"] == (256, 6, 6)
+        assert shapes["fc6"] == (4096,)
+        assert shapes["fc8"] == (1000,)
+
+    def test_dropout_optional(self):
+        with_do = alexnet(include_dropout=True)
+        without = alexnet(include_dropout=False)
+        assert len(with_do.layers) == len(without.layers) + 2
+        assert with_do.param_count() == without.param_count()
+
+    def test_lrn_variant_adds_two_layers(self):
+        assert len(alexnet(include_lrn=True).layers) == len(alexnet().layers) + 2
+
+
+class TestScaledVariants:
+    def test_cifar10_small_forward(self, rng):
+        net = cifar10_small(size=16)
+        x = rng.normal(size=(2, 3, 16, 16)).astype(np.float32)
+        assert net.forward(x).shape == (2, 10)
+
+    def test_cifar10_small_much_smaller(self):
+        assert cifar10_small().param_count() < cifar10_full().param_count() / 10
+
+    def test_cifar10_small_size_validation(self):
+        with pytest.raises(ValueError):
+            cifar10_small(size=10)
+
+    def test_alexnet_small_forward(self, rng):
+        net = alexnet_small(num_classes=20, size=32)
+        x = rng.normal(size=(2, 3, 32, 32)).astype(np.float32)
+        assert net.forward(x).shape == (2, 20)
+
+    def test_alexnet_small_size_validation(self):
+        with pytest.raises(ValueError):
+            alexnet_small(size=12)
+
+    def test_seeded_builds_reproducible(self, rng):
+        a = cifar10_small(rng=np.random.default_rng(5))
+        b = cifar10_small(rng=np.random.default_rng(5))
+        x = rng.normal(size=(1, 3, 16, 16)).astype(np.float32)
+        assert np.allclose(a.logits(x), b.logits(x))
+
+
+class TestDeployability:
+    """Every zoo network must survive the deploy() transformation."""
+
+    @pytest.mark.parametrize(
+        "builder,shape",
+        [
+            (lambda: cifar10_small(size=16, dtype=np.float64), (3, 16, 16)),
+            (lambda: alexnet_small(size=16, dtype=np.float64), (3, 16, 16)),
+        ],
+    )
+    def test_deploys_cleanly(self, rng, builder, shape):
+        from repro.core.mfdfp import MFDFPNetwork
+
+        net = builder()
+        calib = rng.normal(size=(8,) + shape)
+        dep = MFDFPNetwork.from_float(net, calib).deploy()
+        assert dep.parameter_count() == net.param_count()
+
+    def test_cifar10_full_deploys(self, rng):
+        from repro.core.mfdfp import MFDFPNetwork
+
+        net = cifar10_full(dtype=np.float64)
+        calib = rng.normal(size=(4, 3, 32, 32))
+        dep = MFDFPNetwork.from_float(net, calib).deploy()
+        assert [op.kind for op in dep.ops] == [
+            "conv", "maxpool", "conv", "avgpool", "conv", "avgpool", "flatten", "dense",
+        ]
