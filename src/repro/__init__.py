@@ -11,6 +11,8 @@ Public API tour:
 * :mod:`repro.zoo` — ``cifar10_full`` and AlexNet architectures.
 * :mod:`repro.datasets` — CIFAR-10/ImageNet surrogates + real loaders.
 * :mod:`repro.report` — regenerate the paper's tables.
+* :mod:`repro.serve` — request micro-batching over the compiled
+  :class:`repro.core.engine.BatchedEngine` for serving workloads.
 
 Quickstart::
 
@@ -29,6 +31,6 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from repro import core, datasets, hw, nn, report, zoo
+from repro import core, datasets, hw, nn, report, serve, zoo
 
-__all__ = ["core", "datasets", "hw", "nn", "report", "zoo", "__version__"]
+__all__ = ["core", "datasets", "hw", "nn", "report", "serve", "zoo", "__version__"]

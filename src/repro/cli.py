@@ -7,9 +7,13 @@ Usage::
     python -m repro schedule          # per-layer latency of both networks
     python -m repro fig3 [--epochs N] # Figure-3 curves on the surrogate
     python -m repro table2 [--epochs N]  # accuracy/time/energy (Table 2)
+    python -m repro serve [--batch N] [--requests N]  # batched serving demo
 
 ``table2`` and ``fig3`` train on the CIFAR-10 surrogate and take a few
-minutes; the others are instantaneous.
+minutes; the others are instantaneous.  ``serve`` deploys a quantized
+surrogate network and pushes requests through the micro-batch queue
+(:mod:`repro.serve`), reporting measured samples/sec for the scalar and
+batched paths plus the modeled silicon throughput.
 """
 
 from __future__ import annotations
@@ -91,6 +95,56 @@ def _cmd_table2(args) -> None:
     print(format_table(rows, title="Table 2 (measured on the surrogate)"))
 
 
+def _cmd_serve(args) -> None:
+    import time
+
+    from repro.core import MFDFPNetwork
+    from repro.core.engine import BatchedEngine, execute_deployed
+    from repro.datasets import cifar10_surrogate
+    from repro.hw import Accelerator, AcceleratorConfig
+    from repro.serve import MicroBatchQueue
+    from repro.zoo import cifar10_small
+
+    train, test = cifar10_surrogate(
+        n_train=256, n_test=max(64, args.requests), size=16, seed=0
+    )
+    net = cifar10_small(size=16, rng=np.random.default_rng(0))
+    mfdfp = MFDFPNetwork.from_float(net, train.x[:128])
+    mfdfp.calibrate_bias_to_accumulator_grid()
+    deployed = mfdfp.deploy()
+    requests = test.x[: args.requests]
+
+    engine = BatchedEngine(deployed)
+    queue = MicroBatchQueue(engine, max_batch=args.batch)
+    t0 = time.perf_counter()
+    tickets = [queue.submit(sample) for sample in requests]
+    queue.flush()
+    logits = np.stack([queue.result(t) for t in tickets])
+    batched_s = time.perf_counter() - t0
+
+    n_ref = min(len(requests), 32)
+    t0 = time.perf_counter()
+    for i in range(n_ref):
+        execute_deployed(deployed, requests[i : i + 1])
+    scalar_s = time.perf_counter() - t0
+
+    scalar_sps = n_ref / scalar_s
+    batched_sps = len(requests) / batched_s
+    accel = Accelerator(AcceleratorConfig(precision="mfdfp"))
+    print(f"deployed {deployed.name}: {len(requests)} requests, micro-batch {args.batch}")
+    print(f"  scalar path   {scalar_sps:>10.1f} samples/s")
+    print(
+        f"  batched engine{batched_sps:>10.1f} samples/s"
+        f"  ({batched_sps / scalar_sps:.1f}x, mean fill "
+        f"{queue.stats.mean_fill:.1f}/{args.batch})"
+    )
+    print(
+        f"  modeled NPU   {accel.batch_throughput_ips(deployed, args.batch):>10.1f} samples/s"
+        f"  (250 MHz, 1 PU)"
+    )
+    print(f"  prediction histogram: {np.bincount(np.argmax(logits, axis=1), minlength=10)}")
+
+
 def _cmd_fig3(args) -> None:
     from repro.core import MFDFPConfig, MFDFPNetwork, phase1_finetune, phase2_distill
     from repro.nn import error_rate
@@ -110,6 +164,13 @@ def _cmd_fig3(args) -> None:
         print(f"{i:>5}  {a:>12.4f}  {b:>16.4f}")
 
 
+def _positive_int(value: str) -> int:
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {n}")
+    return n
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -127,6 +188,10 @@ def build_parser() -> argparse.ArgumentParser:
     p3 = sub.add_parser("fig3", help="training curves (Figure 3; trains)")
     p3.add_argument("--epochs", type=int, default=12)
     p3.set_defaults(fn=_cmd_fig3)
+    p4 = sub.add_parser("serve", help="batched serving demo (micro-batch queue)")
+    p4.add_argument("--batch", type=_positive_int, default=64, help="micro-batch size")
+    p4.add_argument("--requests", type=_positive_int, default=256, help="number of requests")
+    p4.set_defaults(fn=_cmd_serve)
     return parser
 
 

@@ -9,6 +9,9 @@ Contents map one-to-one onto Section 4/5 of the paper:
   and hook attachment ("Quantize_8bit" in Algorithm 1).
 * :mod:`repro.core.mfdfp` — the MF-DFP network wrapper and the deployable
   integer-only artifact consumed by :mod:`repro.hw`.
+* :mod:`repro.core.engine` — batched integer inference: the shared
+  layer-op registry, the eager reference executor and the compiled
+  :class:`~repro.core.engine.BatchedEngine`.
 * :mod:`repro.core.distill` — student-teacher loss (Phase 2, Eq. 1–2).
 * :mod:`repro.core.ensemble` — ensembles of MF-DFP networks (Phase 3).
 * :mod:`repro.core.pipeline` — Algorithm 1 end to end.
@@ -28,6 +31,7 @@ from repro.core.dfp import (
     dfp_to_codes,
 )
 from repro.core.distill import DistillationLoss, soften
+from repro.core.engine import BatchedEngine, CompiledOp, execute_deployed
 from repro.core.ensemble import Ensemble
 from repro.core.mfdfp import DeployedLayer, DeployedMFDFP, MFDFPNetwork, deploy
 from repro.core.pipeline import (
@@ -54,7 +58,9 @@ from repro.core.quantizer import (
 )
 
 __all__ = [
+    "BatchedEngine",
     "BinaryWeightQuantizer",
+    "CompiledOp",
     "DFPFormat",
     "FixedPointWeightQuantizer",
     "TernaryWeightQuantizer",
@@ -76,6 +82,7 @@ __all__ = [
     "dfp_from_codes",
     "dfp_quantize",
     "dfp_to_codes",
+    "execute_deployed",
     "phase1_finetune",
     "phase2_distill",
     "pow2_decode4",

@@ -102,8 +102,10 @@ def choose_fraction_length(x: np.ndarray, bits: int = 8, margin: int = 0) -> int
     max_code = (1 << (bits - 1)) - 1
     if max_abs == 0.0:
         return bits - 1
-    # Largest f with max_code * 2^-f >= max_abs.
-    f = math.floor(math.log2(max_code / max_abs))
+    # Largest f with max_code * 2^-f >= max_abs.  Computed as a log
+    # difference: the quotient max_code / max_abs overflows to inf for
+    # subnormal max_abs (~1e-311), while log2 handles subnormals fine.
+    f = math.floor(math.log2(max_code) - math.log2(max_abs))
     f -= margin
     # Guard against log2 edge cases: back off while saturating.
     while max_code * 2.0**-f < max_abs:

@@ -1,0 +1,421 @@
+"""Batched integer inference engine for deployed MF-DFP networks.
+
+A :class:`repro.core.mfdfp.DeployedMFDFP` can be executed two ways, both
+bit-identical (every activation an integer code, every multiply a shift,
+round-half-to-even exactly as in the RTL datapath):
+
+* the **reference path** (:func:`execute_deployed`) re-derives everything
+  on every call — it decodes the 4-bit weight codes, lowers convolutions
+  through :func:`repro.nn.layers.conv.im2col`, and rebuilds pooling
+  windows each time.  It is the executable specification the hardware
+  tests verify against.
+* the **compiled path** (:class:`BatchedEngine`) front-loads all of that
+  work once per network: weight codes become integer shift multipliers
+  through a 16-entry LUT (:data:`SHIFT_LUT`), im2col and pooling windows
+  become precomputed gather-index tables, and each layer becomes a
+  closure that maps an ``(N, ...)`` batch of codes to the next batch of
+  codes.  Serving-style workloads run through :mod:`repro.serve`, which
+  adds request micro-batching on top.
+
+Both paths dispatch through one layer-op registry (:data:`OP_REGISTRY`),
+so adding an op kind means adding exactly one :class:`LayerOpHandler`.
+The registry is also what :mod:`repro.hw.accelerator` executes — the
+scalar/back-compat entry point ``repro.hw.accelerator.execute_deployed``
+forwards here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.dfp import DFPFormat, dfp_to_codes
+from repro.core.mfdfp import DeployedLayer, DeployedMFDFP
+from repro.hw.datapath import (
+    accumulator_route,
+    check_width,
+    div_round_half_even,
+    requantize_codes,
+    saturate,
+)
+from repro.nn.layers.conv import im2col
+from repro.nn.layers.pool import pool_output_size
+
+#: Accumulator wire width checked when ``check_widths`` is on.
+ACCUMULATOR_BITS = 32
+
+#: LUT over the 16 possible 4-bit weight codes (bit 3 = sign, bits 2..0 =
+#: ``-e``): entry ``c`` is the signed shift multiplier ``s << (7 + e)``,
+#: so the multiplier-free product ``(s * x) << (7 + e)`` becomes the
+#: single integer multiply ``SHIFT_LUT[c] * x`` on the ``2^-(m+7)`` grid.
+SHIFT_LUT = np.array(
+    [(-1 if (c >> 3) & 1 else 1) << (7 - (c & 0x07)) for c in range(16)],
+    dtype=np.int64,
+)
+
+
+def shift_weight_ints(codes: np.ndarray) -> np.ndarray:
+    """Decode 4-bit weight codes to integer shift multipliers.
+
+    ``shift_weight_ints(codes)[i] == s_i << (7 + e_i)`` — a single LUT
+    gather replacing the decode-then-shift of the eager path.
+    """
+    codes = np.asarray(codes)
+    if np.any((codes < 0) | (codes > 0x0F)):
+        raise ValueError("codes exceed 4 bits")
+    return SHIFT_LUT[codes]
+
+
+# -- gather-index precomputation -------------------------------------------------
+def _im2col_indices(c: int, h: int, w: int, k: int, stride: int, pad: int):
+    """Gather table lowering im2col to one fancy-index per batch.
+
+    Returns ``(index, oh, ow)`` where ``index`` has shape
+    ``(c*k*k, oh*ow)`` and indexes a flattened ``(c*h*w + 1,)`` input
+    whose last slot holds the padding value (the *sentinel*).
+    """
+    sentinel = c * h * w
+    hp, wp = h + 2 * pad, w + 2 * pad
+    grid = np.full((1, c, hp, wp), sentinel, dtype=np.int64)
+    grid[0, :, pad : pad + h, pad : pad + w] = np.arange(sentinel).reshape(c, h, w)
+    cols, oh, ow = im2col(grid, k, k, stride, 0)
+    return cols[0].astype(np.intp), oh, ow
+
+
+def _pool_indices(h: int, w: int, k: int, stride: int, pad: int, ceil_mode: bool):
+    """Gather table for pooling windows (per channel, spatial only).
+
+    Returns ``(index, oh, ow)`` where ``index`` has shape
+    ``(oh*ow, k*k)`` and indexes a flattened ``(h*w + 1,)`` feature map
+    whose last slot holds the window fill value.  Ceil mode may demand
+    rows/columns beyond the symmetric padding; they also map to the fill
+    slot, mirroring the asymmetric pad of the eager path.
+    """
+    sentinel = h * w
+    oh = pool_output_size(h, k, stride, pad, ceil_mode)
+    ow = pool_output_size(w, k, stride, pad, ceil_mode)
+    need_h = (oh - 1) * stride + k
+    need_w = (ow - 1) * stride + k
+    pad_b = max(0, need_h - (h + pad))
+    pad_r = max(0, need_w - (w + pad))
+    grid = np.full((h + pad + pad_b, w + pad + pad_r), sentinel, dtype=np.int64)
+    grid[pad : pad + h, pad : pad + w] = np.arange(sentinel).reshape(h, w)
+    win = np.lib.stride_tricks.sliding_window_view(grid, (k, k))
+    win = win[::stride, ::stride][:oh, :ow]
+    return win.reshape(oh * ow, k * k).astype(np.intp), oh, ow
+
+
+def _with_sentinel(codes2d: np.ndarray, fill: int, dtype=np.int64) -> np.ndarray:
+    """Append the sentinel slot (one ``fill`` per row) to flattened codes."""
+    rows = codes2d.shape[0]
+    out = np.empty((rows, codes2d.shape[1] + 1), dtype=dtype)
+    out[:, :-1] = codes2d
+    out[:, -1] = fill
+    return out
+
+
+# -- reference (eager) ops -------------------------------------------------------
+def _conv_reference(op: DeployedLayer, codes: np.ndarray, check_widths: bool) -> np.ndarray:
+    n = codes.shape[0]
+    k = op.kernel_size
+    g = op.groups or 1
+    cols, oh, ow = im2col(codes, k, k, op.stride, op.pad)
+    syn = (op.in_channels // g) * k * k
+    w_int = shift_weight_ints(op.weight_codes).reshape(g, op.out_channels // g, syn)
+    cols_g = cols.astype(np.int64).reshape(n, g, syn, -1)
+    acc = np.einsum("gfk,ngkp->ngfp", w_int, cols_g, optimize=True)
+    acc = acc.reshape(n, op.out_channels, -1)
+    if op.bias_int is not None:
+        acc += op.bias_int[None, :, None]
+    if check_widths:
+        check_width(acc, ACCUMULATOR_BITS, f"{op.name} accumulator")
+    out = accumulator_route(acc, op.in_frac + 7, op.out_frac, op.activation)
+    return out.reshape(n, op.out_channels, oh, ow)
+
+
+def _dense_reference(op: DeployedLayer, codes: np.ndarray, check_widths: bool) -> np.ndarray:
+    w_int = shift_weight_ints(op.weight_codes).reshape(op.out_features, op.in_features)
+    acc = codes.astype(np.int64) @ w_int.T
+    if op.bias_int is not None:
+        acc += op.bias_int[None, :]
+    if check_widths:
+        check_width(acc, ACCUMULATOR_BITS, f"{op.name} accumulator")
+    return accumulator_route(acc, op.in_frac + 7, op.out_frac, op.activation)
+
+
+def _pool_windows(codes: np.ndarray, op: DeployedLayer, fill: int):
+    n, c, h, w = codes.shape
+    k, s, p = op.kernel_size, op.stride, op.pad
+    oh = pool_output_size(h, k, s, p, op.ceil_mode)
+    ow = pool_output_size(w, k, s, p, op.ceil_mode)
+    need_h = (oh - 1) * s + k
+    need_w = (ow - 1) * s + k
+    pad_b = max(0, need_h - (h + p))
+    pad_r = max(0, need_w - (w + p))
+    padded = np.pad(codes, ((0, 0), (0, 0), (p, pad_b), (p, pad_r)), constant_values=fill)
+    win = np.lib.stride_tricks.sliding_window_view(padded, (k, k), axis=(2, 3))
+    return win[:, :, ::s, ::s][:, :, :oh, :ow], oh, ow
+
+
+def _maxpool_reference(op: DeployedLayer, codes: np.ndarray, check_widths: bool) -> np.ndarray:
+    win, _, _ = _pool_windows(codes, op, fill=np.iinfo(np.int64).min)
+    out = win.max(axis=(-1, -2))
+    return requantize_codes(out, op.in_frac, op.out_frac)
+
+
+def _avgpool_reference(op: DeployedLayer, codes: np.ndarray, check_widths: bool) -> np.ndarray:
+    win, oh, ow = _pool_windows(codes, op, fill=0)
+    sums = win.sum(axis=(-1, -2), dtype=np.int64)
+    ones = np.ones((1, 1) + codes.shape[2:], dtype=np.int64)
+    counts = _pool_windows(ones, op, fill=0)[0].sum(axis=(-1, -2))[0, 0]  # (oh, ow)
+    shift = op.out_frac - op.in_frac
+    if shift >= 0:
+        out = div_round_half_even(sums << shift, counts[None, None])
+    else:
+        out = div_round_half_even(sums, counts[None, None] << (-shift))
+    return saturate(out)
+
+
+def _flatten_reference(op: DeployedLayer, codes: np.ndarray, check_widths: bool) -> np.ndarray:
+    return codes.reshape(codes.shape[0], -1)
+
+
+# -- compiled kernels ------------------------------------------------------------
+#
+# The compute kernels run their GEMM in float64 to reach BLAS: every shift
+# product fits 16 bits and every accumulator 32 bits, far below the 2^53
+# integers IEEE doubles represent exactly, so each partial sum is an exact
+# integer and the result is bit-identical to int64 arithmetic regardless
+# of summation order.  ``astype(np.int64)`` afterwards is lossless.
+def _conv_compile(op: DeployedLayer, in_shape: tuple):
+    c, h, w = in_shape
+    k, g = op.kernel_size, op.groups or 1
+    syn = (c // g) * k * k
+    chw = c * h * w
+    w_f = shift_weight_ints(op.weight_codes).reshape(g, op.out_channels // g, syn)
+    w_f = w_f.astype(np.float64)
+    index, oh, ow = _im2col_indices(c, h, w, k, op.stride, op.pad)
+    positions = oh * ow
+    bias = None if op.bias_int is None else op.bias_int[None, :, None].astype(np.float64)
+    acc_frac = op.in_frac + 7
+
+    # Batch-transposed layout: gathering from (chw+1, N) yields columns as
+    # (c*k*k, positions, N), which reshapes — without copies — into the
+    # (g, syn, positions*N) operand of one large GEMM per group instead of
+    # N small ones.
+    def kernel(codes: np.ndarray, check_widths: bool = False) -> np.ndarray:
+        n = codes.shape[0]
+        flat_t = np.empty((chw + 1, n), dtype=np.float64)
+        flat_t[:-1] = codes.reshape(n, chw).T
+        flat_t[-1] = 0.0
+        cols_t = flat_t[index].reshape(g, syn, positions * n)
+        acc_t = np.matmul(w_f, cols_t)  # (g, out_channels/g, positions*n)
+        acc_f = acc_t.reshape(op.out_channels, positions, n).transpose(2, 0, 1)
+        if bias is not None:
+            acc_f = acc_f + bias
+        acc = acc_f.astype(np.int64)
+        if check_widths:
+            check_width(acc, ACCUMULATOR_BITS, f"{op.name} accumulator")
+        out = accumulator_route(acc, acc_frac, op.out_frac, op.activation)
+        return out.reshape(n, op.out_channels, oh, ow)
+
+    return kernel, (op.out_channels, oh, ow)
+
+
+def _dense_compile(op: DeployedLayer, in_shape: tuple):
+    w_t = np.ascontiguousarray(
+        shift_weight_ints(op.weight_codes).reshape(op.out_features, op.in_features).T,
+        dtype=np.float64,
+    )
+    bias = None if op.bias_int is None else op.bias_int[None, :].astype(np.float64)
+    acc_frac = op.in_frac + 7
+
+    def kernel(codes: np.ndarray, check_widths: bool = False) -> np.ndarray:
+        acc_f = codes.astype(np.float64, copy=False) @ w_t
+        if bias is not None:
+            acc_f = acc_f + bias
+        acc = acc_f.astype(np.int64)
+        if check_widths:
+            check_width(acc, ACCUMULATOR_BITS, f"{op.name} accumulator")
+        return accumulator_route(acc, acc_frac, op.out_frac, op.activation)
+
+    return kernel, (op.out_features,)
+
+
+def _maxpool_compile(op: DeployedLayer, in_shape: tuple):
+    c, h, w = in_shape
+    index, oh, ow = _pool_indices(h, w, op.kernel_size, op.stride, op.pad, op.ceil_mode)
+    fill = int(np.iinfo(np.int64).min)
+
+    def kernel(codes: np.ndarray, check_widths: bool = False) -> np.ndarray:
+        n = codes.shape[0]
+        flat = _with_sentinel(codes.reshape(n * c, h * w), fill=fill)
+        out = flat[:, index].max(axis=-1)
+        return requantize_codes(out, op.in_frac, op.out_frac).reshape(n, c, oh, ow)
+
+    return kernel, (c, oh, ow)
+
+
+def _avgpool_compile(op: DeployedLayer, in_shape: tuple):
+    c, h, w = in_shape
+    index, oh, ow = _pool_indices(h, w, op.kernel_size, op.stride, op.pad, op.ceil_mode)
+    counts = (index != h * w).sum(axis=-1).astype(np.int64)  # in-bounds taps per window
+    shift = op.out_frac - op.in_frac
+    if shift >= 0:
+        num_shift, den = shift, counts[None]
+    else:
+        num_shift, den = 0, counts[None] << (-shift)
+
+    def kernel(codes: np.ndarray, check_widths: bool = False) -> np.ndarray:
+        n = codes.shape[0]
+        flat = _with_sentinel(codes.reshape(n * c, h * w), fill=0)
+        sums = flat[:, index].sum(axis=-1)
+        out = div_round_half_even(sums << num_shift, den)
+        return saturate(out).reshape(n, c, oh, ow)
+
+    return kernel, (c, oh, ow)
+
+
+def _flatten_compile(op: DeployedLayer, in_shape: tuple):
+    features = int(np.prod(in_shape))
+
+    def kernel(codes: np.ndarray, check_widths: bool = False) -> np.ndarray:
+        return codes.reshape(codes.shape[0], features)
+
+    return kernel, (features,)
+
+
+# -- the registry ----------------------------------------------------------------
+@dataclass(frozen=True)
+class LayerOpHandler:
+    """One op kind: an eager reference and a kernel compiler.
+
+    ``reference(op, codes, check_widths)`` maps a batch of input codes to
+    output codes directly from the :class:`DeployedLayer`.
+    ``compile(op, in_shape)`` returns ``(kernel, out_shape)`` where
+    ``kernel(codes, check_widths)`` is the precomputed batched closure.
+    """
+
+    kind: str
+    reference: Callable[[DeployedLayer, np.ndarray, bool], np.ndarray]
+    compile: Callable[[DeployedLayer, tuple], tuple]
+
+
+#: The single source of truth for executable op kinds; both the eager
+#: reference path and :class:`BatchedEngine` dispatch through it.
+OP_REGISTRY: dict[str, LayerOpHandler] = {}
+
+
+def register_op(handler: LayerOpHandler) -> None:
+    """Register (or replace) the handler for one op kind."""
+    OP_REGISTRY[handler.kind] = handler
+
+
+register_op(LayerOpHandler("conv", _conv_reference, _conv_compile))
+register_op(LayerOpHandler("dense", _dense_reference, _dense_compile))
+register_op(LayerOpHandler("maxpool", _maxpool_reference, _maxpool_compile))
+register_op(LayerOpHandler("avgpool", _avgpool_reference, _avgpool_compile))
+register_op(LayerOpHandler("flatten", _flatten_reference, _flatten_compile))
+
+
+def _handler(kind: str) -> LayerOpHandler:
+    try:
+        return OP_REGISTRY[kind]
+    except KeyError:
+        raise ValueError(f"cannot execute op kind {kind!r}") from None
+
+
+# -- reference entry point -------------------------------------------------------
+def execute_deployed(
+    deployed: DeployedMFDFP, x: np.ndarray, check_widths: bool = False
+) -> np.ndarray:
+    """Run a deployed network on a batch, all-integer; returns out codes.
+
+    This is the eager reference path: weights are decoded and windows
+    rebuilt on every call.  :class:`BatchedEngine` produces bit-identical
+    codes while amortizing that work across calls.
+    """
+    codes = dfp_to_codes(x, DFPFormat(deployed.bits, deployed.input_frac))
+    for op in deployed.ops:
+        codes = _handler(op.kind).reference(op, codes, check_widths)
+    return codes
+
+
+# -- compiled engine -------------------------------------------------------------
+@dataclass(frozen=True)
+class CompiledOp:
+    """One compiled layer: its kernel closure plus shape bookkeeping."""
+
+    name: str
+    kind: str
+    kernel: Callable[[np.ndarray, bool], np.ndarray]
+    out_shape: tuple
+
+
+class BatchedEngine:
+    """Compiled batched executor for one deployed MF-DFP network.
+
+    Compilation walks the op list once, decoding weights through
+    :data:`SHIFT_LUT` and building gather-index tables; :meth:`run_codes`
+    then streams ``(N, ...)`` batches through the kernel closures.
+    Outputs are bit-identical to :func:`execute_deployed` for every batch
+    size (integer arithmetic is exact, so batching cannot change values).
+
+    Args:
+        deployed: The frozen network to compile.
+        check_widths: Verify accumulator wire widths on every run
+            (slower; used by the verification tests).
+    """
+
+    def __init__(self, deployed: DeployedMFDFP, check_widths: bool = False):
+        if not deployed.ops:
+            raise ValueError("cannot compile an empty deployed network")
+        self.deployed = deployed
+        self.check_widths = check_widths
+        self.input_shape = tuple(deployed.input_shape)
+        self.input_fmt = DFPFormat(deployed.bits, deployed.input_frac)
+        self.program: list[CompiledOp] = []
+        shape = self.input_shape
+        for op in deployed.ops:
+            kernel, shape = _handler(op.kind).compile(op, shape)
+            self.program.append(CompiledOp(op.name, op.kind, kernel, shape))
+        self.output_shape = shape
+        self._out_scale = 2.0 ** (-deployed.ops[-1].out_frac)
+
+    # -- execution ---------------------------------------------------------
+    def run_codes(self, x: np.ndarray) -> np.ndarray:
+        """Quantize a float batch and return integer output codes."""
+        x = np.asarray(x)
+        if x.shape[1:] != self.input_shape:
+            raise ValueError(
+                f"expected batch of shape (N, {', '.join(map(str, self.input_shape))}), "
+                f"got {x.shape}"
+            )
+        codes = dfp_to_codes(x, self.input_fmt)
+        for op in self.program:
+            codes = op.kernel(codes, self.check_widths)
+        return codes
+
+    def run(self, x: np.ndarray) -> np.ndarray:
+        """Batched inference; returns float logits (codes × output grid)."""
+        return self.run_codes(x).astype(np.float64) * self._out_scale
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions (argmax over the last compute op's outputs)."""
+        return np.argmax(self.run_codes(x), axis=1)
+
+    # -- introspection -----------------------------------------------------
+    def layer_summary(self) -> list[dict]:
+        """Per-layer ``{name, kind, out_shape}`` rows of the compiled plan."""
+        return [
+            {"name": op.name, "kind": op.kind, "out_shape": op.out_shape}
+            for op in self.program
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchedEngine({self.deployed.name}, {len(self.program)} ops, "
+            f"in={self.input_shape}, out={self.output_shape})"
+        )

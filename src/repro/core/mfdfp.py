@@ -7,8 +7,10 @@ weights of Courbariaux et al. used by Algorithm 1).
 
 :func:`deploy` freezes an MF-DFP network into a :class:`DeployedMFDFP` —
 pure integer tensors (4-bit weight codes, accumulator-grid biases, per
-layer radix indices ``m``/``n``) that :mod:`repro.hw` executes bit
-accurately and that Table 3's memory accounting is computed from.
+layer radix indices ``m``/``n``) that :mod:`repro.core.engine` executes
+bit accurately (scalar reference or compiled batched engine), that
+:mod:`repro.hw` prices in silicon, and that Table 3's memory accounting
+is computed from.
 """
 
 from __future__ import annotations

@@ -9,7 +9,9 @@
 * :mod:`repro.hw.scheduler` — tile scheduling and cycle counting.
 * :mod:`repro.hw.cost` — 65 nm area/power component model (Table 1).
 * :mod:`repro.hw.accelerator` — ties everything together: area, power,
-  latency, energy, and bit-accurate inference of deployed MF-DFP networks.
+  latency, energy (single and batched schedules), and bit-accurate
+  inference of deployed MF-DFP networks via the shared layer-op registry
+  in :mod:`repro.core.engine`.
 """
 
 from repro.hw.accelerator import Accelerator, AcceleratorConfig

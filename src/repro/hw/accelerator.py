@@ -1,10 +1,14 @@
 """The full accelerator: area, power, latency, energy, and execution.
 
 Combines the cost model (Table 1), the tile scheduler (inference time in
-Table 2) and a vectorized bit-accurate executor for deployed MF-DFP
-networks.  The FP32 baseline is the same tile organization with 32-bit
-multipliers and a deeper multiply pipeline; it executes networks in plain
-floating point.
+Table 2) and bit-accurate execution of deployed MF-DFP networks.  The
+execution kernels themselves live in :mod:`repro.core.engine` — one
+layer-op registry shared by the eager reference path and the compiled
+:class:`~repro.core.engine.BatchedEngine`; this module re-exports
+:func:`execute_deployed` and adds the hardware accounting around both.
+The FP32 baseline is the same tile organization with 32-bit multipliers
+and a deeper multiply pipeline; it executes networks in plain floating
+point.
 
 Energy follows the paper's method: average power x inference latency.
 """
@@ -16,20 +20,10 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.core.dfp import DFPFormat, dfp_to_codes
-from repro.core.mfdfp import DeployedLayer, DeployedMFDFP
+from repro.core.mfdfp import DeployedMFDFP
 from repro.hw.cost import CostBreakdown, CostModel
-from repro.hw.datapath import (
-    accumulator_route,
-    check_width,
-    div_round_half_even,
-    requantize_codes,
-    saturate,
-)
 from repro.hw.memory import BufferConfig, MemorySubsystem
 from repro.hw.scheduler import Schedule, TileScheduler
-from repro.nn.layers.conv import conv_output_size, im2col
-from repro.nn.layers.pool import pool_output_size
 from repro.nn.network import Network
 
 #: Pipeline depths (cycles of fill per layer).  The FP32 multiply pipeline
@@ -79,6 +73,7 @@ class Accelerator:
     def __init__(self, config: AcceleratorConfig | None = None, cost_model: CostModel | None = None):
         self.config = config or AcceleratorConfig()
         self.cost_model = cost_model or CostModel()
+        self._engines: dict[int, object] = {}  # id(deployed) -> BatchedEngine
         self.breakdown: CostBreakdown = self.cost_model.evaluate(
             self.config.precision, self.config.num_pus, self.config.buffers
         )
@@ -155,6 +150,28 @@ class Accelerator:
             )
         return rows
 
+    def schedule_batch(self, deployed: DeployedMFDFP, batch_size: int) -> Schedule:
+        """Batched schedule: weights stay resident across the batch.
+
+        Compute and activation traffic scale with the batch; weight
+        transfers and each layer's pipeline fill are paid once per batch
+        (the engine and the weight-stationary tiles reuse the loaded
+        weights), so per-sample latency and energy drop as the batch
+        grows.
+        """
+        schedule = self.scheduler.schedule_deployed_batch(deployed, batch_size)
+        for layer in schedule.layers:
+            self.memory.record_layer(layer.inputs_read, layer.weights_read, layer.outputs_written)
+        return schedule
+
+    def batch_throughput_ips(self, deployed: DeployedMFDFP, batch_size: int) -> float:
+        """Steady-state samples/second when serving ``batch_size`` batches."""
+        return self.schedule_batch(deployed, batch_size).throughput_ips()
+
+    def batch_energy_uj(self, deployed: DeployedMFDFP, batch_size: int) -> float:
+        """Energy of one whole batch: average power x batch latency."""
+        return self.power_mw * 1e-3 * self.schedule_batch(deployed, batch_size).time_us()
+
     # -- execution ----------------------------------------------------------------
     def run(self, deployed: DeployedMFDFP, x: np.ndarray) -> np.ndarray:
         """Bit-accurate integer inference; returns float logits.
@@ -167,6 +184,39 @@ class Accelerator:
         codes = execute_deployed(deployed, x, check_widths=self.config.check_widths)
         last = deployed.ops[-1]
         return codes.astype(np.float64) * 2.0 ** (-last.out_frac)
+
+    #: Compiled engines kept per accelerator (see :meth:`engine_for`).
+    ENGINE_CACHE_SIZE = 8
+
+    def engine_for(self, deployed: DeployedMFDFP):
+        """The cached :class:`~repro.core.engine.BatchedEngine` for a network.
+
+        Compiles on first use.  The cache keeps a strong reference to the
+        engine (and through it the deployed network) so the ``id`` key
+        stays valid, and is bounded at :data:`ENGINE_CACHE_SIZE` entries
+        (least-recently-compiled evicted) so sweeping many networks
+        through one accelerator cannot grow memory without bound.
+        """
+        from repro.core.engine import BatchedEngine
+
+        engine = self._engines.get(id(deployed))
+        if engine is None or engine.deployed is not deployed:
+            engine = BatchedEngine(deployed, check_widths=self.config.check_widths)
+            while len(self._engines) >= self.ENGINE_CACHE_SIZE:
+                self._engines.pop(next(iter(self._engines)))
+            self._engines[id(deployed)] = engine
+        return engine
+
+    def run_batched(self, deployed: DeployedMFDFP, x: np.ndarray) -> np.ndarray:
+        """Compiled-engine inference; bit-identical to :meth:`run`.
+
+        Use this for serving-style workloads: the first call compiles the
+        network (weight LUT decode + gather tables), subsequent calls
+        only pay the batched kernels.
+        """
+        if self.config.precision != "mfdfp":
+            raise ValueError("run_batched() executes MF-DFP networks")
+        return self.engine_for(deployed).run(x)
 
     def run_float(self, net: Network, x: np.ndarray) -> np.ndarray:
         """FP32 baseline inference (plain floating point)."""
@@ -195,86 +245,18 @@ class Accelerator:
         return acc / len(members)
 
 
-# -- vectorized bit-accurate executor ------------------------------------------
-def _conv_codes(op: DeployedLayer, codes: np.ndarray, check_widths: bool) -> np.ndarray:
-    n = codes.shape[0]
-    k = op.kernel_size
-    g = op.groups or 1
-    cols, oh, ow = im2col(codes, k, k, op.stride, op.pad)
-    sign, exp = op.weight_fields()
-    syn = (op.in_channels // g) * k * k
-    w_int = (sign << (7 + exp)).reshape(g, op.out_channels // g, syn)
-    cols_g = cols.astype(np.int64).reshape(n, g, syn, -1)
-    acc = np.einsum("gfk,ngkp->ngfp", w_int, cols_g, optimize=True)
-    acc = acc.reshape(n, op.out_channels, -1)
-    if op.bias_int is not None:
-        acc += op.bias_int[None, :, None]
-    if check_widths:
-        check_width(acc, 32, f"{op.name} accumulator")
-    out = accumulator_route(acc, op.in_frac + 7, op.out_frac, op.activation)
-    return out.reshape(n, op.out_channels, oh, ow)
-
-
-def _dense_codes(op: DeployedLayer, codes: np.ndarray, check_widths: bool) -> np.ndarray:
-    sign, exp = op.weight_fields()
-    w_int = (sign << (7 + exp)).reshape(op.out_features, op.in_features)
-    acc = codes.astype(np.int64) @ w_int.T
-    if op.bias_int is not None:
-        acc += op.bias_int[None, :]
-    if check_widths:
-        check_width(acc, 32, f"{op.name} accumulator")
-    return accumulator_route(acc, op.in_frac + 7, op.out_frac, op.activation)
-
-
-def _pool_windows(codes: np.ndarray, op: DeployedLayer, fill: int):
-    n, c, h, w = codes.shape
-    k, s, p = op.kernel_size, op.stride, op.pad
-    oh = pool_output_size(h, k, s, p, op.ceil_mode)
-    ow = pool_output_size(w, k, s, p, op.ceil_mode)
-    need_h = (oh - 1) * s + k
-    need_w = (ow - 1) * s + k
-    pad_b = max(0, need_h - (h + p))
-    pad_r = max(0, need_w - (w + p))
-    padded = np.pad(codes, ((0, 0), (0, 0), (p, pad_b), (p, pad_r)), constant_values=fill)
-    win = np.lib.stride_tricks.sliding_window_view(padded, (k, k), axis=(2, 3))
-    return win[:, :, ::s, ::s][:, :, :oh, :ow], oh, ow
-
-
-def _maxpool_codes(op: DeployedLayer, codes: np.ndarray) -> np.ndarray:
-    win, _, _ = _pool_windows(codes, op, fill=np.iinfo(np.int64).min)
-    out = win.max(axis=(-1, -2))
-    return requantize_codes(out, op.in_frac, op.out_frac)
-
-
-def _avgpool_codes(op: DeployedLayer, codes: np.ndarray) -> np.ndarray:
-    win, oh, ow = _pool_windows(codes, op, fill=0)
-    sums = win.sum(axis=(-1, -2), dtype=np.int64)
-    ones = np.ones((1, 1) + codes.shape[2:], dtype=np.int64)
-    counts = _pool_windows(ones, op, fill=0)[0].sum(axis=(-1, -2))[0, 0]  # (oh, ow)
-    shift = op.out_frac - op.in_frac
-    if shift >= 0:
-        out = div_round_half_even(sums << shift, counts[None, None])
-    else:
-        out = div_round_half_even(sums, counts[None, None] << (-shift))
-    return saturate(out)
-
-
+# -- bit-accurate execution ------------------------------------------------------
 def execute_deployed(
     deployed: DeployedMFDFP, x: np.ndarray, check_widths: bool = False
 ) -> np.ndarray:
-    """Run a deployed network on a batch, all-integer; returns out codes."""
-    codes = dfp_to_codes(x, DFPFormat(deployed.bits, deployed.input_frac))
-    for op in deployed.ops:
-        if op.kind == "conv":
-            codes = _conv_codes(op, codes, check_widths)
-        elif op.kind == "dense":
-            codes = _dense_codes(op, codes, check_widths)
-        elif op.kind == "maxpool":
-            codes = _maxpool_codes(op, codes)
-        elif op.kind == "avgpool":
-            codes = _avgpool_codes(op, codes)
-        elif op.kind == "flatten":
-            codes = codes.reshape(codes.shape[0], -1)
-        else:
-            raise ValueError(f"cannot execute op kind {op.kind!r}")
-    return codes
+    """Run a deployed network on a batch, all-integer; returns out codes.
+
+    Back-compat entry point: the implementation (and the layer-op
+    registry it dispatches through) lives in :mod:`repro.core.engine`.
+    Imported lazily to keep ``repro.hw`` importable before
+    ``repro.core.engine`` finishes loading (the engine imports the
+    datapath primitives from this package).
+    """
+    from repro.core.engine import execute_deployed as _execute
+
+    return _execute(deployed, x, check_widths=check_widths)

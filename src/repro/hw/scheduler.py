@@ -69,11 +69,18 @@ class LayerSchedule:
 
 @dataclass
 class Schedule:
-    """A full network's schedule on one processing unit."""
+    """A schedule on one processing unit (one inference, or a batch).
+
+    ``batch_size`` is 1 for the paper's single-inference schedules;
+    :meth:`TileScheduler.schedule_deployed_batch` produces schedules
+    covering a whole batch, where :meth:`time_us` is the batch latency
+    and :meth:`throughput_ips` accounts for all samples in it.
+    """
 
     network: str
     clock_mhz: float
     layers: list[LayerSchedule] = field(default_factory=list)
+    batch_size: int = 1
 
     @property
     def total_cycles(self) -> int:
@@ -84,7 +91,7 @@ class Schedule:
         return sum(layer.macs for layer in self.layers)
 
     def time_us(self) -> float:
-        """Latency of one inference in microseconds."""
+        """Latency of the scheduled work (whole batch) in microseconds."""
         return self.total_cycles / self.clock_mhz
 
     def utilization(self, lanes: int = 256) -> float:
@@ -99,8 +106,11 @@ class Schedule:
         return [l.name for l in self.layers if l.memory_bound]
 
     def throughput_ips(self) -> float:
-        """Steady-state throughput in inferences per second (one PU)."""
-        return 1e6 / self.time_us()
+        """Steady-state throughput in inferences per second (one PU).
+
+        For batched schedules, every sample of the batch counts.
+        """
+        return self.batch_size * 1e6 / self.time_us()
 
 
 class TileScheduler:
@@ -205,6 +215,49 @@ class TileScheduler:
         for op in deployed.ops:
             shape = self._schedule_op(schedule, op, shape)
         return schedule
+
+    def schedule_deployed_batch(self, deployed: DeployedMFDFP, batch_size: int) -> Schedule:
+        """Schedule ``batch_size`` inferences with weights held resident.
+
+        Per layer, compute cycles, activation traffic and MACs scale with
+        the batch while off-chip weight traffic (``weight_elems``) is
+        paid once — the batched engine (and a weight-stationary tile
+        schedule) reuse the loaded weights for every sample.  Each
+        layer's pipeline is filled once per batch, not once per sample,
+        which is where the modeled batching speedup comes from in the
+        compute-bound setting.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        base = self.schedule_deployed(deployed)
+        layers = []
+        for l in base.layers:
+            compute = l.compute_cycles * batch_size
+            dma = self._dma_cycles(
+                l.input_elems * batch_size, l.weight_elems, l.output_elems * batch_size
+            )
+            layers.append(
+                LayerSchedule(
+                    name=l.name,
+                    kind=l.kind,
+                    cycles=self._finalize(compute, dma),
+                    compute_cycles=compute,
+                    dma_cycles=dma,
+                    macs=l.macs * batch_size,
+                    inputs_read=l.inputs_read * batch_size,
+                    weights_read=l.weights_read * batch_size,
+                    outputs_written=l.outputs_written * batch_size,
+                    input_elems=l.input_elems * batch_size,
+                    weight_elems=l.weight_elems,
+                    output_elems=l.output_elems * batch_size,
+                )
+            )
+        return Schedule(
+            network=base.network,
+            clock_mhz=self.clock_mhz,
+            layers=layers,
+            batch_size=batch_size,
+        )
 
     def _schedule_op(self, schedule: Schedule, op: DeployedLayer, shape: tuple) -> tuple:
         if op.kind == "conv":

@@ -1,0 +1,17 @@
+"""Serving front door for deployed MF-DFP networks.
+
+Wraps the compiled :class:`repro.core.engine.BatchedEngine` with request
+batching so heavy-traffic workloads amortize per-call overheads across
+micro-batches:
+
+* :func:`repro.serve.batching.predict_many` — chunk an ``(N, ...)``
+  array into order-preserving micro-batches.
+* :class:`repro.serve.batching.MicroBatchQueue` — submit single-sample
+  requests, flush in batches, collect per-ticket logits.
+
+Exposed on the command line as ``python -m repro serve``.
+"""
+
+from repro.serve.batching import MicroBatchQueue, ServeStats, predict_many
+
+__all__ = ["MicroBatchQueue", "ServeStats", "predict_many"]

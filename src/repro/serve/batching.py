@@ -1,0 +1,141 @@
+"""Request micro-batching over a compiled :class:`BatchedEngine`.
+
+Deployment front door for serving-style workloads: single-sample
+requests are accumulated into micro-batches and executed together on
+the batched engine, trading a bounded amount of queueing for the large
+per-sample speedup of vectorized execution (see
+``benchmarks/bench_engine_throughput.py``).  Everything here is
+synchronous and deterministic — the queue flushes when full or when a
+result is demanded — so serving results are reproducible and always
+bit-identical to running each sample alone.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.engine import BatchedEngine
+
+#: Recent batch fills kept by :class:`ServeStats` (totals are unbounded).
+FILL_HISTORY = 1024
+
+
+@dataclass
+class ServeStats:
+    """Batch-fill accounting for one queue (or one ``predict_many`` run).
+
+    ``batches``/``samples`` count everything ever recorded; ``fills``
+    keeps only the most recent :data:`FILL_HISTORY` batch sizes so a
+    long-running queue cannot grow memory without bound.
+    """
+
+    batches: int = 0
+    samples: int = 0
+    fills: deque = field(default_factory=lambda: deque(maxlen=FILL_HISTORY))
+
+    def record(self, n: int) -> None:
+        self.batches += 1
+        self.samples += n
+        self.fills.append(n)
+
+    @property
+    def mean_fill(self) -> float:
+        """Average samples per executed batch (0.0 before any batch)."""
+        return self.samples / self.batches if self.batches else 0.0
+
+
+def predict_many(
+    engine: BatchedEngine, x: np.ndarray, max_batch: int = 64, stats: Optional[ServeStats] = None
+) -> np.ndarray:
+    """Run ``(N, ...)`` samples in order through micro-batches.
+
+    Chunks ``x`` into batches of at most ``max_batch`` samples (the tail
+    batch may be smaller) and concatenates the float logits.  Order is
+    preserved and the result is bit-identical to ``engine.run(x)``.
+    """
+    if max_batch < 1:
+        raise ValueError("max_batch must be at least 1")
+    x = np.asarray(x)
+    out = []
+    for start in range(0, x.shape[0], max_batch):
+        chunk = x[start : start + max_batch]
+        out.append(engine.run(chunk))
+        if stats is not None:
+            stats.record(chunk.shape[0])
+    if not out:
+        return np.empty((0,) + engine.output_shape, dtype=np.float64)
+    return np.concatenate(out, axis=0)
+
+
+class MicroBatchQueue:
+    """Accumulate single-sample requests and execute them in batches.
+
+    ``submit`` enqueues one sample and returns a ticket; the queue runs
+    the engine whenever ``max_batch`` requests are pending, and
+    ``result`` (or an explicit ``flush``) drains any remainder.  Results
+    are float logits, bit-identical to single-sample execution.
+
+    Args:
+        engine: Compiled engine to execute batches on.
+        max_batch: Flush threshold (the engine batch size).
+    """
+
+    def __init__(self, engine: BatchedEngine, max_batch: int = 64):
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        self.engine = engine
+        self.max_batch = max_batch
+        self.stats = ServeStats()
+        self._pending: list[tuple[int, np.ndarray]] = []
+        self._results: dict[int, np.ndarray] = {}
+        self._next_ticket = 0
+
+    def __len__(self) -> int:
+        """Number of pending (not yet executed) requests."""
+        return len(self._pending)
+
+    def submit(self, sample: np.ndarray) -> int:
+        """Enqueue one sample (shape = the network's input shape)."""
+        sample = np.asarray(sample)
+        if sample.shape != self.engine.input_shape:
+            raise ValueError(
+                f"expected one sample of shape {self.engine.input_shape}, got {sample.shape}"
+            )
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._pending.append((ticket, sample))
+        if len(self._pending) >= self.max_batch:
+            self.flush()
+        return ticket
+
+    def flush(self) -> int:
+        """Execute all pending requests now; returns how many ran."""
+        if not self._pending:
+            return 0
+        tickets = [t for t, _ in self._pending]
+        batch = np.stack([s for _, s in self._pending])
+        self._pending.clear()
+        logits = self.engine.run(batch)
+        for ticket, row in zip(tickets, logits):
+            self._results[ticket] = row
+        self.stats.record(len(tickets))
+        return len(tickets)
+
+    def result(self, ticket: int) -> np.ndarray:
+        """Logits for one ticket, flushing pending work only if needed.
+
+        Unknown or already-consumed tickets raise without touching the
+        queue — an error lookup must not force other callers' pending
+        requests into a premature partial batch.
+        """
+        if not 0 <= ticket < self._next_ticket:
+            raise KeyError(f"unknown ticket {ticket}")
+        if ticket not in self._results:
+            if all(t != ticket for t, _ in self._pending):
+                raise KeyError(f"already-consumed ticket {ticket}")
+            self.flush()
+        return self._results.pop(ticket)

@@ -131,6 +131,12 @@ class TestChooseFractionLength:
     def test_zero_input_default(self):
         assert choose_fraction_length(np.zeros(4), bits=8) == 7
 
+    def test_subnormal_input_does_not_overflow(self):
+        # max_code / max_abs overflows float64 for subnormals; the log
+        # formulation must survive and clamp to the fine-grid end.
+        f = choose_fraction_length(np.array([0.0, 2.225073858507e-311]), bits=8)
+        assert f == 64
+
     def test_never_saturates_calibration_max(self, rng):
         for _ in range(20):
             x = rng.uniform(0.001, 500, size=10)

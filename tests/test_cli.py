@@ -13,13 +13,17 @@ class TestParser:
 
     def test_known_commands(self):
         parser = build_parser()
-        for cmd in ("table1", "table2", "table3", "schedule", "fig3"):
+        for cmd in ("table1", "table2", "table3", "schedule", "fig3", "serve"):
             args = parser.parse_args([cmd])
             assert callable(args.fn)
 
     def test_epochs_flag(self):
         args = build_parser().parse_args(["table2", "--epochs", "4"])
         assert args.epochs == 4
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(["serve", "--batch", "8", "--requests", "32"])
+        assert args.batch == 8 and args.requests == 32
 
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
@@ -46,3 +50,11 @@ class TestFastCommands:
         out = capsys.readouterr().out
         assert "fp32" in out and "mfdfp" in out
         assert "us" in out and "uJ" in out
+
+    def test_serve_reports_throughput(self, capsys):
+        main(["serve", "--requests", "24", "--batch", "8"])
+        out = capsys.readouterr().out
+        assert "scalar path" in out
+        assert "batched engine" in out
+        assert "modeled NPU" in out
+        assert "24 requests" in out

@@ -1,0 +1,55 @@
+"""Docs freshness: README/docs code blocks must run, references must exist.
+
+Two rot guards:
+
+* every fenced ``python`` block in ``README.md`` and ``docs/*.md`` is
+  executed (blocks within one document share a namespace, so later
+  blocks may build on earlier ones);
+* every repo-relative path these documents mention (``benchmarks/...``,
+  ``examples/...``, ``docs/...``, ``src/repro/...``) must exist.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(
+    [REPO_ROOT / "README.md", *(REPO_ROOT / "docs").glob("*.md")],
+    key=lambda p: p.name,
+)
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+_PATH = re.compile(r"\b((?:benchmarks|examples|docs|src/repro)/[\w./-]+\.(?:py|md))\b")
+
+
+def _doc_ids():
+    return [p.relative_to(REPO_ROOT).as_posix() for p in DOC_FILES]
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())
+def test_docs_exist_and_have_content(doc):
+    assert doc.is_file(), f"{doc} is missing"
+    assert len(doc.read_text()) > 200
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())
+def test_python_blocks_execute(doc):
+    blocks = _FENCE.findall(doc.read_text())
+    if not blocks:
+        pytest.skip(f"{doc.name} has no python blocks")
+    namespace: dict = {"__name__": "__docs__"}
+    for i, block in enumerate(blocks):
+        code = compile(block, f"{doc.name}[block {i}]", "exec")
+        exec(code, namespace)  # noqa: S102 - executing our own documentation
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=_doc_ids())
+def test_referenced_files_exist(doc):
+    missing = sorted(
+        {ref for ref in _PATH.findall(doc.read_text()) if not (REPO_ROOT / ref).exists()}
+    )
+    assert not missing, f"{doc.name} references missing files: {missing}"
