@@ -1,0 +1,117 @@
+"""Multi-model serving throughput: concurrent runtime vs serialized baseline.
+
+The serving runtime earns its keep two ways on top of the compiled
+engine: micro-batching (vectorized execution amortizes the per-call
+dispatch that dominates solo runs) and a worker pool (the BLAS kernels
+release the GIL, so batches of different models overlap).  This
+benchmark hosts the two zoo serving entry points at serving scale
+(size-8 surrogate artifacts — high request rates against small models
+is exactly the regime micro-batching exists for) and measures
+end-to-end request throughput in two configurations:
+
+* **serialized baseline** — one worker, micro-batch 1, closed loop:
+  request N+1 is not submitted until request N's result is back.  This
+  is the naive synchronous one-thread server.
+* **concurrent runtime** — 4 workers × micro-batch 64, open loop: all
+  clients' requests are in flight at once, interleaved across models.
+
+The acceptance gate is the PR's: the concurrent runtime must deliver
+≥ 3x the serialized baseline's requests/sec while every future resolves
+bit-identically to a solo engine run (no cross-model bleed, no loss).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve import ModelRegistry, ServerRuntime
+from repro.zoo import alexnet_deployable, cifar10_full_deployable
+
+MODELS = ("cifar10_full", "alexnet")
+REQUESTS_PER_MODEL = 256
+WORKERS = 4
+MAX_BATCH = 64
+GATE = 3.0
+
+
+@pytest.fixture(scope="module")
+def served():
+    """Serving-scale registry (engines pre-compiled) + per-model requests."""
+    registry = ModelRegistry()
+    registry.register("cifar10_full", lambda: cifar10_full_deployable(size=8))
+    registry.register("alexnet", lambda: alexnet_deployable(size=8))
+    rng = np.random.default_rng(11)
+    requests = {
+        name: rng.normal(
+            scale=0.5, size=(REQUESTS_PER_MODEL,) + registry.engine(name).input_shape
+        ).astype(np.float32)
+        for name in MODELS
+    }
+    return {"registry": registry, "requests": requests}
+
+
+def _run_serialized(served):
+    """Closed loop, one worker, batch 1: strictly one request at a time."""
+    runtime = ServerRuntime(
+        served["registry"], MODELS, workers=1, max_batch=1, max_queue=4
+    )
+    requests = served["requests"]
+    start = time.perf_counter()
+    with runtime:
+        for i in range(REQUESTS_PER_MODEL):
+            for name in MODELS:
+                runtime.submit(name, requests[name][i]).result(timeout=120)
+    return time.perf_counter() - start
+
+
+def _run_concurrent(served):
+    """Open loop, worker pool, micro-batches: everything in flight at once."""
+    runtime = ServerRuntime(
+        served["registry"], MODELS, workers=WORKERS, max_batch=MAX_BATCH, max_queue=10_000
+    )
+    requests = served["requests"]
+    start = time.perf_counter()
+    with runtime:
+        futures = [
+            (name, i, runtime.submit(name, requests[name][i]))
+            for i in range(REQUESTS_PER_MODEL)
+            for name in MODELS  # interleaved, as concurrent client traffic
+        ]
+        for _, _, future in futures:
+            future.result(timeout=120)
+    return time.perf_counter() - start, futures
+
+
+def test_bench_serialized_baseline(served, benchmark):
+    benchmark(_run_serialized, served)
+
+
+def test_bench_concurrent_runtime(served, benchmark):
+    benchmark(_run_concurrent, served)
+
+
+def test_concurrent_3x_serialized_and_bit_identical(served):
+    """Acceptance gate: ≥ 3x the 1-worker serialized baseline, exact outputs."""
+    registry, requests = served["registry"], served["requests"]
+    total = len(MODELS) * REQUESTS_PER_MODEL
+
+    _run_concurrent(served)  # warm the pool/allocator paths outside the timers
+    serial_s = min(_run_serialized(served) for _ in range(3))
+    concurrent_s, futures = min(
+        (_run_concurrent(served) for _ in range(3)), key=lambda pair: pair[0]
+    )
+
+    references = {name: registry.engine(name).run(requests[name]) for name in MODELS}
+    for name, i, future in futures:
+        assert np.array_equal(future.result(0), references[name][i]), (name, i)
+
+    serial_rps = total / serial_s
+    concurrent_rps = total / concurrent_s
+    speedup = concurrent_rps / serial_rps
+    print(
+        f"\n{total} requests over {len(MODELS)} models: "
+        f"serialized {serial_rps:.0f} req/s, concurrent {concurrent_rps:.0f} req/s "
+        f"({speedup:.1f}x)"
+    )
+    assert speedup >= GATE, f"concurrent runtime only {speedup:.2f}x over serialized baseline"

@@ -7,13 +7,17 @@ Usage::
     python -m repro schedule          # per-layer latency of both networks
     python -m repro fig3 [--epochs N] # Figure-3 curves on the surrogate
     python -m repro table2 [--epochs N]  # accuracy/time/energy (Table 2)
-    python -m repro serve [--batch N] [--requests N]  # batched serving demo
+    python -m repro serve [--models a,b] [--workers N] [--batch N] \
+        [--max-queue N] [--requests N]   # concurrent multi-model serving
 
 ``table2`` and ``fig3`` train on the CIFAR-10 surrogate and take a few
-minutes; the others are instantaneous.  ``serve`` deploys a quantized
-surrogate network and pushes requests through the micro-batch queue
-(:mod:`repro.serve`), reporting measured samples/sec for the scalar and
-batched paths plus the modeled silicon throughput.
+minutes; the others are instantaneous.  ``serve`` hosts the named
+registry models (default ``cifar10_full``; ``alexnet`` also ships) on a
+:class:`repro.serve.ServerRuntime` worker pool, pushes interleaved
+requests through the per-model micro-batch queues, and prints a
+per-model metrics summary — served/shed counts, batch fill, latency
+percentiles, and the modeled silicon throughput next to the measured
+one.
 """
 
 from __future__ import annotations
@@ -98,51 +102,64 @@ def _cmd_table2(args) -> None:
 def _cmd_serve(args) -> None:
     import time
 
-    from repro.core import MFDFPNetwork
-    from repro.core.engine import BatchedEngine, execute_deployed
-    from repro.datasets import cifar10_surrogate
     from repro.hw import Accelerator, AcceleratorConfig
-    from repro.serve import MicroBatchQueue
-    from repro.zoo import cifar10_small
+    from repro.serve import ModelRegistry, QueueFullError, ServerRuntime
 
-    train, test = cifar10_surrogate(
-        n_train=256, n_test=max(64, args.requests), size=16, seed=0
+    registry = ModelRegistry.with_defaults()
+    models = [name.strip() for name in args.models.split(",") if name.strip()]
+    runtime = ServerRuntime(
+        registry,
+        models,
+        workers=args.workers,
+        max_batch=args.batch,
+        max_queue=args.max_queue,
+        accelerator=Accelerator(AcceleratorConfig(precision="mfdfp")),
     )
-    net = cifar10_small(size=16, rng=np.random.default_rng(0))
-    mfdfp = MFDFPNetwork.from_float(net, train.x[:128])
-    mfdfp.calibrate_bias_to_accumulator_grid()
-    deployed = mfdfp.deploy()
-    requests = test.x[: args.requests]
+    rng = np.random.default_rng(0)
+    samples = {
+        name: rng.normal(scale=0.5, size=(args.requests,) + registry.engine(name).input_shape)
+        .astype(np.float32)
+        for name in models
+    }
 
-    engine = BatchedEngine(deployed)
-    queue = MicroBatchQueue(engine, max_batch=args.batch)
-    t0 = time.perf_counter()
-    tickets = [queue.submit(sample) for sample in requests]
-    queue.flush()
-    logits = np.stack([queue.result(t) for t in tickets])
-    batched_s = time.perf_counter() - t0
-
-    n_ref = min(len(requests), 32)
-    t0 = time.perf_counter()
-    for i in range(n_ref):
-        execute_deployed(deployed, requests[i : i + 1])
-    scalar_s = time.perf_counter() - t0
-
-    scalar_sps = n_ref / scalar_s
-    batched_sps = len(requests) / batched_s
-    accel = Accelerator(AcceleratorConfig(precision="mfdfp"))
-    print(f"deployed {deployed.name}: {len(requests)} requests, micro-batch {args.batch}")
-    print(f"  scalar path   {scalar_sps:>10.1f} samples/s")
     print(
-        f"  batched engine{batched_sps:>10.1f} samples/s"
-        f"  ({batched_sps / scalar_sps:.1f}x, mean fill "
-        f"{queue.stats.mean_fill:.1f}/{args.batch})"
+        f"hosting {', '.join(models)}: {args.workers} workers, "
+        f"micro-batch {args.batch}, max queue {args.max_queue}"
     )
+    t0 = time.perf_counter()
+    futures, shed = [], 0
+    with runtime:
+        for i in range(args.requests):  # interleave models, as live traffic would
+            for name in models:
+                try:
+                    futures.append((name, runtime.submit(name, samples[name][i])))
+                except QueueFullError:
+                    shed += 1
+        logits = {name: [] for name in models}
+        for name, future in futures:
+            logits[name].append(future.result())
+    elapsed = time.perf_counter() - t0
+
+    served = sum(len(rows) for rows in logits.values())
+    for name in models:
+        stats = runtime.metrics_summary()[name]
+        profile = runtime.hw_profile(name)
+        print(
+            f"  {name:<14} {stats['completed']:>5} served  {stats['rejected']:>3} shed  "
+            f"mean fill {stats['mean_fill']:>5.1f}/{args.batch}  "
+            f"p50 {1e3 * stats['latency_p50_s']:>6.2f} ms  "
+            f"p99 {1e3 * stats['latency_p99_s']:>6.2f} ms  "
+            f"modeled NPU {profile['throughput_ips']:>9.1f} samples/s"
+        )
+    cache = registry.cache_stats()
     print(
-        f"  modeled NPU   {accel.batch_throughput_ips(deployed, args.batch):>10.1f} samples/s"
-        f"  (250 MHz, 1 PU)"
+        f"  total         {served} served / {shed} shed in {elapsed:.3f}s "
+        f"({served / elapsed:.1f} samples/s measured); "
+        f"engine cache: {cache['engines']} compiled, {cache['hits']} hits"
     )
-    print(f"  prediction histogram: {np.bincount(np.argmax(logits, axis=1), minlength=10)}")
+    for name in models:
+        hist = np.bincount(np.argmax(np.stack(logits[name]), axis=1), minlength=10)
+        print(f"  {name} prediction histogram: {hist}")
 
 
 def _cmd_fig3(args) -> None:
@@ -188,9 +205,24 @@ def build_parser() -> argparse.ArgumentParser:
     p3 = sub.add_parser("fig3", help="training curves (Figure 3; trains)")
     p3.add_argument("--epochs", type=int, default=12)
     p3.set_defaults(fn=_cmd_fig3)
-    p4 = sub.add_parser("serve", help="batched serving demo (micro-batch queue)")
+    p4 = sub.add_parser("serve", help="concurrent multi-model serving demo")
+    p4.add_argument(
+        "--models",
+        default="cifar10_full",
+        help="comma-separated registered model names (default: cifar10_full; "
+        "also available: alexnet)",
+    )
+    p4.add_argument("--workers", type=_positive_int, default=2, help="worker threads")
     p4.add_argument("--batch", type=_positive_int, default=64, help="micro-batch size")
-    p4.add_argument("--requests", type=_positive_int, default=256, help="number of requests")
+    p4.add_argument(
+        "--max-queue",
+        type=_positive_int,
+        default=1024,
+        help="per-model admission bound (requests beyond it are shed)",
+    )
+    p4.add_argument(
+        "--requests", type=_positive_int, default=256, help="requests per model"
+    )
     p4.set_defaults(fn=_cmd_serve)
     return parser
 

@@ -33,7 +33,13 @@ from repro.core.dfp import (
 from repro.core.distill import DistillationLoss, soften
 from repro.core.engine import BatchedEngine, CompiledOp, execute_deployed
 from repro.core.ensemble import Ensemble
-from repro.core.mfdfp import DeployedLayer, DeployedMFDFP, MFDFPNetwork, deploy
+from repro.core.mfdfp import (
+    DeployedLayer,
+    DeployedMFDFP,
+    MFDFPNetwork,
+    deploy,
+    deploy_calibrated,
+)
 from repro.core.pipeline import (
     MFDFPConfig,
     MFDFPResult,
@@ -79,6 +85,7 @@ __all__ = [
     "build_mfdfp_ensemble",
     "choose_fraction_length",
     "deploy",
+    "deploy_calibrated",
     "dfp_from_codes",
     "dfp_quantize",
     "dfp_to_codes",

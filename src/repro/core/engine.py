@@ -26,6 +26,9 @@ forwards here.
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -343,6 +346,128 @@ def execute_deployed(
     return codes
 
 
+# -- engine identity -------------------------------------------------------------
+def engine_fingerprint(deployed: DeployedMFDFP) -> str:
+    """Cheap content fingerprint of a deployed network.
+
+    Hashes the execution-relevant content — op kinds, geometry, radix
+    indices, fused activations, weight codes and integer biases — so two
+    artifacts that would compile to identical engines share a
+    fingerprint even when they are distinct Python objects (e.g. the
+    same network deployed twice).  One pass over the integer tensors,
+    orders of magnitude cheaper than a compile, which is what lets
+    :class:`EngineCache` promise compile-once semantics per content.
+
+    The digest is memoized on the artifact so hot paths (e.g.
+    ``Accelerator.run_batched`` hitting the cache per call) hash the
+    tensors once, not per lookup.  The memo is paired with ``id(self)``,
+    so copies (``inject_weight_faults`` deep-copies before mutating)
+    never inherit a stale digest.  A deployed network is a *frozen*
+    artifact — mutate one in place and, like any cache key, its
+    fingerprint must be treated as invalidated (copy first, as the fault
+    injector does).
+    """
+    memo = deployed.__dict__.get("_fingerprint_memo")
+    if memo is not None and memo[0] == id(deployed):
+        return memo[1]
+    h = hashlib.blake2b(digest_size=16)
+    h.update(
+        repr((tuple(deployed.input_shape), deployed.input_frac, deployed.bits)).encode()
+    )
+    for op in deployed.ops:
+        h.update(
+            repr(
+                (
+                    op.kind,
+                    op.in_frac,
+                    op.out_frac,
+                    op.activation,
+                    op.in_channels,
+                    op.out_channels,
+                    op.kernel_size,
+                    op.stride,
+                    op.pad,
+                    op.groups,
+                    op.ceil_mode,
+                    op.in_features,
+                    op.out_features,
+                )
+            ).encode()
+        )
+        if op.weight_codes is not None:
+            h.update(np.ascontiguousarray(op.weight_codes, dtype=np.uint8).tobytes())
+        if op.bias_int is not None:
+            h.update(np.ascontiguousarray(op.bias_int, dtype=np.int64).tobytes())
+    digest = h.hexdigest()
+    deployed.__dict__["_fingerprint_memo"] = (id(deployed), digest)
+    return digest
+
+
+class EngineCache:
+    """Thread-safe bounded cache of compiled engines, keyed by content.
+
+    ``get`` compiles a :class:`BatchedEngine` on first sight of a
+    network's :func:`engine_fingerprint` and returns the *same* engine
+    object on every later call with equal content — compile once, serve
+    forever.  Eviction is least-recently-used and bounded at
+    ``capacity`` entries so sweeping many networks through one cache
+    cannot grow memory without bound.
+
+    Concurrency: lookups take a short mutex; compilation happens under a
+    separate compile lock with a double-check, so concurrent requests
+    for the same network trigger exactly one compile (the losers block
+    and receive the winner's engine).  Compiles of *different* networks
+    serialize too — compilation is milliseconds for the models served
+    here, and the simple locking is easy to prove correct.
+    """
+
+    def __init__(self, capacity: int = 8):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._compile_lock = threading.Lock()
+        self._engines: OrderedDict[tuple, BatchedEngine] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._engines)
+
+    def _lookup(self, key: tuple) -> Optional[BatchedEngine]:
+        """Return and LRU-touch the cached engine for ``key``, if any."""
+        engine = self._engines.get(key)
+        if engine is not None:
+            self._engines.move_to_end(key)
+            self.hits += 1
+        return engine
+
+    def get(self, deployed: DeployedMFDFP, check_widths: bool = False) -> BatchedEngine:
+        """The cached engine for ``deployed``, compiling on first use."""
+        key = (engine_fingerprint(deployed), bool(check_widths))
+        with self._lock:
+            engine = self._lookup(key)
+        if engine is not None:
+            return engine
+        with self._compile_lock:
+            with self._lock:
+                engine = self._lookup(key)
+            if engine is not None:
+                return engine
+            engine = BatchedEngine(deployed, check_widths=check_widths)
+            with self._lock:
+                self.misses += 1
+                self._engines[key] = engine
+                while len(self._engines) > self.capacity:
+                    self._engines.popitem(last=False)
+            return engine
+
+    def clear(self) -> None:
+        with self._lock:
+            self._engines.clear()
+
+
 # -- compiled engine -------------------------------------------------------------
 @dataclass(frozen=True)
 class CompiledOp:
@@ -383,6 +508,19 @@ class BatchedEngine:
             self.program.append(CompiledOp(op.name, op.kind, kernel, shape))
         self.output_shape = shape
         self._out_scale = 2.0 ** (-deployed.ops[-1].out_frac)
+        self._fingerprint: Optional[str] = None
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the compiled network (lazy, cached).
+
+        Equal fingerprints mean the engines were compiled from
+        bit-identical artifacts and therefore compute the same function;
+        :class:`EngineCache` uses it as the cache key.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = engine_fingerprint(self.deployed)
+        return self._fingerprint
 
     # -- execution ---------------------------------------------------------
     def run_codes(self, x: np.ndarray) -> np.ndarray:

@@ -120,6 +120,23 @@ class MFDFPNetwork:
         return deploy(self.net, self.plan)
 
 
+def deploy_calibrated(
+    net: Network, calibration_x: np.ndarray, **from_float_kwargs
+) -> "DeployedMFDFP":
+    """Quantize a float network and freeze it, ready to serve.
+
+    The standard deployment recipe in one call: attach MF-DFP hooks
+    (:meth:`MFDFPNetwork.from_float`, forwarding ``from_float_kwargs``),
+    snap biases onto the hardware accumulator grid, and
+    :meth:`~MFDFPNetwork.deploy` to the integer artifact.  Used by the
+    zoo's serving entry points; fine-tuning flows keep the explicit
+    step-by-step form.
+    """
+    mfdfp = MFDFPNetwork.from_float(net, calibration_x, **from_float_kwargs)
+    mfdfp.calibrate_bias_to_accumulator_grid()
+    return mfdfp.deploy()
+
+
 @dataclass
 class DeployedLayer:
     """One operation of a deployed MF-DFP network.

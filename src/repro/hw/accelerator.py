@@ -71,9 +71,11 @@ class Accelerator:
     """Area/power/latency/energy model plus bit-accurate execution."""
 
     def __init__(self, config: AcceleratorConfig | None = None, cost_model: CostModel | None = None):
+        from repro.core.engine import EngineCache
+
         self.config = config or AcceleratorConfig()
         self.cost_model = cost_model or CostModel()
-        self._engines: dict[int, object] = {}  # id(deployed) -> BatchedEngine
+        self._engine_cache = EngineCache(capacity=self.ENGINE_CACHE_SIZE)
         self.breakdown: CostBreakdown = self.cost_model.evaluate(
             self.config.precision, self.config.num_pus, self.config.buffers
         )
@@ -172,6 +174,25 @@ class Accelerator:
         """Energy of one whole batch: average power x batch latency."""
         return self.power_mw * 1e-3 * self.schedule_batch(deployed, batch_size).time_us()
 
+    def batch_profile(self, deployed: DeployedMFDFP, batch_size: int) -> dict:
+        """Modeled silicon accounting for serving one network in batches.
+
+        One schedule pass, surfaced in the shape the serving runtime's
+        metrics expect: ``throughput_ips`` (steady-state samples/s),
+        ``batch_latency_us``, ``batch_energy_uj`` and the derived
+        ``energy_uj_per_sample``.
+        """
+        schedule = self.schedule_batch(deployed, batch_size)
+        batch_latency_us = schedule.time_us()
+        batch_energy_uj = self.power_mw * 1e-3 * batch_latency_us
+        return {
+            "batch_size": batch_size,
+            "throughput_ips": schedule.throughput_ips(),
+            "batch_latency_us": batch_latency_us,
+            "batch_energy_uj": batch_energy_uj,
+            "energy_uj_per_sample": batch_energy_uj / batch_size,
+        }
+
     # -- execution ----------------------------------------------------------------
     def run(self, deployed: DeployedMFDFP, x: np.ndarray) -> np.ndarray:
         """Bit-accurate integer inference; returns float logits.
@@ -191,21 +212,15 @@ class Accelerator:
     def engine_for(self, deployed: DeployedMFDFP):
         """The cached :class:`~repro.core.engine.BatchedEngine` for a network.
 
-        Compiles on first use.  The cache keeps a strong reference to the
-        engine (and through it the deployed network) so the ``id`` key
-        stays valid, and is bounded at :data:`ENGINE_CACHE_SIZE` entries
-        (least-recently-compiled evicted) so sweeping many networks
-        through one accelerator cannot grow memory without bound.
+        Compiles on first use through a content-addressed
+        :class:`~repro.core.engine.EngineCache`: networks with identical
+        integer tensors share one engine even across distinct ``deploy()``
+        calls, lookups are thread-safe, and the cache is bounded at
+        :data:`ENGINE_CACHE_SIZE` entries (least-recently-used evicted)
+        so sweeping many networks through one accelerator cannot grow
+        memory without bound.
         """
-        from repro.core.engine import BatchedEngine
-
-        engine = self._engines.get(id(deployed))
-        if engine is None or engine.deployed is not deployed:
-            engine = BatchedEngine(deployed, check_widths=self.config.check_widths)
-            while len(self._engines) >= self.ENGINE_CACHE_SIZE:
-                self._engines.pop(next(iter(self._engines)))
-            self._engines[id(deployed)] = engine
-        return engine
+        return self._engine_cache.get(deployed, check_widths=self.config.check_widths)
 
     def run_batched(self, deployed: DeployedMFDFP, x: np.ndarray) -> np.ndarray:
         """Compiled-engine inference; bit-identical to :meth:`run`.

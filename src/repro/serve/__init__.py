@@ -1,17 +1,47 @@
-"""Serving front door for deployed MF-DFP networks.
+"""Serving runtime for deployed MF-DFP networks.
 
-Wraps the compiled :class:`repro.core.engine.BatchedEngine` with request
-batching so heavy-traffic workloads amortize per-call overheads across
-micro-batches:
+Layered front door for heavy-traffic workloads, from a single queue to
+a concurrent multi-tenant server:
 
 * :func:`repro.serve.batching.predict_many` — chunk an ``(N, ...)``
   array into order-preserving micro-batches.
 * :class:`repro.serve.batching.MicroBatchQueue` — submit single-sample
-  requests, flush in batches, collect per-ticket logits.
+  requests, flush in batches, collect per-ticket logits; ``close``
+  drains or rejects in-flight work, never drops it.
+* :class:`repro.serve.registry.ModelRegistry` — named deployable
+  models, built lazily and compiled once behind the thread-safe
+  content-addressed :class:`repro.core.engine.EngineCache`.
+* :class:`repro.serve.runtime.ServerRuntime` — a worker pool draining
+  per-model bounded queues concurrently, with admission control
+  (typed load shedding) and per-model
+  :class:`repro.serve.metrics.ModelMetrics`.
+* :mod:`repro.serve.errors` — the typed rejections
+  (:class:`UnknownModelError`, :class:`QueueFullError`,
+  :class:`ServerClosedError`).
 
 Exposed on the command line as ``python -m repro serve``.
 """
 
 from repro.serve.batching import MicroBatchQueue, ServeStats, predict_many
+from repro.serve.errors import (
+    QueueFullError,
+    ServeError,
+    ServerClosedError,
+    UnknownModelError,
+)
+from repro.serve.metrics import ModelMetrics
+from repro.serve.registry import ModelRegistry
+from repro.serve.runtime import ServerRuntime
 
-__all__ = ["MicroBatchQueue", "ServeStats", "predict_many"]
+__all__ = [
+    "MicroBatchQueue",
+    "ModelMetrics",
+    "ModelRegistry",
+    "QueueFullError",
+    "ServeError",
+    "ServerClosedError",
+    "ServerRuntime",
+    "ServeStats",
+    "UnknownModelError",
+    "predict_many",
+]

@@ -19,6 +19,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.engine import BatchedEngine
+from repro.serve.errors import ServerClosedError
 
 #: Recent batch fills kept by :class:`ServeStats` (totals are unbounded).
 FILL_HISTORY = 1024
@@ -79,6 +80,13 @@ class MicroBatchQueue:
     ``result`` (or an explicit ``flush``) drains any remainder.  Results
     are float logits, bit-identical to single-sample execution.
 
+    Shutdown never drops work silently: :meth:`close` either drains the
+    in-flight requests (``drain=True``, the default — their results stay
+    collectable) or rejects them, making ``result`` raise the typed
+    :class:`~repro.serve.errors.ServerClosedError`.  Submitting to a
+    closed queue also raises :class:`ServerClosedError`.  The queue is a
+    context manager; leaving the ``with`` block closes it draining.
+
     Args:
         engine: Compiled engine to execute batches on.
         max_batch: Flush threshold (the engine batch size).
@@ -92,7 +100,13 @@ class MicroBatchQueue:
         self.stats = ServeStats()
         self._pending: list[tuple[int, np.ndarray]] = []
         self._results: dict[int, np.ndarray] = {}
+        self._rejected: set[int] = set()
         self._next_ticket = 0
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def __len__(self) -> int:
         """Number of pending (not yet executed) requests."""
@@ -100,6 +114,8 @@ class MicroBatchQueue:
 
     def submit(self, sample: np.ndarray) -> int:
         """Enqueue one sample (shape = the network's input shape)."""
+        if self._closed:
+            raise ServerClosedError("queue is closed; submission refused")
         sample = np.asarray(sample)
         if sample.shape != self.engine.input_shape:
             raise ValueError(
@@ -134,8 +150,37 @@ class MicroBatchQueue:
         """
         if not 0 <= ticket < self._next_ticket:
             raise KeyError(f"unknown ticket {ticket}")
+        if ticket in self._rejected:
+            self._rejected.discard(ticket)
+            raise ServerClosedError(f"ticket {ticket} was rejected when the queue closed")
         if ticket not in self._results:
             if all(t != ticket for t, _ in self._pending):
                 raise KeyError(f"already-consumed ticket {ticket}")
             self.flush()
         return self._results.pop(ticket)
+
+    def close(self, drain: bool = True) -> int:
+        """Shut the queue down without dropping in-flight work.
+
+        ``drain=True`` executes the pending remainder (results stay
+        collectable through :meth:`result`); ``drain=False`` rejects it,
+        so those tickets' :meth:`result` raises
+        :class:`~repro.serve.errors.ServerClosedError`.  Returns how
+        many pending requests were drained or rejected; idempotent.
+        """
+        if self._closed:
+            return 0
+        if drain:
+            count = self.flush()
+        else:
+            count = len(self._pending)
+            self._rejected.update(t for t, _ in self._pending)
+            self._pending.clear()
+        self._closed = True
+        return count
+
+    def __enter__(self) -> "MicroBatchQueue":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)

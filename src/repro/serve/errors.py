@@ -1,0 +1,56 @@
+"""Typed serving errors.
+
+Every way the serving layer refuses work has its own exception type, so
+clients (and tests) can distinguish *shed* load from *misrouted* load
+from *shutdown*:
+
+* :class:`UnknownModelError` — the request names a model the registry
+  does not host.
+* :class:`QueueFullError` — admission control: the model's queue is at
+  its bound and the request is shed immediately rather than queued.
+* :class:`ServerClosedError` — the runtime (or queue) has shut down;
+  raised both for new submissions after close and for in-flight
+  requests rejected by a non-draining shutdown.
+
+All three derive from :class:`ServeError`; ``UnknownModelError`` also
+derives from :class:`KeyError` so registry lookups behave like a
+mapping.
+"""
+
+from __future__ import annotations
+
+
+class ServeError(Exception):
+    """Base class for all serving-layer failures."""
+
+
+class UnknownModelError(ServeError, KeyError):
+    """A request named a model that is not registered/hosted."""
+
+    def __init__(self, name: str, known: tuple = ()):
+        self.name = name
+        self.known = tuple(known)
+        hint = f"; registered: {', '.join(self.known)}" if self.known else ""
+        super().__init__(f"unknown model {name!r}{hint}")
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep the message
+        return self.args[0]
+
+
+class QueueFullError(ServeError):
+    """Admission control shed a request: the model's queue is at bound."""
+
+    def __init__(self, model: str, depth: int, bound: int):
+        self.model = model
+        self.depth = depth
+        self.bound = bound
+        super().__init__(
+            f"queue for model {model!r} is full ({depth}/{bound}); request shed"
+        )
+
+
+class ServerClosedError(ServeError):
+    """The runtime/queue is shut down; the request was not (or will not be) served."""
+
+    def __init__(self, message: str = "server is closed"):
+        super().__init__(message)

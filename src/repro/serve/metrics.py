@@ -1,0 +1,129 @@
+"""Per-model serving instrumentation.
+
+:class:`ModelMetrics` is the one instrumentation object the runtime
+keeps per hosted model: request counters (submitted / completed /
+rejected), batch-fill accounting, a live queue-depth gauge, a bounded
+latency reservoir with percentile readout, and wall-clock throughput.
+
+The clock is injectable (any zero-argument callable returning seconds)
+so tests drive a fake clock and assert exact latencies and throughput;
+production code uses ``time.monotonic``.  All mutators take the
+instance lock — workers and client threads record concurrently.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from typing import Callable, Optional
+
+#: Most recent per-request latencies kept for percentile readout.
+LATENCY_RESERVOIR = 4096
+
+
+class ModelMetrics:
+    """Thread-safe counters, gauges and latency percentiles for one model.
+
+    Args:
+        model: Model name the metrics describe (echoed in snapshots).
+        clock: Seconds-valued monotonic clock; injectable for tests.
+    """
+
+    def __init__(self, model: str, clock: Callable[[], float] = time.monotonic):
+        self.model = model
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._started = clock()
+        self.submitted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.batches = 0
+        self.batch_samples = 0
+        self.queue_depth = 0
+        self._latencies: deque = deque(maxlen=LATENCY_RESERVOIR)
+
+    # -- recording ---------------------------------------------------------
+    def record_submit(self) -> float:
+        """Count one admitted request; returns its admission timestamp."""
+        now = self.clock()
+        with self._lock:
+            self.submitted += 1
+        return now
+
+    def record_reject(self, n: int = 1) -> None:
+        """Count ``n`` requests refused (admission shed or shutdown)."""
+        with self._lock:
+            self.rejected += n
+
+    def record_batch(self, n: int) -> None:
+        """Count one executed batch of ``n`` samples."""
+        with self._lock:
+            self.batches += 1
+            self.batch_samples += n
+
+    def record_done(self, submitted_at: float) -> None:
+        """Count one completed request; latency = now - admission time."""
+        now = self.clock()
+        with self._lock:
+            self.completed += 1
+            self._latencies.append(now - submitted_at)
+
+    def set_queue_depth(self, depth: int) -> None:
+        """Update the live pending-request gauge."""
+        with self._lock:
+            self.queue_depth = depth
+
+    # -- readout -----------------------------------------------------------
+    @property
+    def mean_fill(self) -> float:
+        """Average samples per executed batch (0.0 before any batch).
+
+        Counts the samples each batch *claimed* (``record_batch``), not
+        completions, so a failed batch does not skew the fill.
+        """
+        with self._lock:
+            return self.batch_samples / self.batches if self.batches else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """Nearest-rank percentile of recorded latencies, in seconds.
+
+        Nearest-rank always returns an observed latency and is monotone
+        in ``q``; returns ``nan`` before any completion.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            ordered = sorted(self._latencies)
+        if not ordered:
+            return float("nan")
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def throughput_rps(self, now: Optional[float] = None) -> float:
+        """Completed requests per second of wall clock since construction."""
+        if now is None:
+            now = self.clock()
+        elapsed = now - self._started
+        with self._lock:
+            completed = self.completed
+        return completed / elapsed if elapsed > 0 else 0.0
+
+    def snapshot(self) -> dict:
+        """One consistent dict of every counter, gauge and percentile."""
+        now = self.clock()
+        with self._lock:
+            counters = {
+                "model": self.model,
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "rejected": self.rejected,
+                "batches": self.batches,
+                "queue_depth": self.queue_depth,
+                "mean_fill": self.batch_samples / self.batches if self.batches else 0.0,
+            }
+        counters["throughput_rps"] = self.throughput_rps(now)
+        counters["latency_p50_s"] = self.latency_percentile(50)
+        counters["latency_p99_s"] = self.latency_percentile(99)
+        return counters

@@ -1,0 +1,115 @@
+"""Named deployable models behind a shared compile-once engine cache.
+
+:class:`ModelRegistry` maps model names to *builders* — zero-argument
+callables producing a :class:`~repro.core.mfdfp.DeployedMFDFP`.  The
+artifact is built lazily on first use and memoized; its compiled
+:class:`~repro.core.engine.BatchedEngine` is memoized behind a
+thread-safe, content-addressed :class:`~repro.core.engine.EngineCache`,
+so a long-running multi-tenant server compiles each network exactly
+once no matter how many workers race for it.
+
+The default registry (:meth:`ModelRegistry.with_defaults`) hosts the
+zoo's serving entry points (``repro.zoo.DEPLOYABLE_BUILDERS``):
+surrogate-scale ``cifar10_full`` and ``alexnet`` artifacts that build in
+well under a second each.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.core.engine import BatchedEngine, EngineCache
+from repro.core.mfdfp import DeployedMFDFP
+from repro.serve.errors import UnknownModelError
+
+
+class ModelRegistry:
+    """Thread-safe name → deployable-artifact → compiled-engine mapping.
+
+    Args:
+        cache_capacity: Bound on distinct compiled engines kept live.
+        check_widths: Compile engines with accumulator width checking
+            (slower; verification runs only).
+    """
+
+    def __init__(self, cache_capacity: int = 8, check_widths: bool = False):
+        self.check_widths = check_widths
+        self._lock = threading.RLock()
+        self._builders: dict[str, Callable[[], DeployedMFDFP]] = {}
+        self._artifacts: dict[str, DeployedMFDFP] = {}
+        self._cache = EngineCache(capacity=cache_capacity)
+
+    @classmethod
+    def with_defaults(cls, **kwargs) -> "ModelRegistry":
+        """A registry pre-loaded with the zoo's serving entry points."""
+        from repro.zoo import DEPLOYABLE_BUILDERS
+
+        registry = cls(**kwargs)
+        for name, builder in DEPLOYABLE_BUILDERS.items():
+            registry.register(name, builder)
+        return registry
+
+    # -- registration ------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        builder: Callable[[], DeployedMFDFP],
+        replace: bool = False,
+    ) -> None:
+        """Register a lazily-built deployable model under ``name``.
+
+        ``builder`` runs at most once, on first use.  Re-registering an
+        existing name requires ``replace=True`` and drops the memoized
+        artifact (the engine cache is content-addressed, so a replaced
+        model that builds identical tensors still hits the cache).
+        """
+        if not name:
+            raise ValueError("model name must be non-empty")
+        with self._lock:
+            if name in self._builders and not replace:
+                raise ValueError(f"model {name!r} is already registered (replace=True to override)")
+            self._builders[name] = builder
+            self._artifacts.pop(name, None)
+
+    def names(self) -> list[str]:
+        """Registered model names, in registration order."""
+        with self._lock:
+            return list(self._builders)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._builders
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._builders)
+
+    # -- resolution --------------------------------------------------------
+    def deployed(self, name: str) -> DeployedMFDFP:
+        """The model's deployed artifact, building (once) if needed.
+
+        Builds run under the registry lock: concurrent callers for the
+        same name get the same object with one builder call.
+        """
+        with self._lock:
+            try:
+                builder = self._builders[name]
+            except KeyError:
+                raise UnknownModelError(name, tuple(self._builders)) from None
+            artifact = self._artifacts.get(name)
+            if artifact is None:
+                artifact = self._artifacts[name] = builder()
+            return artifact
+
+    def engine(self, name: str) -> BatchedEngine:
+        """The model's compiled engine — same object on every cache hit."""
+        return self._cache.get(self.deployed(name), check_widths=self.check_widths)
+
+    def cache_stats(self) -> dict:
+        """Engine-cache occupancy and hit/miss counters."""
+        return {
+            "engines": len(self._cache),
+            "hits": self._cache.hits,
+            "misses": self._cache.misses,
+        }

@@ -12,9 +12,29 @@ paper removes LRN layers ("they are not amenable to our multiplier-free
 hardware implementation"); pass ``include_lrn=True`` for the original
 float topology.  Scaled-down variants are provided for laptop-scale
 training on the surrogate datasets.
+
+For the serving layer, :data:`DEPLOYABLE_BUILDERS` maps the model names
+``python -m repro serve`` accepts to builders of ready-to-serve deployed
+MF-DFP artifacts (surrogate scale, quantized and calibrated;
+:class:`repro.serve.ModelRegistry` hosts them behind the compile-once
+engine cache).
 """
 
-from repro.zoo.alexnet import alexnet, alexnet_small
-from repro.zoo.cifar10_full import cifar10_full, cifar10_small
+from repro.zoo.alexnet import alexnet, alexnet_deployable, alexnet_small
+from repro.zoo.cifar10_full import cifar10_full, cifar10_full_deployable, cifar10_small
 
-__all__ = ["alexnet", "alexnet_small", "cifar10_full", "cifar10_small"]
+#: Serving entry points: registry name → deployable-artifact builder.
+DEPLOYABLE_BUILDERS = {
+    "cifar10_full": cifar10_full_deployable,
+    "alexnet": alexnet_deployable,
+}
+
+__all__ = [
+    "DEPLOYABLE_BUILDERS",
+    "alexnet",
+    "alexnet_deployable",
+    "alexnet_small",
+    "cifar10_full",
+    "cifar10_full_deployable",
+    "cifar10_small",
+]

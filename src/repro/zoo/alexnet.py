@@ -89,6 +89,33 @@ def alexnet(
     return Network(layers, input_shape=ALEXNET_INPUT, name=name)
 
 
+def alexnet_deployable(
+    num_classes: int = 20,
+    size: int = 16,
+    n_calib: int = 128,
+    seed: int = 0,
+):
+    """Serving entry point: a deployed MF-DFP AlexNet artifact.
+
+    Builds the surrogate-scale network (:func:`alexnet_small` — the full
+    62M-parameter model takes minutes to quantize in numpy, far too slow
+    for a serving construction path), quantizes it on downscaled-ImageNet
+    calibration data, and freezes it to the integer artifact the serving
+    registry hosts under the name ``"alexnet"``.  Weights are untrained:
+    the serving layer's contracts (bit-exactness, throughput, admission
+    control) do not depend on accuracy.  Deterministic for a given
+    ``seed``.
+    """
+    from repro.core.mfdfp import deploy_calibrated
+    from repro.datasets import imagenet_surrogate
+
+    train, _ = imagenet_surrogate(
+        n_train=max(n_calib, 64), n_test=8, num_classes=num_classes, size=size, seed=seed
+    )
+    net = alexnet_small(num_classes=num_classes, size=size, rng=np.random.default_rng(seed))
+    return deploy_calibrated(net, train.x[:n_calib])
+
+
 def alexnet_small(
     num_classes: int = 20,
     size: int = 32,

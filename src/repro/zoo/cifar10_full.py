@@ -65,6 +65,30 @@ def cifar10_full(
     return Network(layers, input_shape=(3, 32, 32), name=name)
 
 
+def cifar10_full_deployable(
+    size: int = 16,
+    width: int = 8,
+    n_calib: int = 128,
+    seed: int = 0,
+):
+    """Serving entry point: a deployed MF-DFP ``cifar10_full`` artifact.
+
+    Builds the surrogate-scale network (:func:`cifar10_small` — full
+    3x32x32 quantization is minutes of numpy, far too slow for a serving
+    construction path), quantizes it on surrogate calibration data, and
+    freezes it to the integer artifact the serving registry hosts under
+    the name ``"cifar10_full"``.  Weights are untrained: the serving
+    layer's contracts (bit-exactness, throughput, admission control) do
+    not depend on accuracy.  Deterministic for a given ``seed``.
+    """
+    from repro.core.mfdfp import deploy_calibrated
+    from repro.datasets import cifar10_surrogate
+
+    train, _ = cifar10_surrogate(n_train=max(n_calib, 64), n_test=8, size=size, seed=seed)
+    net = cifar10_small(size=size, width=width, rng=np.random.default_rng(seed))
+    return deploy_calibrated(net, train.x[:n_calib])
+
+
 def cifar10_small(
     num_classes: int = 10,
     size: int = 16,

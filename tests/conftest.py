@@ -10,6 +10,18 @@ from repro.nn import SGD, Trainer
 from repro.zoo import cifar10_small
 
 
+def pytest_configure(config):
+    """Register repo-local markers (no pytest.ini; tier-1 runs everything).
+
+    ``stress`` marks the multithreaded serving stress tests — part of the
+    tier-1 run by default, deselectable with ``-m "not stress"`` on
+    constrained machines.
+    """
+    config.addinivalue_line(
+        "markers", "stress: concurrency stress tests (in tier-1; deselect with -m 'not stress')"
+    )
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(1234)

@@ -1,0 +1,195 @@
+"""Property tests: BatchedEngine ≡ eager executor over random op spaces.
+
+For every executable layer kind, seeded random draws of geometry
+(shapes, kernels, strides, padding, groups), fraction lengths and 4-bit
+weight codes build single-op deployed networks; the compiled engine
+must match the eager reference bit-for-bit for every batch size, and
+batching itself must not change any value (a batch run equals the
+concatenation of solo runs).  The engine-cache hit path is part of the
+property: equal-content artifacts must yield the *same object* and the
+same outputs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    BatchedEngine,
+    EngineCache,
+    engine_fingerprint,
+    execute_deployed,
+)
+from repro.core.mfdfp import DeployedLayer, DeployedMFDFP
+
+SEEDS = range(6)
+BATCH_SIZES = (1, 3, 17)
+
+
+def _fracs(rng):
+    return int(rng.integers(0, 8)), int(rng.integers(0, 8))
+
+
+def _random_conv(rng):
+    in_frac, out_frac = _fracs(rng)
+    groups = int(rng.choice([1, 2]))
+    cin = groups * int(rng.integers(1, 4))
+    cout = groups * int(rng.integers(1, 4))
+    h, w = (int(v) for v in rng.integers(5, 10, size=2))
+    k = int(rng.integers(1, 4))
+    stride = int(rng.integers(1, 3))
+    pad = int(rng.integers(0, 3))
+    op = DeployedLayer(
+        kind="conv",
+        name="conv_prop",
+        in_frac=in_frac,
+        out_frac=out_frac,
+        weight_codes=rng.integers(0, 16, size=(cout, cin // groups, k, k)),
+        bias_int=rng.integers(-4000, 4000, size=cout) if rng.integers(2) else None,
+        activation=str(rng.choice(["none", "relu"])),
+        in_channels=cin,
+        out_channels=cout,
+        kernel_size=k,
+        stride=stride,
+        pad=pad,
+        groups=groups,
+    )
+    return op, (cin, h, w)
+
+
+def _random_dense(rng):
+    in_frac, out_frac = _fracs(rng)
+    fin = int(rng.integers(1, 40))
+    fout = int(rng.integers(1, 10))
+    op = DeployedLayer(
+        kind="dense",
+        name="dense_prop",
+        in_frac=in_frac,
+        out_frac=out_frac,
+        weight_codes=rng.integers(0, 16, size=(fout, fin)),
+        bias_int=rng.integers(-4000, 4000, size=fout) if rng.integers(2) else None,
+        activation=str(rng.choice(["none", "relu"])),
+        in_features=fin,
+        out_features=fout,
+    )
+    return op, (fin,)
+
+
+def _random_pool(kind):
+    def draw(rng):
+        in_frac, out_frac = _fracs(rng)
+        c = int(rng.integers(1, 4))
+        h, w = (int(v) for v in rng.integers(5, 10, size=2))
+        k = int(rng.integers(2, 4))
+        op = DeployedLayer(
+            kind=kind,
+            name=f"{kind}_prop",
+            in_frac=in_frac,
+            out_frac=out_frac,
+            kernel_size=k,
+            stride=int(rng.integers(1, 3)),
+            pad=int(rng.integers(0, 2)),
+            ceil_mode=bool(rng.integers(2)),
+        )
+        return op, (c, h, w)
+
+    return draw
+
+
+def _random_flatten(rng):
+    in_frac = int(rng.integers(0, 8))
+    c, h, w = (int(v) for v in rng.integers(2, 6, size=3))
+    op = DeployedLayer(kind="flatten", name="flat_prop", in_frac=in_frac, out_frac=in_frac)
+    return op, (c, h, w)
+
+
+DRAWS = {
+    "conv": _random_conv,
+    "dense": _random_dense,
+    "maxpool": _random_pool("maxpool"),
+    "avgpool": _random_pool("avgpool"),
+    "flatten": _random_flatten,
+}
+
+
+def _deployed_single_op(kind, seed):
+    # stable per-kind offset (hash() is randomized across processes)
+    rng = np.random.default_rng(1000 * seed + sum(kind.encode()))
+    op, in_shape = DRAWS[kind](rng)
+    deployed = DeployedMFDFP(
+        name=f"prop_{kind}_{seed}",
+        input_shape=in_shape,
+        input_frac=op.in_frac,
+        bits=8,
+        ops=[op],
+    )
+    return deployed, rng
+
+
+@pytest.mark.parametrize("kind", sorted(DRAWS))
+@pytest.mark.parametrize("seed", SEEDS)
+class TestEngineMatchesReference:
+    def test_bit_identical_roundtrip(self, kind, seed):
+        deployed, rng = _deployed_single_op(kind, seed)
+        engine = BatchedEngine(deployed)
+        for n in BATCH_SIZES:
+            x = rng.uniform(-2.0, 2.0, size=(n,) + deployed.input_shape)
+            reference = execute_deployed(deployed, x)
+            codes = engine.run_codes(x)
+            assert codes.dtype.kind in "iu"
+            assert np.array_equal(codes, reference), f"{kind} seed={seed} N={n}"
+            scale = 2.0 ** (-deployed.ops[-1].out_frac)
+            assert np.array_equal(engine.run(x), codes.astype(np.float64) * scale)
+
+    def test_batching_never_changes_values(self, kind, seed):
+        deployed, rng = _deployed_single_op(kind, seed)
+        engine = BatchedEngine(deployed)
+        x = rng.uniform(-2.0, 2.0, size=(7,) + deployed.input_shape)
+        solo = np.concatenate([engine.run_codes(x[i : i + 1]) for i in range(7)])
+        assert np.array_equal(engine.run_codes(x), solo)
+
+
+@pytest.mark.parametrize("kind", sorted(DRAWS))
+class TestEngineCacheHitPath:
+    def test_cache_hit_same_object_same_outputs(self, kind):
+        deployed, rng = _deployed_single_op(kind, seed=0)
+        cache = EngineCache()
+        engine = cache.get(deployed)
+        x = rng.uniform(-2.0, 2.0, size=(5,) + deployed.input_shape)
+        baseline = engine.run(x)
+        hit = cache.get(deployed)
+        assert hit is engine
+        assert np.array_equal(hit.run(x), baseline)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_equal_content_distinct_objects_share_engine(self, kind):
+        first, _ = _deployed_single_op(kind, seed=0)
+        rebuilt, rng = _deployed_single_op(kind, seed=0)
+        assert first is not rebuilt
+        assert engine_fingerprint(first) == engine_fingerprint(rebuilt)
+        cache = EngineCache()
+        engine = cache.get(first)
+        assert cache.get(rebuilt) is engine
+        x = rng.uniform(-2.0, 2.0, size=(4,) + first.input_shape)
+        assert np.array_equal(engine.run(x), execute_deployed(rebuilt, x) * 2.0 ** (-rebuilt.ops[-1].out_frac))
+
+    def test_different_content_gets_different_engine(self, kind):
+        a, _ = _deployed_single_op(kind, seed=1)
+        b, _ = _deployed_single_op(kind, seed=2)
+        assert engine_fingerprint(a) != engine_fingerprint(b)
+        cache = EngineCache()
+        assert cache.get(a) is not cache.get(b)
+
+
+def test_fingerprint_memo_is_not_inherited_by_mutated_copies():
+    """Regression: the fault injector deep-copies then mutates; the copy
+    must not reuse the original's memoized digest (stale-cache hazard)."""
+    import copy
+
+    deployed, _ = _deployed_single_op("dense", seed=3)
+    original = engine_fingerprint(deployed)
+    faulty = copy.deepcopy(deployed)
+    faulty.ops[0].weight_codes = faulty.ops[0].weight_codes ^ 1  # flip LSBs
+    assert engine_fingerprint(faulty) != original
+    assert engine_fingerprint(deployed) == original  # memo still intact
+    cache = EngineCache()
+    assert cache.get(deployed) is not cache.get(faulty)

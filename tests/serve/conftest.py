@@ -1,0 +1,105 @@
+"""Serve-suite fixtures: a deterministic fake clock and tiny models.
+
+Everything the serving tests need to run fast (< 10 s for the whole
+suite): millisecond-scale MLP artifacts instead of conv networks, a
+manually-advanced clock so latency/throughput assertions are exact, and
+a fresh registry per test with builder-call counting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import deploy_calibrated
+from repro.core.engine import BatchedEngine
+from repro.nn.layers import Dense, ReLU
+from repro.nn.network import Network
+from repro.serve import ModelRegistry
+
+
+class FakeClock:
+    """Deterministic seconds-valued clock: call it to read, advance it to tick."""
+
+    def __init__(self, start: float = 1000.0):
+        self._now = start
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        assert seconds >= 0, "a monotonic clock cannot go backwards"
+        self._now += seconds
+
+
+@pytest.fixture
+def fake_clock():
+    return FakeClock()
+
+
+def tiny_deployed(seed: int, in_features: int, out_features: int, name: str):
+    """A deployed MF-DFP MLP small enough to execute in microseconds."""
+    rng = np.random.default_rng(seed)
+    net = Network(
+        [
+            Dense(in_features, 12, rng=rng, name="d1"),
+            ReLU(name="r"),
+            Dense(12, out_features, rng=rng, name="d2"),
+        ],
+        input_shape=(in_features,),
+        name=name,
+    )
+    calib = rng.normal(scale=0.5, size=(64, in_features)).astype(np.float32)
+    return deploy_calibrated(net, calib)
+
+
+@pytest.fixture(scope="session")
+def make_tiny_deployed():
+    """The tiny-model factory, for tests that need bespoke artifacts."""
+    return tiny_deployed
+
+
+@pytest.fixture(scope="session")
+def deployed_a():
+    """Tiny model A: 6 features in, 3 classes out."""
+    return tiny_deployed(seed=21, in_features=6, out_features=3, name="tiny_a")
+
+
+@pytest.fixture(scope="session")
+def deployed_b():
+    """Tiny model B: 5 features in, 4 classes out (distinguishable from A)."""
+    return tiny_deployed(seed=33, in_features=5, out_features=4, name="tiny_b")
+
+
+@pytest.fixture(scope="session")
+def engine_a(deployed_a):
+    """Reference engine for model A (compiled outside any cache under test)."""
+    return BatchedEngine(deployed_a)
+
+
+@pytest.fixture(scope="session")
+def engine_b(deployed_b):
+    return BatchedEngine(deployed_b)
+
+
+@pytest.fixture
+def build_counts():
+    """Mutable builder-call counter: ``{model name: times built}``."""
+    return {}
+
+
+@pytest.fixture
+def registry(deployed_a, deployed_b, build_counts):
+    """Fresh registry hosting the tiny models, with counted builders."""
+
+    def builder(name, artifact):
+        def build():
+            build_counts[name] = build_counts.get(name, 0) + 1
+            return artifact
+
+        return build
+
+    reg = ModelRegistry()
+    reg.register("tiny_a", builder("tiny_a", deployed_a))
+    reg.register("tiny_b", builder("tiny_b", deployed_b))
+    return reg

@@ -1,4 +1,4 @@
-"""Micro-batch queue and predict_many: ordering, exactness, stats."""
+"""Micro-batch queue and predict_many: ordering, exactness, stats, shutdown."""
 
 import numpy as np
 import pytest
@@ -7,7 +7,7 @@ from repro.core import MFDFPNetwork
 from repro.core.engine import BatchedEngine
 from repro.nn.layers import Dense, ReLU
 from repro.nn.network import Network
-from repro.serve import MicroBatchQueue, ServeStats, predict_many
+from repro.serve import MicroBatchQueue, ServeStats, ServerClosedError, predict_many
 
 
 @pytest.fixture(scope="module")
@@ -114,3 +114,61 @@ class TestMicroBatchQueue:
 
     def test_flush_empty_queue(self, engine):
         assert MicroBatchQueue(engine).flush() == 0
+
+
+class TestQueueShutdown:
+    """Regression: closing the queue must never silently drop in-flight work."""
+
+    def test_close_drains_pending_requests(self, engine, requests):
+        queue = MicroBatchQueue(engine, max_batch=100)
+        tickets = [queue.submit(sample) for sample in requests[:5]]
+        assert queue.close() == 5  # in-flight remainder executed, not dropped
+        assert queue.closed and len(queue) == 0
+        got = np.stack([queue.result(t) for t in tickets])
+        assert np.array_equal(got, engine.run(requests[:5]))
+
+    def test_close_without_drain_rejects_with_typed_error(self, engine, requests):
+        queue = MicroBatchQueue(engine, max_batch=100)
+        done = queue.submit(requests[0])
+        result = queue.result(done)  # consumed before the shutdown
+        pending = [queue.submit(sample) for sample in requests[1:4]]
+        assert queue.close(drain=False) == 3
+        for ticket in pending:
+            with pytest.raises(ServerClosedError, match="rejected"):
+                queue.result(ticket)
+        assert np.array_equal(result, engine.run(requests[:1])[0])
+
+    def test_results_executed_before_close_stay_collectable(self, engine, requests):
+        queue = MicroBatchQueue(engine, max_batch=2)
+        tickets = [queue.submit(sample) for sample in requests[:2]]  # auto-flushed
+        queue.close(drain=False)
+        got = np.stack([queue.result(t) for t in tickets])
+        assert np.array_equal(got, engine.run(requests[:2]))
+
+    def test_submit_after_close_raises(self, engine, requests):
+        queue = MicroBatchQueue(engine)
+        queue.close()
+        with pytest.raises(ServerClosedError, match="closed"):
+            queue.submit(requests[0])
+
+    def test_close_is_idempotent(self, engine, requests):
+        queue = MicroBatchQueue(engine, max_batch=100)
+        queue.submit(requests[0])
+        assert queue.close() == 1
+        assert queue.close() == 0
+        assert queue.close(drain=False) == 0
+
+    def test_context_manager_drains_on_exit(self, engine, requests):
+        with MicroBatchQueue(engine, max_batch=100) as queue:
+            tickets = [queue.submit(sample) for sample in requests[:3]]
+        assert queue.closed
+        got = np.stack([queue.result(t) for t in tickets])
+        assert np.array_equal(got, engine.run(requests[:3]))
+
+    def test_context_manager_rejects_on_error_exit(self, engine, requests):
+        with pytest.raises(RuntimeError, match="boom"):
+            with MicroBatchQueue(engine, max_batch=100) as queue:
+                ticket = queue.submit(requests[0])
+                raise RuntimeError("boom")
+        with pytest.raises(ServerClosedError):
+            queue.result(ticket)

@@ -1,0 +1,96 @@
+"""ModelRegistry: lazy builds, compile-once engine cache, thread safety."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import ModelRegistry, UnknownModelError
+
+
+class TestRegistration:
+    def test_builders_are_lazy(self, registry, build_counts):
+        assert build_counts == {}  # nothing built at registration time
+        registry.deployed("tiny_a")
+        assert build_counts == {"tiny_a": 1}
+
+    def test_builder_runs_once(self, registry, build_counts):
+        first = registry.deployed("tiny_a")
+        assert registry.deployed("tiny_a") is first
+        assert build_counts["tiny_a"] == 1
+
+    def test_names_and_contains(self, registry):
+        assert registry.names() == ["tiny_a", "tiny_b"]
+        assert "tiny_a" in registry and "nope" not in registry
+        assert len(registry) == 2
+
+    def test_unknown_model_raises_typed_keyerror(self, registry):
+        with pytest.raises(UnknownModelError, match="unknown model 'ghost'"):
+            registry.deployed("ghost")
+        with pytest.raises(KeyError):  # mapping-flavored for generic callers
+            registry.engine("ghost")
+
+    def test_duplicate_register_needs_replace(self, registry, deployed_a):
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("tiny_a", lambda: deployed_a)
+        registry.register("tiny_a", lambda: deployed_a, replace=True)
+        assert registry.deployed("tiny_a") is deployed_a
+
+    def test_empty_name_rejected(self, registry, deployed_a):
+        with pytest.raises(ValueError, match="non-empty"):
+            registry.register("", lambda: deployed_a)
+
+
+class TestEngineCache:
+    def test_cache_hit_returns_same_object_and_outputs(self, registry):
+        engine = registry.engine("tiny_a")
+        x = np.random.default_rng(3).normal(size=(9, 6)).astype(np.float32)
+        baseline = engine.run(x)
+        again = registry.engine("tiny_a")
+        assert again is engine
+        assert np.array_equal(again.run(x), baseline)
+        stats = registry.cache_stats()
+        assert stats == {"engines": 1, "hits": 1, "misses": 1}
+
+    def test_identical_content_shares_one_engine(self, registry, make_tiny_deployed):
+        """Content addressing: a rebuilt-but-identical artifact hits the cache."""
+        rebuilt = make_tiny_deployed(seed=21, in_features=6, out_features=3, name="tiny_a")
+        registry.register("tiny_a_clone", lambda: rebuilt)
+        engine = registry.engine("tiny_a")
+        assert registry.deployed("tiny_a_clone") is not registry.deployed("tiny_a")
+        assert registry.engine("tiny_a_clone") is engine
+        assert registry.cache_stats()["misses"] == 1
+
+    def test_distinct_models_get_distinct_engines(self, registry):
+        assert registry.engine("tiny_a") is not registry.engine("tiny_b")
+        assert registry.cache_stats()["misses"] == 2
+
+    def test_concurrent_engine_requests_compile_once(self, registry, build_counts):
+        """16 threads race for one model: one build, one compile, one object."""
+        barrier = threading.Barrier(16)
+        engines = []
+        errors = []
+
+        def grab():
+            try:
+                barrier.wait()
+                engines.append(registry.engine("tiny_a"))
+            except Exception as e:  # pragma: no cover - failure reporting
+                errors.append(e)
+
+        threads = [threading.Thread(target=grab) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(engines) == 16
+        assert all(e is engines[0] for e in engines)
+        assert build_counts["tiny_a"] == 1
+        assert registry.cache_stats()["misses"] == 1
+
+
+class TestDefaults:
+    def test_with_defaults_hosts_the_zoo_entry_points(self):
+        registry = ModelRegistry.with_defaults()
+        assert set(registry.names()) == {"cifar10_full", "alexnet"}

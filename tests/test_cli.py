@@ -22,8 +22,24 @@ class TestParser:
         assert args.epochs == 4
 
     def test_serve_flags(self):
-        args = build_parser().parse_args(["serve", "--batch", "8", "--requests", "32"])
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--models", "alexnet,cifar10_full",
+                "--workers", "4",
+                "--batch", "8",
+                "--max-queue", "128",
+                "--requests", "32",
+            ]
+        )
+        assert args.models == "alexnet,cifar10_full"
+        assert args.workers == 4 and args.max_queue == 128
         assert args.batch == 8 and args.requests == 32
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.models == "cifar10_full"
+        assert args.workers == 2 and args.max_queue == 1024
 
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
@@ -51,10 +67,21 @@ class TestFastCommands:
         assert "fp32" in out and "mfdfp" in out
         assert "us" in out and "uJ" in out
 
-    def test_serve_reports_throughput(self, capsys):
-        main(["serve", "--requests", "24", "--batch", "8"])
+    def test_serve_reports_multi_model_metrics(self, capsys):
+        main(
+            [
+                "serve",
+                "--models", "cifar10_full,alexnet",
+                "--workers", "2",
+                "--requests", "24",
+                "--batch", "8",
+            ]
+        )
         out = capsys.readouterr().out
-        assert "scalar path" in out
-        assert "batched engine" in out
+        assert "hosting cifar10_full, alexnet: 2 workers" in out
+        assert "cifar10_full" in out and "alexnet" in out
+        assert out.count("24 served") == 2  # both models served everything
         assert "modeled NPU" in out
-        assert "24 requests" in out
+        assert "p50" in out and "p99" in out
+        assert "engine cache: 2 compiled" in out
+        assert "48 served / 0 shed" in out
