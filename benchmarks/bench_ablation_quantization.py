@@ -59,18 +59,18 @@ def test_print_ablations(ablation_results, capsys, benchmark):
             print(f"  {key:>14}: {value:.4f}")
 
 
-def test_deterministic_not_worse_than_stochastic(ablation_results):
+def test_deterministic_not_worse_than_stochastic(ablation_results, full_only):
     """Paper: 'we found that deterministic quantization gives better
     performance'."""
     assert ablation_results["deterministic"] <= ablation_results["stochastic"] + 0.03
 
 
-def test_dynamic_not_worse_than_static(ablation_results):
+def test_dynamic_not_worse_than_static(ablation_results, full_only):
     """Per-layer radix points are the point of dynamic fixed point."""
     assert ablation_results["dynamic"] <= ablation_results["static"] + 0.02
 
 
-def test_bitwidth_sweep_monotone_trend(ablation_results):
+def test_bitwidth_sweep_monotone_trend(ablation_results, full_only):
     """More activation bits cannot hurt much; 4 bits must be clearly worse
     than 8 (the paper's claim that ultra-low precision breaks accuracy)."""
     assert ablation_results["bits8"] <= ablation_results["bits4"]
@@ -78,12 +78,12 @@ def test_bitwidth_sweep_monotone_trend(ablation_results):
     assert ablation_results["bits4"] >= ablation_results["bits16"]
 
 
-def test_8bit_close_to_16bit(ablation_results):
+def test_8bit_close_to_16bit(ablation_results, full_only):
     """8 bits captures nearly all of the achievable accuracy."""
     assert ablation_results["bits8"] - ablation_results["bits16"] < 0.08
 
 
-def test_exponent_clamp_costs_little(ablation_results):
+def test_exponent_clamp_costs_little(ablation_results, full_only):
     """e >= -7 (4-bit codes) performs close to a wider exponent range —
     the observation that justifies the paper's 4-bit weight encoding."""
     assert ablation_results["clamp7"] - ablation_results["clamp15"] < 0.05

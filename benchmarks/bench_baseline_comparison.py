@@ -62,13 +62,13 @@ def test_print_comparison(comparison, hw_points, capsys, benchmark):
             print(f"  {precision:>14}: {b.area_mm2:6.2f} mm2  {b.power_mw:8.2f} mW")
 
 
-def test_pow2_more_accurate_than_binary_and_ternary(comparison):
+def test_pow2_more_accurate_than_binary_and_ternary(comparison, full_only):
     """The paper's accuracy argument for 8 exponent levels."""
     assert comparison["pow2 (paper)"] <= comparison["binary"] + 0.02
     assert comparison["pow2 (paper)"] <= comparison["ternary"] + 0.02
 
 
-def test_pow2_competitive_with_fixed8(comparison):
+def test_pow2_competitive_with_fixed8(comparison, full_only):
     """...while giving up little against full 8-bit fixed-point weights."""
     assert comparison["pow2 (paper)"] - comparison["fixed8"] < 0.10
 

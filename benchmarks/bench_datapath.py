@@ -15,9 +15,9 @@ from repro.hw.neuron import Neuron
 
 
 @pytest.fixture(scope="module")
-def stimuli():
+def stimuli(quick):
     rng = np.random.default_rng(0)
-    n = 1 << 14
+    n = 1 << 10 if quick else 1 << 14
     return {
         "x": rng.integers(-127, 128, size=(n, 16)),
         "s": rng.choice([-1, 1], size=(n, 16)),

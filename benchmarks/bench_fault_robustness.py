@@ -26,6 +26,7 @@ def fault_curve(cifar_problem, cifar_mfdfp):
         test.y[:200],
         bit_error_rates=BERS,
         rng=np.random.default_rng(0),
+        jobs=2,  # curves are bit-identical for any fan-out
     )
     return dict(points), deployed
 
@@ -41,17 +42,17 @@ def test_print_fault_curve(fault_curve, capsys, benchmark):
             print(f"{ber:>15.0e} {acc:>10.4f}")
 
 
-def test_small_ber_is_tolerated(fault_curve):
+def test_small_ber_is_tolerated(fault_curve, full_only):
     curve, _ = fault_curve
     assert curve[1e-4] >= curve[0.0] - 0.05
 
 
-def test_heavy_corruption_degrades(fault_curve):
+def test_heavy_corruption_degrades(fault_curve, full_only):
     curve, _ = fault_curve
     assert curve[0.1] <= curve[0.0]
 
 
-def test_degradation_roughly_monotone(fault_curve):
+def test_degradation_roughly_monotone(fault_curve, full_only):
     curve, _ = fault_curve
     bers = sorted(curve)
     accs = [curve[b] for b in bers]

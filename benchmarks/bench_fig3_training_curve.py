@@ -20,13 +20,14 @@ from repro.nn import error_rate
 
 
 @pytest.fixture(scope="module")
-def curves(imagenet_problem):
+def curves(imagenet_problem, quick):
     """Three Figure-3 series: float, labels-only, student-teacher."""
     train = imagenet_problem["train"]
     test = imagenet_problem["test"]
     float_net = imagenet_problem["net"]
     float_error = error_rate(float_net, test)
-    config = MFDFPConfig(phase1_epochs=6, phase2_epochs=6, lr=5e-3, batch_size=32)
+    epochs = 1 if quick else 6
+    config = MFDFPConfig(phase1_epochs=epochs, phase2_epochs=epochs, lr=5e-3, batch_size=32)
 
     # labels-only trajectory: phase 1 continued (no distillation)
     labels_net = MFDFPNetwork.from_float(float_net.clone(), train.x[:256])
@@ -62,20 +63,20 @@ def test_print_figure3_series(curves, capsys, benchmark):
             print(f"{i:>5}  {a:>12.4f}  {b:>16.4f}")
 
 
-def test_quantized_error_close_to_float(curves):
+def test_quantized_error_close_to_float(curves, full_only):
     """Paper: labels-only fine-tuning ends < ~1 point above float; allow a
     wider band at surrogate scale."""
     gap = curves["labels_only"][-1] - curves["float_error"]
     assert gap < 0.12
 
 
-def test_student_teacher_not_worse_than_labels_only(curves):
+def test_student_teacher_not_worse_than_labels_only(curves, full_only):
     """Figure 3's key message: the student-teacher curve ends at or below
     the labels-only curve."""
     assert curves["student_teacher"][-1] <= curves["labels_only"][-1] + 0.02
 
 
-def test_finetuning_improves_over_initial_quantized_error(curves):
+def test_finetuning_improves_over_initial_quantized_error(curves, full_only):
     assert curves["labels_only"][-1] <= curves["labels_only"][0] + 0.02
     assert curves["student_teacher"][-1] <= curves["student_teacher"][0] + 0.02
 

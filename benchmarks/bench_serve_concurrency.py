@@ -36,19 +36,20 @@ GATE = 3.0
 
 
 @pytest.fixture(scope="module")
-def served():
+def served(quick):
     """Serving-scale registry (engines pre-compiled) + per-model requests."""
     registry = ModelRegistry()
     registry.register("cifar10_full", lambda: cifar10_full_deployable(size=8))
     registry.register("alexnet", lambda: alexnet_deployable(size=8))
+    per_model = 32 if quick else REQUESTS_PER_MODEL
     rng = np.random.default_rng(11)
     requests = {
         name: rng.normal(
-            scale=0.5, size=(REQUESTS_PER_MODEL,) + registry.engine(name).input_shape
+            scale=0.5, size=(per_model,) + registry.engine(name).input_shape
         ).astype(np.float32)
         for name in MODELS
     }
-    return {"registry": registry, "requests": requests}
+    return {"registry": registry, "requests": requests, "per_model": per_model}
 
 
 def _run_serialized(served):
@@ -59,7 +60,7 @@ def _run_serialized(served):
     requests = served["requests"]
     start = time.perf_counter()
     with runtime:
-        for i in range(REQUESTS_PER_MODEL):
+        for i in range(served["per_model"]):
             for name in MODELS:
                 runtime.submit(name, requests[name][i]).result(timeout=120)
     return time.perf_counter() - start
@@ -75,7 +76,7 @@ def _run_concurrent(served):
     with runtime:
         futures = [
             (name, i, runtime.submit(name, requests[name][i]))
-            for i in range(REQUESTS_PER_MODEL)
+            for i in range(served["per_model"])
             for name in MODELS  # interleaved, as concurrent client traffic
         ]
         for _, _, future in futures:
@@ -91,10 +92,19 @@ def test_bench_concurrent_runtime(served, benchmark):
     benchmark(_run_concurrent, served)
 
 
-def test_concurrent_3x_serialized_and_bit_identical(served):
+def test_concurrent_bit_identical(served):
+    """Every future resolves exactly as a solo engine run (quick mode too)."""
+    registry, requests = served["registry"], served["requests"]
+    _, futures = _run_concurrent(served)
+    references = {name: registry.engine(name).run(requests[name]) for name in MODELS}
+    for name, i, future in futures:
+        assert np.array_equal(future.result(0), references[name][i]), (name, i)
+
+
+def test_concurrent_3x_serialized_and_bit_identical(served, full_only):
     """Acceptance gate: ≥ 3x the 1-worker serialized baseline, exact outputs."""
     registry, requests = served["registry"], served["requests"]
-    total = len(MODELS) * REQUESTS_PER_MODEL
+    total = len(MODELS) * served["per_model"]
 
     _run_concurrent(served)  # warm the pool/allocator paths outside the timers
     serial_s = min(_run_serialized(served) for _ in range(3))

@@ -33,22 +33,22 @@ def accelerators():
 
 
 @pytest.fixture(scope="module")
-def cifar_rows(cifar_problem, cifar_mfdfp, accelerators):
+def cifar_rows(cifar_problem, cifar_mfdfp, accelerators, quick):
     return _rows_for(
         "CIFAR-10(surrogate)", cifar_problem, cifar_mfdfp, cifar10_full(), accelerators,
-        seed=21,
+        seed=21, quick=quick,
     )
 
 
 @pytest.fixture(scope="module")
-def imagenet_rows(imagenet_problem, imagenet_mfdfp, accelerators):
+def imagenet_rows(imagenet_problem, imagenet_mfdfp, accelerators, quick):
     return _rows_for(
         "ImageNet(surrogate)", imagenet_problem, imagenet_mfdfp, alexnet(), accelerators,
-        seed=22,
+        seed=22, quick=quick,
     )
 
 
-def _rows_for(name, problem, result, hw_net, accelerators, seed):
+def _rows_for(name, problem, result, hw_net, accelerators, seed, quick=False):
     from repro.nn import error_rate
 
     test = problem["test"]
@@ -60,7 +60,8 @@ def _rows_for(name, problem, result, hw_net, accelerators, seed):
     second = problem["net"].clone()
     for p in second.params:
         p.data = p.data + rng.normal(scale=0.02, size=p.data.shape).astype(p.data.dtype)
-    config = MFDFPConfig(phase1_epochs=4, phase2_epochs=4, lr=5e-3, batch_size=32)
+    epochs = 1 if quick else 4
+    config = MFDFPConfig(phase1_epochs=epochs, phase2_epochs=epochs, lr=5e-3, batch_size=32)
     result2 = run_algorithm1(
         second, problem["train"], test, problem["train"].x[:256], config, rng=rng
     )
@@ -88,7 +89,7 @@ def test_print_table2(cifar_rows, imagenet_rows, capsys, benchmark, accelerators
 
 
 @pytest.mark.parametrize("which", ["cifar", "imagenet"])
-def test_accuracy_ordering(which, request):
+def test_accuracy_ordering(which, request, full_only):
     rows = request.getfixturevalue(f"{which}_rows")
     float_row, mf_row, ens_row = rows
     # MF-DFP within a moderate gap of float (paper: < 1 point at full scale)

@@ -4,9 +4,23 @@ The accuracy-bearing benchmarks train on the CIFAR-10 surrogate at
 reduced scale (see DESIGN.md, "Substitutions"); training happens once per
 session in fixtures, and the ``benchmark`` fixture then times the
 measurement step of each experiment.
+
+Every benchmark file also supports a ``--quick`` smoke mode::
+
+    python -m pytest benchmarks/bench_X.py --quick --benchmark-disable -q
+
+Quick mode shrinks the trained fixtures to smoke scale (tiny datasets,
+1-2 epochs) and skips the tests marked with the ``full_only`` fixture —
+the statistical accuracy bands and wall-clock speedup gates, which are
+meaningless on an untrained network or an unwarmed machine.  Everything
+else (plumbing, printing, bit-identity assertions) still runs, which is
+what ``tests/integration/test_bench_smoke.py`` pins in tier-1 so the
+benchmark suite cannot silently rot.
 """
 
 from __future__ import annotations
+
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -15,6 +29,60 @@ from repro.core import MFDFPConfig, run_algorithm1
 from repro.datasets import cifar10_surrogate, imagenet_surrogate
 from repro.nn import SGD, PlateauScheduler, Trainer
 from repro.zoo import alexnet_small, cifar10_small
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="smoke mode: tiny data and epochs; skip statistical/timing gates",
+    )
+
+
+def pytest_collect_file(file_path, parent):
+    """Collect ``bench_*.py`` when this directory was asked for explicitly.
+
+    The benchmark files do not match pytest's default ``test_*.py``
+    pattern, so ``pytest benchmarks/`` used to collect nothing at all —
+    the documented command silently ran zero benchmarks.  This hook
+    collects them, but only when the benchmarks directory itself appears
+    in the command-line arguments: a plain ``pytest`` from the repo root
+    (the tier-1 suite) must not start training benchmark fixtures.
+    """
+    if not (file_path.suffix == ".py" and file_path.name.startswith("bench_")):
+        return None
+    config = parent.config
+    bench_dir = Path(file_path).resolve().parent
+    invocation_dir = Path(str(config.invocation_params.dir))
+    for raw in config.invocation_params.args:
+        arg = str(raw).split("::")[0]
+        if arg.startswith("-"):
+            continue
+        try:
+            target = (invocation_dir / arg).resolve()
+        except OSError:  # unresolvable option values, e.g. `-k expr`
+            continue
+        if target == bench_dir:
+            return pytest.Module.from_parent(parent, path=file_path)
+    return None
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    """True when the benchmarks run in ``--quick`` smoke mode."""
+    return bool(request.config.getoption("--quick"))
+
+
+@pytest.fixture
+def full_only(request):
+    """Skip the requesting test in ``--quick`` mode.
+
+    For statistical accuracy bands and wall-clock speedup gates: smoke
+    fixtures are too small for either to be meaningful.
+    """
+    if request.config.getoption("--quick"):
+        pytest.skip("statistical/timing gate skipped in --quick smoke mode")
 
 
 def train_float(net, train, test, epochs=20, lr=0.02, seed=0):
@@ -29,34 +97,37 @@ def train_float(net, train, test, epochs=20, lr=0.02, seed=0):
 
 
 @pytest.fixture(scope="session")
-def cifar_problem():
+def cifar_problem(quick):
     """Trained float cifar10_small + surrogate data (accuracy benchmarks).
 
     noise=0.75 puts the surrogate in the paper's operating regime: the
     float network converges well below ceiling and raw quantization costs
     several accuracy points that fine-tuning must then recover.
     """
-    train, test = cifar10_surrogate(n_train=1200, n_test=300, size=16, seed=3, noise=0.75)
+    n_train, n_test, epochs = (160, 80, 2) if quick else (1200, 300, 20)
+    train, test = cifar10_surrogate(n_train=n_train, n_test=n_test, size=16, seed=3, noise=0.75)
     net = cifar10_small(size=16, rng=np.random.default_rng(7))
-    history = train_float(net, train, test, epochs=20)
+    history = train_float(net, train, test, epochs=epochs)
     return {"net": net, "train": train, "test": test, "history": history}
 
 
 @pytest.fixture(scope="session")
-def imagenet_problem():
+def imagenet_problem(quick):
     """Trained float alexnet_small + downscaled ImageNet surrogate."""
+    n_train, n_test, epochs = (160, 80, 2) if quick else (1200, 300, 20)
     train, test = imagenet_surrogate(
-        n_train=1200, n_test=300, num_classes=20, size=16, noise=0.8, seed=9
+        n_train=n_train, n_test=n_test, num_classes=20, size=16, noise=0.8, seed=9
     )
     net = alexnet_small(num_classes=20, size=16, rng=np.random.default_rng(17))
-    history = train_float(net, train, test, epochs=20)
+    history = train_float(net, train, test, epochs=epochs)
     return {"net": net, "train": train, "test": test, "history": history}
 
 
 @pytest.fixture(scope="session")
-def cifar_mfdfp(cifar_problem):
+def cifar_mfdfp(cifar_problem, quick):
     """Algorithm 1 result on the CIFAR surrogate (phases 1+2)."""
-    config = MFDFPConfig(phase1_epochs=6, phase2_epochs=6, lr=5e-3, batch_size=32)
+    epochs = 1 if quick else 6
+    config = MFDFPConfig(phase1_epochs=epochs, phase2_epochs=epochs, lr=5e-3, batch_size=32)
     return run_algorithm1(
         cifar_problem["net"].clone(),
         cifar_problem["train"],
@@ -68,8 +139,9 @@ def cifar_mfdfp(cifar_problem):
 
 
 @pytest.fixture(scope="session")
-def imagenet_mfdfp(imagenet_problem):
-    config = MFDFPConfig(phase1_epochs=6, phase2_epochs=6, lr=5e-3, batch_size=32)
+def imagenet_mfdfp(imagenet_problem, quick):
+    epochs = 1 if quick else 6
+    config = MFDFPConfig(phase1_epochs=epochs, phase2_epochs=epochs, lr=5e-3, batch_size=32)
     return run_algorithm1(
         imagenet_problem["net"].clone(),
         imagenet_problem["train"],

@@ -1,0 +1,258 @@
+"""Parallel experiment campaigns over the MF-DFP design space.
+
+The ablation sweeps and fault studies in :mod:`repro.analysis` all share
+one shape: many independent *points* (a bit width, an exponent clamp, a
+bit-error rate), each requiring an evaluation of some executable artifact
+on a labelled test batch.  This module factors that shape out:
+
+* :func:`evaluate_batched` — the one evaluation API every campaign
+  routes through.  Deployed integer artifacts run through the compiled
+  :class:`~repro.core.engine.BatchedEngine` behind a shared
+  content-addressed :class:`~repro.core.engine.EngineCache` (compile
+  once per content, bit-identical to the eager reference path);
+  quantized-simulation networks run through the same chunked top-k
+  evaluation the trainer uses, so sweep numbers are unchanged to the
+  last bit relative to ``error_rate``.
+* :func:`parallel_map` — the fan-out primitive.  Points run on a thread
+  pool: the hot loops are BLAS GEMMs and large NumPy kernels that
+  release the GIL, so campaigns overlap on multicore hosts while
+  remaining *bit-deterministic* — every point derives its randomness and
+  its inputs independently, so the result list is identical for any
+  ``jobs``.
+* :func:`run_campaign` — the named campaigns behind
+  ``python -m repro sweep`` (bit width, exponent clamp, rounding mode,
+  dynamic-vs-static radix, weight-memory faults), with wall-clock and
+  engine-cache accounting attached.
+
+Determinism contract: for every campaign, ``jobs=N`` returns a list
+bit-identical to ``jobs=1``.  The regression suite pins this property.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.engine import EngineCache
+from repro.core.mfdfp import DeployedMFDFP, MFDFPNetwork
+from repro.nn.network import Network
+from repro.nn.trainer import topk_correct
+
+#: Evaluation artifacts :func:`evaluate_batched` accepts.
+Evaluable = Union[Network, MFDFPNetwork, DeployedMFDFP]
+
+#: Engines compiled for campaign evaluations are shared process-wide by
+#: default, so sweeping the same artifact through many campaigns (or the
+#: same campaign twice) compiles it once.  Bounded LRU; fault campaigns
+#: stream corrupted variants through it without growing memory.
+_SHARED_CACHE = EngineCache(capacity=32)
+
+
+def shared_engine_cache() -> EngineCache:
+    """The process-wide engine cache campaign evaluations default to."""
+    return _SHARED_CACHE
+
+
+def evaluate_batched(
+    model: Evaluable,
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    cache: Optional[EngineCache] = None,
+    batch_size: int = 256,
+    check_widths: bool = False,
+) -> float:
+    """Top-1 accuracy of an executable artifact on a labelled batch.
+
+    The single evaluation entry point for sweeps, fault studies, and the
+    campaign runner:
+
+    * :class:`~repro.core.mfdfp.DeployedMFDFP` — executed through the
+      compiled :class:`~repro.core.engine.BatchedEngine` obtained from
+      ``cache`` (default: the shared campaign cache), in ``batch_size``
+      slices.  Bit-identical to eager ``execute_deployed`` for every
+      slice size; the engine compiles once per network *content*.
+    * :class:`~repro.core.mfdfp.MFDFPNetwork` / plain
+      :class:`~repro.nn.network.Network` — the quantized (or float)
+      simulation, evaluated through the trainer's chunked top-k path, so
+      the returned accuracy equals ``1 - error_rate(net, dataset)``
+      exactly.
+
+    Returns the accuracy as a fraction in ``[0, 1]``.
+    """
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if len(x) == 0:
+        raise ValueError("cannot evaluate on an empty batch")
+    if len(x) != len(y):
+        raise ValueError(f"x has {len(x)} samples but y has {len(y)} labels")
+    if isinstance(model, DeployedMFDFP):
+        engine_cache = cache if cache is not None else _SHARED_CACHE
+        engine = engine_cache.get(model, check_widths=check_widths)
+        correct = 0
+        for start in range(0, len(x), batch_size):
+            codes = engine.run_codes(x[start : start + batch_size])
+            correct += int((codes.argmax(axis=1) == y[start : start + batch_size]).sum())
+        return correct / len(x)
+    net = model.net if isinstance(model, MFDFPNetwork) else model
+    return topk_correct(net, x, y, k=1, batch_size=batch_size) / len(x)
+
+
+def parallel_map(fns: Sequence[Callable[[], object]], jobs: Optional[int] = None) -> list:
+    """Run zero-argument point closures, preserving input order.
+
+    ``jobs <= 1`` (or ``None``) runs inline — no pool, no thread hops —
+    which is also the reference ordering for the determinism contract.
+    With ``jobs > 1`` the closures run on a thread pool; the BLAS GEMM
+    and large-array kernels underneath release the GIL, so independent
+    points genuinely overlap.  The first exception propagates.
+    """
+    fns = list(fns)
+    if jobs is None or jobs <= 1 or len(fns) <= 1:
+        return [fn() for fn in fns]
+    with ThreadPoolExecutor(
+        max_workers=min(jobs, len(fns)), thread_name_prefix="campaign"
+    ) as pool:
+        return list(pool.map(lambda fn: fn(), fns))
+
+
+# -- named campaigns ---------------------------------------------------------------
+#: Default point lists per campaign kind; ``points=N`` takes a prefix.
+DEFAULT_POINTS = {
+    "bitwidth": (4, 6, 8, 10, 12, 16),
+    "clamp": (-3, -5, -7, -9, -12, -15),
+    "rounding": ("deterministic", "stochastic"),
+    "dynamic": ("dynamic", "static"),
+    "faults": (0.0, 1e-4, 1e-3, 1e-2, 3e-2, 0.1),
+}
+
+CAMPAIGN_KINDS = tuple(DEFAULT_POINTS)
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """One campaign run: its points plus execution accounting.
+
+    Attributes:
+        kind: Campaign name (one of :data:`CAMPAIGN_KINDS`).
+        points: ``SweepPoint`` list for the design-space campaigns,
+            ``(bit_error_rate, accuracy)`` pairs for ``faults``.
+        jobs: Worker threads the campaign fanned out over.
+        elapsed_s: Wall-clock seconds for the point evaluations.
+        cache_hits / cache_misses: Engine-cache traffic during this
+            campaign (misses == compiles), measured as before/after
+            deltas on the cache the campaign used.  Exact when a private
+            ``cache`` is passed; with the shared default cache,
+            concurrent campaigns' traffic lands in whichever delta is
+            open at the time.
+    """
+
+    kind: str
+    points: list
+    jobs: int
+    elapsed_s: float
+    cache_hits: int
+    cache_misses: int
+
+    def rows(self) -> list[dict]:
+        """Uniform ``{label, value}`` rows for printing any campaign."""
+        if self.kind == "faults":
+            return [{"label": f"ber={ber:.0e}", "value": acc} for ber, acc in self.points]
+        return [{"label": p.label, "value": p.error_rate} for p in self.points]
+
+
+def campaign_points(kind: str, points: Optional[int]) -> tuple:
+    """The point prefix a campaign will run (validates ``kind``/``points``).
+
+    Exposed so callers (e.g. the CLI) can reject a bad request *before*
+    paying for training or deployment.
+    """
+    if kind not in DEFAULT_POINTS:
+        raise ValueError(f"unknown campaign {kind!r}; choose from {CAMPAIGN_KINDS}")
+    defaults = DEFAULT_POINTS[kind]
+    if points is None:
+        return defaults
+    if not 1 <= points <= len(defaults):
+        raise ValueError(
+            f"{kind} campaign supports 1..{len(defaults)} points, got {points}"
+        )
+    return defaults[:points]
+
+
+def run_campaign(
+    kind: str,
+    *,
+    net: Optional[Network] = None,
+    deployed: Optional[DeployedMFDFP] = None,
+    calibration_x: Optional[np.ndarray] = None,
+    x: Optional[np.ndarray] = None,
+    y: Optional[np.ndarray] = None,
+    points: Optional[int] = None,
+    jobs: int = 1,
+    rng: Optional[np.random.Generator] = None,
+    cache: Optional[EngineCache] = None,
+) -> CampaignResult:
+    """Run one named experiment campaign, fanned out over ``jobs`` threads.
+
+    The design-space campaigns (``bitwidth``, ``clamp``, ``rounding``,
+    ``dynamic``) need a float ``net``, a ``calibration_x`` batch, and the
+    labelled test arrays ``x``/``y``; they quantize a clone per point and
+    evaluate the quantized simulation (numerically identical to the
+    serial ``repro.analysis.sweeps`` functions, which they delegate to).
+    The ``faults`` campaign needs a ``deployed`` artifact; every
+    corrupted variant runs through the shared compiled-engine path.
+
+    ``points`` selects a prefix of :data:`DEFAULT_POINTS`; ``cache``
+    overrides the shared engine cache (useful for isolation in tests).
+    """
+    from repro.analysis import faults as faults_mod
+    from repro.analysis import sweeps
+    from repro.nn.data import ArrayDataset
+
+    selected = campaign_points(kind, points)
+    if x is None or y is None:
+        raise ValueError("campaigns need labelled test arrays x and y")
+    engine_cache = cache if cache is not None else _SHARED_CACHE
+    hits0, misses0 = engine_cache.hits, engine_cache.misses
+    start = time.perf_counter()
+
+    if kind == "faults":
+        if deployed is None:
+            raise ValueError("the faults campaign needs a deployed network")
+        result_points = faults_mod.accuracy_under_faults(
+            deployed, x, y, selected, rng=rng, jobs=jobs, cache=engine_cache
+        )
+    else:
+        if net is None or calibration_x is None:
+            raise ValueError(f"the {kind} campaign needs net and calibration_x")
+        test = ArrayDataset(x, y)
+        if kind == "bitwidth":
+            result_points = sweeps.bitwidth_sweep(
+                net, calibration_x, test, bit_widths=selected, jobs=jobs
+            )
+        elif kind == "clamp":
+            result_points = sweeps.exponent_clamp_sweep(
+                net, calibration_x, test, min_exps=selected, jobs=jobs
+            )
+        elif kind == "rounding":
+            result_points = sweeps.stochastic_vs_deterministic(
+                net, calibration_x, test, rng=rng, jobs=jobs, modes=selected
+            )
+        else:  # dynamic
+            result_points = sweeps.dynamic_vs_static(
+                net, calibration_x, test, jobs=jobs, modes=selected
+            )
+
+    elapsed = time.perf_counter() - start
+    return CampaignResult(
+        kind=kind,
+        points=list(result_points),
+        jobs=jobs,
+        elapsed_s=elapsed,
+        cache_hits=engine_cache.hits - hits0,
+        cache_misses=engine_cache.misses - misses0,
+    )

@@ -4,16 +4,21 @@ The 4-bit ⟨s, e⟩ encoding concentrates a lot of meaning per bit (a sign
 flip negates the weight; an exponent MSB flip changes its magnitude by up
 to 16x).  This module quantifies that sensitivity — a robustness study in
 the spirit of the paper's "inherent resiliency of DNNs" motivation.
+
+Fault curves are *point-independent*: every bit-error-rate point derives
+its own child generator from the caller's ``rng`` and the BER value, so
+a point's injected faults do not depend on which other BERs share the
+curve, and curves are reproducible under any ``jobs`` fan-out.
 """
 
 from __future__ import annotations
 
-import copy
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 import numpy as np
 
+from repro.core.engine import EngineCache
 from repro.core.mfdfp import DeployedMFDFP
 
 
@@ -36,28 +41,40 @@ def inject_weight_faults(
 
     Only the 4-bit weight codes are attacked (biases and radix indices
     model registers/control, not the dense weight memory).  The input
-    ``deployed`` network is not modified; a faulty deep copy is returned.
+    ``deployed`` network is never modified.  The returned copy shares
+    every untouched tensor with the original — only ``weight_codes``
+    arrays that actually took a flip are copied, so a zero-flip
+    injection costs a handful of dataclass shells, not a deep copy of
+    the weight memory.  Treat both networks as frozen artifacts: the
+    shared arrays must not be mutated in place.
     """
     if not 0.0 <= bit_error_rate <= 1.0:
         raise ValueError("bit_error_rate must be in [0, 1]")
     rng = rng or np.random.default_rng(0)
-    faulty = copy.deepcopy(deployed)
     flipped = 0
     total_bits = 0
-    for op in faulty.ops:
-        if op.weight_codes is None:
-            continue
-        codes = op.weight_codes
-        total_bits += codes.size * 4
-        flips = rng.random((codes.size, 4)) < bit_error_rate
-        if not flips.any():
-            continue
-        flat = codes.ravel().astype(np.uint8)
-        for bit in range(4):
-            mask = flips[:, bit]
-            flat[mask] ^= np.uint8(1 << bit)
-            flipped += int(mask.sum())
-        op.weight_codes = flat.reshape(codes.shape)
+    ops = []
+    for op in deployed.ops:
+        faulty_op = replace(op)  # field-shallow copy: shares the arrays
+        if op.weight_codes is not None:
+            codes = op.weight_codes
+            total_bits += codes.size * 4
+            flips = rng.random((codes.size, 4)) < bit_error_rate
+            if flips.any():
+                flat = codes.ravel().astype(np.uint8)  # fresh buffer for the copy
+                for bit in range(4):
+                    mask = flips[:, bit]
+                    flat[mask] ^= np.uint8(1 << bit)
+                    flipped += int(mask.sum())
+                faulty_op.weight_codes = flat.reshape(codes.shape)
+        ops.append(faulty_op)
+    faulty = DeployedMFDFP(
+        name=deployed.name,
+        input_shape=deployed.input_shape,
+        input_frac=deployed.input_frac,
+        bits=deployed.bits,
+        ops=ops,
+    )
     return FaultInjectionResult(
         flipped_bits=flipped,
         total_weight_bits=total_bits,
@@ -66,25 +83,56 @@ def inject_weight_faults(
     )
 
 
+def _point_rng(entropy: int, bit_error_rate: float) -> np.random.Generator:
+    """Independent child generator for one bit-error-rate point.
+
+    Seeded by the parent generator's one-time entropy draw plus the
+    BER's own bit pattern, so the faults injected at a given BER depend
+    only on ``(rng, ber)`` — never on the point's position in the curve
+    or on which other points accompany it.
+    """
+    ber_bits = int(np.float64(bit_error_rate).view(np.uint64))
+    return np.random.default_rng(np.random.SeedSequence([entropy, ber_bits]))
+
+
 def accuracy_under_faults(
     deployed: DeployedMFDFP,
     x: np.ndarray,
     y: np.ndarray,
     bit_error_rates,
     rng: Optional[np.random.Generator] = None,
+    *,
+    jobs: int = 1,
+    batch_size: int = 256,
+    cache: Optional[EngineCache] = None,
 ) -> list[tuple[float, float]]:
     """Accuracy vs bit-error-rate curve on a labelled batch.
 
-    Returns ``(bit_error_rate, accuracy)`` pairs, using bit-accurate
-    accelerator execution of each faulty network.
+    Returns ``(bit_error_rate, accuracy)`` pairs.  Every corrupted
+    network executes through the compiled batched engine
+    (:func:`repro.analysis.campaign.evaluate_batched` — bit-identical to
+    the eager reference execution), and points fan out over ``jobs``
+    threads.  Each point draws from an independent child generator keyed
+    by the BER value, so ``accuracy_under_faults(d, x, y, [b])``
+    reproduces the same point inside any longer curve and the result is
+    bit-identical for every ``jobs`` setting.  The flip side of that
+    keying: listing the *same* BER twice returns the identical point
+    twice — for independent trials at one BER, call again with a
+    different parent ``rng``.
     """
-    from repro.hw.accelerator import execute_deployed
+    from repro.analysis.campaign import evaluate_batched, parallel_map
 
     rng = rng or np.random.default_rng(0)
-    points = []
-    for ber in bit_error_rates:
-        result = inject_weight_faults(deployed, ber, rng)
-        codes = execute_deployed(result.faulty, x)
-        acc = float((codes.argmax(axis=1) == y).mean())
-        points.append((float(ber), acc))
-    return points
+    entropy = int(rng.integers(0, 2**63))
+
+    def point(ber: float):
+        def run() -> tuple[float, float]:
+            result = inject_weight_faults(deployed, ber, _point_rng(entropy, ber))
+            acc = evaluate_batched(
+                result.faulty, x, y, cache=cache, batch_size=batch_size
+            )
+            return (float(ber), acc)
+
+        return run
+
+    return parallel_map([point(ber) for ber in bit_error_rates], jobs=jobs)

@@ -8,12 +8,22 @@ Ristretto-style flows use when a quantized network underperforms.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.core.pow2 import pow2_exponents
 from repro.core.quantizer import strip_quantization
 from repro.nn.network import Network
+
+
+def _db_from_powers(p_signal: float, p_noise: float) -> float:
+    """SQNR in dB from accumulated signal/noise powers (inf-safe)."""
+    if p_noise == 0.0:
+        return float("inf")
+    if p_signal == 0.0:
+        return float("-inf")
+    return 10.0 * np.log10(p_signal / p_noise)
 
 
 def sqnr_db(signal: np.ndarray, noisy: np.ndarray) -> float:
@@ -24,13 +34,7 @@ def sqnr_db(signal: np.ndarray, noisy: np.ndarray) -> float:
     """
     signal = np.asarray(signal, dtype=np.float64)
     noise = signal - np.asarray(noisy, dtype=np.float64)
-    p_signal = float((signal**2).sum())
-    p_noise = float((noise**2).sum())
-    if p_noise == 0.0:
-        return float("inf")
-    if p_signal == 0.0:
-        return float("-inf")
-    return 10.0 * np.log10(p_signal / p_noise)
+    return _db_from_powers(float((signal**2).sum()), float((noise**2).sum()))
 
 
 @dataclass(frozen=True)
@@ -44,32 +48,61 @@ class LayerNoiseReport:
 
 
 def layer_sqnr_report(
-    float_net: Network, quant_net: Network, x: np.ndarray
+    float_net: Network,
+    quant_net: Network,
+    x: np.ndarray,
+    batch_size: Optional[int] = None,
 ) -> list[LayerNoiseReport]:
     """Compare per-layer activations of a float net and its quantized twin.
 
     Both networks must share the same topology (layer names are matched
     positionally).  Returns one report per layer, in execution order.
+
+    ``batch_size`` bounds the activation working set: the comparison
+    streams ``x`` in slices and accumulates signal/noise powers and
+    per-layer maxima, so probe sets far larger than memory allows for a
+    single pass still work.  With ``batch_size=None`` (default) the
+    whole batch runs in one pass, byte-identical to the historical
+    behaviour; chunked runs may differ in the last floating-point bit
+    (summation order), never more.
     """
     if len(float_net.layers) != len(quant_net.layers):
         raise ValueError("networks must have the same number of layers")
-    out_f = x
-    out_q = quant_net.input_quantizer(x) if quant_net.input_quantizer else x
-    reports = []
-    for layer_f, layer_q in zip(float_net.layers, quant_net.layers):
-        layer_f.training = False
-        layer_q.training = False
-        out_f = layer_f.forward(out_f)
-        out_q = layer_q.forward(out_q)
-        reports.append(
-            LayerNoiseReport(
-                layer_name=layer_f.name,
-                sqnr_db=sqnr_db(out_f, out_q),
-                max_abs_error=float(np.max(np.abs(out_f - out_q))),
-                signal_range=float(np.max(np.abs(out_f))),
-            )
+    if batch_size is not None and batch_size < 1:
+        raise ValueError("batch_size must be positive (or None for one pass)")
+    if len(x) == 0:
+        raise ValueError("cannot compare activations on an empty probe batch")
+    n_layers = len(float_net.layers)
+    p_signal = [0.0] * n_layers
+    p_noise = [0.0] * n_layers
+    max_err = [0.0] * n_layers
+    sig_range = [0.0] * n_layers
+    step = len(x) if batch_size is None else batch_size
+    for start in range(0, len(x), max(step, 1)):
+        out_f = x[start : start + step]
+        out_q = (
+            quant_net.input_quantizer(out_f) if quant_net.input_quantizer else out_f
         )
-    return reports
+        for i, (layer_f, layer_q) in enumerate(zip(float_net.layers, quant_net.layers)):
+            layer_f.training = False
+            layer_q.training = False
+            out_f = layer_f.forward(out_f)
+            out_q = layer_q.forward(out_q)
+            signal = np.asarray(out_f, dtype=np.float64)
+            noise = signal - np.asarray(out_q, dtype=np.float64)
+            p_signal[i] += float((signal**2).sum())
+            p_noise[i] += float((noise**2).sum())
+            max_err[i] = max(max_err[i], float(np.max(np.abs(out_f - out_q))))
+            sig_range[i] = max(sig_range[i], float(np.max(np.abs(out_f))))
+    return [
+        LayerNoiseReport(
+            layer_name=layer_f.name,
+            sqnr_db=_db_from_powers(p_signal[i], p_noise[i]),
+            max_abs_error=max_err[i],
+            signal_range=sig_range[i],
+        )
+        for i, layer_f in enumerate(float_net.layers)
+    ]
 
 
 def exponent_histogram(net: Network, min_exp: int = -7, max_exp: int = 0) -> dict[str, np.ndarray]:
@@ -101,3 +134,31 @@ def quantization_noise_of(net: Network, calibration_x: np.ndarray, x: np.ndarray
     strip_quantization(quant_clone)
     MFDFPNetwork.from_float(quant_clone, calibration_x, **quant_kwargs)
     return layer_sqnr_report(float_clone, quant_clone, x)
+
+
+def quantization_noise_campaign(
+    net: Network,
+    calibration_x: np.ndarray,
+    x: np.ndarray,
+    configs: Sequence[dict],
+    jobs: int = 1,
+) -> list[list[LayerNoiseReport]]:
+    """Per-layer SQNR reports for many quantization configs at once.
+
+    Each entry of ``configs`` is a ``MFDFPNetwork.from_float`` kwargs
+    dict (e.g. ``{"bits": 6}``); configs fan out over the campaign
+    thread pool and each quantizes its own clone, so results are
+    independent of ``jobs`` — provided configs do not share mutable
+    state (in particular, give each stochastic-rounding config its own
+    ``rng``; one Generator drawn from by two threads is neither
+    thread-safe nor reproducible).  Returns one report list per config,
+    in input order.
+    """
+    from functools import partial
+
+    from repro.analysis.campaign import parallel_map
+
+    return parallel_map(
+        [partial(quantization_noise_of, net, calibration_x, x, **cfg) for cfg in configs],
+        jobs=jobs,
+    )

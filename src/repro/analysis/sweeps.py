@@ -3,6 +3,11 @@
 These drive the ablation benchmarks and give downstream users a one-call
 answer to "what would N bits have cost me?" — the question Section 1 of
 the paper raises against sub-8-bit designs.
+
+Every sweep point evaluates through the shared batched-evaluation API
+(:func:`repro.analysis.campaign.evaluate_batched`) and fans out over an
+optional thread pool (``jobs``).  Point results are independent of the
+fan-out: ``jobs=N`` returns a list bit-identical to the serial sweep.
 """
 
 from __future__ import annotations
@@ -12,10 +17,10 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.campaign import evaluate_batched, parallel_map
 from repro.core.mfdfp import MFDFPNetwork
 from repro.nn.data import ArrayDataset
 from repro.nn.network import Network
-from repro.nn.trainer import error_rate
 
 
 @dataclass(frozen=True)
@@ -38,7 +43,7 @@ def _evaluate(
 ) -> SweepPoint:
     clone = net.clone()
     mf = MFDFPNetwork.from_float(clone, calibration_x, **kwargs)
-    err = error_rate(mf.net, test)
+    err = 1.0 - evaluate_batched(mf, test.x, test.y)
     return SweepPoint(
         label=label,
         error_rate=err,
@@ -48,23 +53,30 @@ def _evaluate(
     )
 
 
+def _point(net, calibration_x, test, label, **kwargs):
+    """A zero-argument closure evaluating one sweep configuration."""
+    return lambda: _evaluate(net, calibration_x, test, label, **kwargs)
+
+
 def bitwidth_sweep(
     net: Network,
     calibration_x: np.ndarray,
     test: ArrayDataset,
     bit_widths: Sequence[int] = (4, 6, 8, 10, 12, 16),
+    jobs: int = 1,
 ) -> list[SweepPoint]:
     """Error rate vs activation bit width (weight clamp scales along).
 
     No fine-tuning is applied: this isolates the representational cost of
     the format, the quantity Figure 3's epoch-0 point reflects.
     """
-    return [
-        _evaluate(
-            net, calibration_x, test, f"{b}-bit", bits=b, min_exp=-(b - 1)
-        )
-        for b in bit_widths
-    ]
+    return parallel_map(
+        [
+            _point(net, calibration_x, test, f"{b}-bit", bits=b, min_exp=-(b - 1))
+            for b in bit_widths
+        ],
+        jobs=jobs,
+    )
 
 
 def exponent_clamp_sweep(
@@ -72,28 +84,40 @@ def exponent_clamp_sweep(
     calibration_x: np.ndarray,
     test: ArrayDataset,
     min_exps: Sequence[int] = (-3, -5, -7, -9, -12, -15),
+    jobs: int = 1,
 ) -> list[SweepPoint]:
     """Error rate vs the weight-exponent lower clamp.
 
     The paper bounds e >= -7 so weights fit 4 bits; this sweep quantifies
     what that clamp costs relative to wider exponent ranges.
     """
-    return [
-        _evaluate(net, calibration_x, test, f"e>={e}", min_exp=e)
-        for e in min_exps
-    ]
+    return parallel_map(
+        [_point(net, calibration_x, test, f"e>={e}", min_exp=e) for e in min_exps],
+        jobs=jobs,
+    )
+
+
+def _mode_points(net, calibration_x, test, modes, mode_kwargs, jobs):
+    """Evaluate the requested subset of a fixed mode set."""
+    unknown = [m for m in modes if m not in mode_kwargs]
+    if unknown:
+        raise ValueError(f"unknown modes {unknown}; choose from {tuple(mode_kwargs)}")
+    return parallel_map(
+        [_point(net, calibration_x, test, m, **mode_kwargs[m]) for m in modes],
+        jobs=jobs,
+    )
 
 
 def dynamic_vs_static(
     net: Network,
     calibration_x: np.ndarray,
     test: ArrayDataset,
+    jobs: int = 1,
+    modes: Sequence[str] = ("dynamic", "static"),
 ) -> list[SweepPoint]:
     """Per-layer (dynamic) vs global (static) fixed-point radix."""
-    return [
-        _evaluate(net, calibration_x, test, "dynamic", dynamic=True),
-        _evaluate(net, calibration_x, test, "static", dynamic=False),
-    ]
+    mode_kwargs = {"dynamic": {"dynamic": True}, "static": {"dynamic": False}}
+    return _mode_points(net, calibration_x, test, modes, mode_kwargs, jobs)
 
 
 def stochastic_vs_deterministic(
@@ -101,10 +125,17 @@ def stochastic_vs_deterministic(
     calibration_x: np.ndarray,
     test: ArrayDataset,
     rng: Optional[np.random.Generator] = None,
+    jobs: int = 1,
+    modes: Sequence[str] = ("deterministic", "stochastic"),
 ) -> list[SweepPoint]:
-    """The weight-rounding-mode comparison of Section 4.1."""
+    """The weight-rounding-mode comparison of Section 4.1.
+
+    The stochastic point owns the ``rng`` exclusively (the deterministic
+    point draws nothing), so the pair can safely run in parallel.
+    """
     rng = rng or np.random.default_rng(0)
-    return [
-        _evaluate(net, calibration_x, test, "deterministic", weight_mode="deterministic"),
-        _evaluate(net, calibration_x, test, "stochastic", weight_mode="stochastic", rng=rng),
-    ]
+    mode_kwargs = {
+        "deterministic": {"weight_mode": "deterministic"},
+        "stochastic": {"weight_mode": "stochastic", "rng": rng},
+    }
+    return _mode_points(net, calibration_x, test, modes, mode_kwargs, jobs)

@@ -9,6 +9,8 @@ Usage::
     python -m repro table2 [--epochs N]  # accuracy/time/energy (Table 2)
     python -m repro serve [--models a,b] [--workers N] [--batch N] \
         [--max-queue N] [--requests N]   # concurrent multi-model serving
+    python -m repro sweep CAMPAIGN [--jobs N] [--points N] [--epochs N]
+                                      # parallel ablation/fault campaigns
 
 ``table2`` and ``fig3`` train on the CIFAR-10 surrogate and take a few
 minutes; the others are instantaneous.  ``serve`` hosts the named
@@ -18,6 +20,17 @@ requests through the per-model micro-batch queues, and prints a
 per-model metrics summary — served/shed counts, batch fill, latency
 percentiles, and the modeled silicon throughput next to the measured
 one.
+
+``sweep`` trains a small surrogate network once, then fans one of the
+design-space ablation campaigns (``bitwidth``/``clamp``/``rounding``/
+``dynamic``) or the weight-memory fault study (``faults``) out across a
+thread pool.  Every evaluation runs through the shared
+batched-evaluation API of :mod:`repro.analysis.campaign`: the fault
+study executes corrupted artifacts on compiled engines behind one
+content-addressed cache (the summary reports the cache traffic and the
+modeled NPU batch-throughput/energy from ``Accelerator.batch_profile``),
+while the design-space campaigns evaluate the quantized *simulation* —
+numerically identical to the serial sweeps, parallelized.
 """
 
 from __future__ import annotations
@@ -162,6 +175,79 @@ def _cmd_serve(args) -> None:
         print(f"  {name} prediction histogram: {hist}")
 
 
+def _cmd_sweep(args) -> None:
+    import time
+
+    from repro.analysis import run_campaign, shared_engine_cache
+    from repro.analysis.campaign import campaign_points
+    from repro.core.mfdfp import deploy_calibrated
+    from repro.datasets import cifar10_surrogate
+    from repro.nn import SGD, Trainer
+    from repro.zoo import cifar10_small
+
+    try:  # reject a bad --points before paying for training
+        campaign_points(args.campaign, args.points)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+    train, test = cifar10_surrogate(n_train=600, n_test=240, size=16, noise=0.7, seed=2)
+    net = cifar10_small(size=16, rng=np.random.default_rng(0))
+    print(f"training surrogate network ({args.epochs} epochs)...")
+    t0 = time.perf_counter()
+    Trainer(
+        net, SGD(net.params, lr=0.02, momentum=0.9), batch_size=32,
+        rng=np.random.default_rng(1),
+    ).fit(train, test, epochs=args.epochs)
+    train_s = time.perf_counter() - t0
+
+    calib = train.x[:256]
+    deployed = None
+    if args.campaign == "faults":
+        deployed = deploy_calibrated(net.clone(), calib)
+    result = run_campaign(
+        args.campaign,
+        net=net,
+        deployed=deployed,
+        calibration_x=calib,
+        x=test.x,
+        y=test.y,
+        points=args.points,
+        jobs=args.jobs,
+        rng=np.random.default_rng(0),
+    )
+
+    metric = "accuracy" if args.campaign == "faults" else "error rate"
+    print(f"\n{args.campaign} campaign ({len(result.points)} points, --jobs {args.jobs})")
+    print(f"{'point':>16} {metric:>12}")
+    for row in result.rows():
+        print(f"{row['label']:>16} {row['value']:>12.4f}")
+    summary = (
+        f"\ntrained in {train_s:.1f}s; campaign in {result.elapsed_s:.2f}s "
+        f"({len(result.points) / result.elapsed_s:.1f} points/s)"
+    )
+    if deployed is not None:  # only the fault study runs compiled engines
+        cache = shared_engine_cache()
+        summary += (
+            f"; engine cache: {result.cache_misses} compiled, "
+            f"{result.cache_hits} hits ({len(cache)} resident)"
+        )
+    print(summary)
+    if deployed is not None:
+        from repro.hw import Accelerator, AcceleratorConfig
+
+        # Pure schedule accounting — no recompile, no re-evaluation (the
+        # campaign's ber=0 row already shows the clean accuracy).
+        profile = Accelerator(AcceleratorConfig(precision="mfdfp")).batch_profile(
+            deployed, batch_size=min(256, len(test.x))
+        )
+        print(
+            f"modeled NPU (batched, clean weights): "
+            f"{profile['throughput_ips']:.0f} samples/s, "
+            f"{profile['energy_uj_per_sample']:.2f} uJ/sample "
+            f"at batch {profile['batch_size']}"
+        )
+
+
 def _cmd_fig3(args) -> None:
     from repro.core import MFDFPConfig, MFDFPNetwork, phase1_finetune, phase2_distill
     from repro.nn import error_rate
@@ -200,11 +286,30 @@ def build_parser() -> argparse.ArgumentParser:
         fn=_cmd_schedule
     )
     p2 = sub.add_parser("table2", help="accuracy/time/energy (Table 2; trains)")
-    p2.add_argument("--epochs", type=int, default=12)
+    p2.add_argument("--epochs", type=_positive_int, default=12)
     p2.set_defaults(fn=_cmd_table2)
     p3 = sub.add_parser("fig3", help="training curves (Figure 3; trains)")
-    p3.add_argument("--epochs", type=int, default=12)
+    p3.add_argument("--epochs", type=_positive_int, default=12)
     p3.set_defaults(fn=_cmd_fig3)
+    psw = sub.add_parser("sweep", help="parallel ablation/fault campaigns (trains briefly)")
+    psw.add_argument(
+        "campaign",
+        choices=("bitwidth", "clamp", "rounding", "dynamic", "faults"),
+        help="which campaign to run",
+    )
+    psw.add_argument(
+        "--jobs", type=_positive_int, default=4, help="campaign worker threads"
+    )
+    psw.add_argument(
+        "--points",
+        type=_positive_int,
+        default=None,
+        help="number of campaign points (default: the campaign's full set)",
+    )
+    psw.add_argument(
+        "--epochs", type=_positive_int, default=3, help="surrogate training epochs"
+    )
+    psw.set_defaults(fn=_cmd_sweep)
     p4 = sub.add_parser("serve", help="concurrent multi-model serving demo")
     p4.add_argument(
         "--models",

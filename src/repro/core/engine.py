@@ -26,6 +26,7 @@ forwards here.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import threading
 from collections import OrderedDict
@@ -72,21 +73,33 @@ def shift_weight_ints(codes: np.ndarray) -> np.ndarray:
 
 
 # -- gather-index precomputation -------------------------------------------------
+#
+# The gather tables depend only on layer *geometry*, not on weights, so
+# they are memoized process-wide: workloads that compile many engines of
+# identical topology but different weight content — the fault-injection
+# campaigns recompile per corrupted network — pay the index construction
+# once.  The cached arrays are frozen (non-writeable) because every
+# engine shares them.
+@functools.lru_cache(maxsize=256)
 def _im2col_indices(c: int, h: int, w: int, k: int, stride: int, pad: int):
     """Gather table lowering im2col to one fancy-index per batch.
 
     Returns ``(index, oh, ow)`` where ``index`` has shape
     ``(c*k*k, oh*ow)`` and indexes a flattened ``(c*h*w + 1,)`` input
-    whose last slot holds the padding value (the *sentinel*).
+    whose last slot holds the padding value (the *sentinel*).  Memoized
+    by geometry; the returned index is read-only and shared.
     """
     sentinel = c * h * w
     hp, wp = h + 2 * pad, w + 2 * pad
     grid = np.full((1, c, hp, wp), sentinel, dtype=np.int64)
     grid[0, :, pad : pad + h, pad : pad + w] = np.arange(sentinel).reshape(c, h, w)
     cols, oh, ow = im2col(grid, k, k, stride, 0)
-    return cols[0].astype(np.intp), oh, ow
+    index = cols[0].astype(np.intp)
+    index.setflags(write=False)
+    return index, oh, ow
 
 
+@functools.lru_cache(maxsize=256)
 def _pool_indices(h: int, w: int, k: int, stride: int, pad: int, ceil_mode: bool):
     """Gather table for pooling windows (per channel, spatial only).
 
@@ -94,7 +107,8 @@ def _pool_indices(h: int, w: int, k: int, stride: int, pad: int, ceil_mode: bool
     ``(oh*ow, k*k)`` and indexes a flattened ``(h*w + 1,)`` feature map
     whose last slot holds the window fill value.  Ceil mode may demand
     rows/columns beyond the symmetric padding; they also map to the fill
-    slot, mirroring the asymmetric pad of the eager path.
+    slot, mirroring the asymmetric pad of the eager path.  Memoized by
+    geometry; the returned index is read-only and shared.
     """
     sentinel = h * w
     oh = pool_output_size(h, k, stride, pad, ceil_mode)
@@ -107,7 +121,9 @@ def _pool_indices(h: int, w: int, k: int, stride: int, pad: int, ceil_mode: bool
     grid[pad : pad + h, pad : pad + w] = np.arange(sentinel).reshape(h, w)
     win = np.lib.stride_tricks.sliding_window_view(grid, (k, k))
     win = win[::stride, ::stride][:oh, :ow]
-    return win.reshape(oh * ow, k * k).astype(np.intp), oh, ow
+    index = win.reshape(oh * ow, k * k).astype(np.intp)
+    index.setflags(write=False)
+    return index, oh, ow
 
 
 def _with_sentinel(codes2d: np.ndarray, fill: int, dtype=np.int64) -> np.ndarray:
@@ -361,11 +377,13 @@ def engine_fingerprint(deployed: DeployedMFDFP) -> str:
     The digest is memoized on the artifact so hot paths (e.g.
     ``Accelerator.run_batched`` hitting the cache per call) hash the
     tensors once, not per lookup.  The memo is paired with ``id(self)``,
-    so copies (``inject_weight_faults`` deep-copies before mutating)
-    never inherit a stale digest.  A deployed network is a *frozen*
-    artifact — mutate one in place and, like any cache key, its
-    fingerprint must be treated as invalidated (copy first, as the fault
-    injector does).
+    so copies (``inject_weight_faults`` builds a fresh artifact around
+    shared-or-replaced tensors) never inherit a stale digest — and a
+    corrupted copy whose content happens to be unchanged (zero flips)
+    legitimately re-derives the *same* digest and shares the compiled
+    engine.  A deployed network is a *frozen* artifact — mutate one in
+    place and, like any cache key, its fingerprint must be treated as
+    invalidated (copy first, as the fault injector does).
     """
     memo = deployed.__dict__.get("_fingerprint_memo")
     if memo is not None and memo[0] == id(deployed):

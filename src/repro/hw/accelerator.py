@@ -233,6 +233,48 @@ class Accelerator:
             raise ValueError("run_batched() executes MF-DFP networks")
         return self.engine_for(deployed).run(x)
 
+    def evaluate_deployed(
+        self, deployed: DeployedMFDFP, x: np.ndarray, y: np.ndarray, batch_size: int = 256
+    ) -> dict:
+        """Accuracy on a labelled set, with *batched* silicon accounting.
+
+        The experiment-campaign companion to :meth:`run_batched`:
+        executes through the cached compiled engine in ``batch_size``
+        slices and prices the workload with :meth:`schedule_batch`
+        (weights resident across each batch) — one schedule per distinct
+        slice size instead of one per sample, the accounting analogue of
+        the batched execution itself.  Returns ``accuracy``, ``samples``,
+        ``modeled_latency_us``, ``modeled_energy_uj`` and the implied
+        ``modeled_throughput_ips``.
+        """
+        if self.config.precision != "mfdfp":
+            raise ValueError("evaluate_deployed() executes MF-DFP networks")
+        y = np.asarray(y)
+        n = len(x)
+        if n == 0:
+            raise ValueError("cannot evaluate on an empty batch")
+        if n != len(y):
+            raise ValueError(f"x has {n} samples but y has {len(y)} labels")
+        engine = self.engine_for(deployed)
+        correct = 0
+        for start in range(0, n, batch_size):
+            codes = engine.run_codes(x[start : start + batch_size])
+            correct += int((codes.argmax(axis=1) == y[start : start + batch_size]).sum())
+        full_batches, remainder = divmod(n, batch_size)
+        modeled_us = 0.0
+        if full_batches:
+            modeled_us += full_batches * self.schedule_batch(deployed, batch_size).time_us()
+        if remainder:
+            modeled_us += self.schedule_batch(deployed, remainder).time_us()
+        modeled_uj = self.power_mw * 1e-3 * modeled_us
+        return {
+            "accuracy": correct / n,
+            "samples": n,
+            "modeled_latency_us": modeled_us,
+            "modeled_energy_uj": modeled_uj,
+            "modeled_throughput_ips": n / (modeled_us * 1e-6),
+        }
+
     def run_float(self, net: Network, x: np.ndarray) -> np.ndarray:
         """FP32 baseline inference (plain floating point)."""
         return net.logits(x)

@@ -29,7 +29,7 @@ from repro.nn.layers import (
 from repro.nn.loss import Loss, SoftmaxCrossEntropy, softmax
 from repro.nn.network import Network
 from repro.nn.optim import SGD, PlateauScheduler, StepScheduler
-from repro.nn.trainer import EpochResult, Trainer, error_rate, evaluate_topk
+from repro.nn.trainer import EpochResult, Trainer, error_rate, evaluate_topk, topk_correct
 
 __all__ = [
     "ArrayDataset",
@@ -62,6 +62,7 @@ __all__ = [
     "random_horizontal_flip",
     "random_shift_crop",
     "softmax",
+    "topk_correct",
     "train_val_split",
     "xavier_init",
     "zeros_init",

@@ -13,16 +13,27 @@ from repro.nn.network import Network
 from repro.nn.optim import SGD, PlateauScheduler
 
 
+def topk_correct(
+    net: Network, x: np.ndarray, y: np.ndarray, k: int = 1, batch_size: int = 256
+) -> int:
+    """Number of samples whose label lands in the top-k logits.
+
+    The chunked evaluation primitive shared by :func:`evaluate_topk` and
+    the analysis campaign runner (:mod:`repro.analysis.campaign`): one
+    forward pass per ``batch_size`` slice, never materializing logits
+    for the whole set at once.
+    """
+    correct = 0
+    for start in range(0, len(x), batch_size):
+        logits = net.logits(x[start : start + batch_size])
+        topk = np.argpartition(-logits, kth=min(k, logits.shape[1] - 1), axis=1)[:, :k]
+        correct += int((topk == y[start : start + batch_size, None]).any(axis=1).sum())
+    return correct
+
+
 def evaluate_topk(net: Network, dataset: ArrayDataset, k: int = 1, batch_size: int = 256) -> float:
     """Top-k classification accuracy of ``net`` on ``dataset`` (fraction)."""
-    correct = 0
-    for start in range(0, len(dataset), batch_size):
-        x = dataset.x[start : start + batch_size]
-        y = dataset.y[start : start + batch_size]
-        logits = net.logits(x)
-        topk = np.argpartition(-logits, kth=min(k, logits.shape[1] - 1), axis=1)[:, :k]
-        correct += int((topk == y[:, None]).any(axis=1).sum())
-    return correct / len(dataset)
+    return topk_correct(net, dataset.x, dataset.y, k=k, batch_size=batch_size) / len(dataset)
 
 
 def error_rate(net: Network, dataset: ArrayDataset, batch_size: int = 256) -> float:

@@ -115,3 +115,80 @@ class TestFaultInjection:
         result = inject_weight_faults(deployed_net, 0.25, rng)
         codes = execute_deployed(result.faulty, test.x[:4])
         assert np.abs(codes).max() <= 127
+
+
+class TestFaultCopySharing:
+    """inject_weight_faults shares immutable structure instead of deep
+    copying the whole artifact (regression for the copy-cost satellite)."""
+
+    def test_zero_flip_shares_weight_arrays(self, deployed_net):
+        result = inject_weight_faults(deployed_net, 0.0)
+        assert result.faulty is not deployed_net
+        for orig, faulty in zip(deployed_net.ops, result.faulty.ops):
+            assert faulty is not orig
+            if orig.weight_codes is not None:
+                assert faulty.weight_codes is orig.weight_codes
+
+    def test_biases_and_untouched_codes_always_shared(self, deployed_net, rng):
+        result = inject_weight_faults(deployed_net, 0.05, rng)
+        for orig, faulty in zip(deployed_net.ops, result.faulty.ops):
+            if orig.bias_int is not None:
+                assert faulty.bias_int is orig.bias_int
+            if orig.weight_codes is not None and not np.array_equal(
+                orig.weight_codes, faulty.weight_codes
+            ):
+                assert faulty.weight_codes is not orig.weight_codes
+
+    def test_heavy_injection_never_mutates_original(self, deployed_net):
+        before = [
+            op.weight_codes.copy()
+            for op in deployed_net.ops
+            if op.weight_codes is not None
+        ]
+        for trial in range(5):
+            inject_weight_faults(deployed_net, 0.5, np.random.default_rng(trial))
+        after = [
+            op.weight_codes for op in deployed_net.ops if op.weight_codes is not None
+        ]
+        assert all(np.array_equal(a, b) for a, b in zip(before, after))
+
+
+class TestFaultPointIndependence:
+    """Each BER point derives an independent child generator (regression
+    for the RNG cross-contamination satellite)."""
+
+    def test_single_point_reproduces_curve_point(self, deployed_net, small_data):
+        _, test = small_data
+        x, y = test.x[:64], test.y[:64]
+        curve = accuracy_under_faults(
+            deployed_net, x, y, [1e-4, 1e-3, 1e-2], rng=np.random.default_rng(0)
+        )
+        for ber, acc in curve:
+            single = accuracy_under_faults(
+                deployed_net, x, y, [ber], rng=np.random.default_rng(0)
+            )
+            assert single == [(ber, acc)], f"point {ber} depends on its neighbours"
+
+    def test_point_order_is_irrelevant(self, deployed_net, small_data):
+        _, test = small_data
+        x, y = test.x[:64], test.y[:64]
+        bers = [1e-4, 1e-3, 1e-2, 0.1]
+        forward = dict(
+            accuracy_under_faults(deployed_net, x, y, bers, rng=np.random.default_rng(7))
+        )
+        backward = dict(
+            accuracy_under_faults(
+                deployed_net, x, y, bers[::-1], rng=np.random.default_rng(7)
+            )
+        )
+        assert forward == backward
+
+    def test_injected_faults_keyed_by_ber(self, deployed_net, small_data):
+        """Two different BERs must not draw identical flip patterns."""
+        from repro.analysis.faults import _point_rng
+
+        a = _point_rng(1234, 1e-3).random(8)
+        b = _point_rng(1234, 1e-2).random(8)
+        c = _point_rng(1234, 1e-3).random(8)
+        assert not np.array_equal(a, b)
+        assert np.array_equal(a, c)

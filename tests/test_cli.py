@@ -45,6 +45,39 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table9"])
 
+    @pytest.mark.parametrize("command", ["table2", "fig3"])
+    @pytest.mark.parametrize("epochs", ["0", "-3"])
+    def test_nonpositive_epochs_rejected(self, command, epochs):
+        """Regression: bare type=int let --epochs 0/-3 crash deep in training."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([command, "--epochs", epochs])
+
+    def test_sweep_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "faults", "--jobs", "8", "--points", "3", "--epochs", "2"]
+        )
+        assert args.campaign == "faults"
+        assert args.jobs == 8 and args.points == 3 and args.epochs == 2
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "bitwidth"])
+        assert args.campaign == "bitwidth"
+        assert args.jobs == 4 and args.points is None and args.epochs == 3
+
+    def test_sweep_rejects_unknown_campaign(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "voltage"])
+
+    def test_sweep_rejects_nonpositive_values(self):
+        for flag in ("--jobs", "--points", "--epochs"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["sweep", "faults", flag, "0"])
+
+    def test_sweep_rejects_excess_points_before_training(self):
+        """--points beyond the campaign's set fails fast, not after training."""
+        with pytest.raises(SystemExit, match="supports 1..6 points"):
+            main(["sweep", "faults", "--points", "99"])
+
 
 class TestFastCommands:
     def test_table1_prints_all_designs(self, capsys):
@@ -85,3 +118,11 @@ class TestFastCommands:
         assert "p50" in out and "p99" in out
         assert "engine cache: 2 compiled" in out
         assert "48 served / 0 shed" in out
+
+    def test_sweep_runs_fault_campaign(self, capsys):
+        main(["sweep", "faults", "--epochs", "1", "--points", "2", "--jobs", "2"])
+        out = capsys.readouterr().out
+        assert "faults campaign (2 points, --jobs 2)" in out
+        assert "ber=0e+00" in out and "ber=1e-04" in out
+        assert "engine cache:" in out
+        assert "modeled NPU" in out
