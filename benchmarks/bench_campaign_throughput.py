@@ -160,7 +160,7 @@ def test_campaign_runner_matches_direct_call(problem):
     assert result.cache_hits + result.cache_misses >= len(result.points)
 
 
-def test_campaign_4x_serial_eager_baseline(problem, full_only):
+def test_campaign_4x_serial_eager_baseline(problem, full_only, bench_metrics):
     """Acceptance gate: >= 4x the serial eager baseline, identical points."""
     test = problem["test"]
     deployed = problem["deployed"]
@@ -177,6 +177,16 @@ def test_campaign_4x_serial_eager_baseline(problem, full_only):
     )
     campaign_s = _best_time(lambda: _parallel_batched_faults(deployed, test.x, test.y))
     speedup = eager_s / campaign_s
+    bench_metrics.update(
+        {
+            "points": n_points,
+            "samples": len(test.x),
+            "eager_batch_points_per_s": round(n_points / eager_s, 2),
+            "parallel_batched_points_per_s": round(n_points / campaign_s, 2),
+            "speedup": round(speedup, 2),
+            "gate": GATE,
+        }
+    )
     print(
         f"\n{n_points}-point fault campaign on {len(test.x)} samples: "
         f"eager/sample {n_points / scalar_s:.1f} pts/s, "

@@ -80,13 +80,22 @@ def test_engine_bit_exact(served):
     assert np.array_equal(scalar_codes, engine.run_codes(x))
 
 
-def test_engine_5x_speedup(served, full_only):
+def test_engine_5x_speedup(served, full_only, bench_metrics):
     """Acceptance gate: >= 5x samples/sec at batch 64."""
     deployed, engine, x = served["deployed"], served["engine"], served["x"]
     engine.run_codes(x)  # warm caches before timing
     scalar_s = _best_time(lambda: [execute_deployed(deployed, x[i : i + 1]) for i in range(BATCH)])
     engine_s = _best_time(lambda: engine.run_codes(x))
     speedup = scalar_s / engine_s
+    bench_metrics.update(
+        {
+            "batch_size": BATCH,
+            "scalar_samples_per_s": round(BATCH / scalar_s, 1),
+            "engine_samples_per_s": round(BATCH / engine_s, 1),
+            "speedup": round(speedup, 2),
+            "gate": 5.0,
+        }
+    )
     print(
         f"\nbatch {BATCH}: scalar {BATCH / scalar_s:.0f} samples/s, "
         f"engine {BATCH / engine_s:.0f} samples/s ({speedup:.1f}x)"

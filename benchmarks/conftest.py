@@ -16,14 +16,52 @@ meaningless on an untrained network or an unwarmed machine.  Everything
 else (plumbing, printing, bit-identity assertions) still runs, which is
 what ``tests/integration/test_bench_smoke.py`` pins in tier-1 so the
 benchmark suite cannot silently rot.
+
+Gate numbers are persisted: any test may write into its file's
+``bench_metrics`` dict (a plain ``{key: number-or-string}``), and a full
+(non ``--quick``) run dumps each file's dict to
+``benchmarks/BENCH_<name>.json`` at session end — the machine-readable
+perf trajectory tracked PR-over-PR.  Quick runs never write, so the
+tier-1 smoke gate cannot clobber real measurements with smoke numbers.
 """
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
 
 import numpy as np
 import pytest
+
+#: Per-bench-file metric dicts accumulated over the session.
+_BENCH_METRICS: dict[str, dict] = {}
+
+
+@pytest.fixture
+def bench_metrics(request) -> dict:
+    """The requesting bench file's persisted-metrics dict.
+
+    Keys written here (measured speedups, samples/sec, accuracy deltas)
+    land in ``benchmarks/BENCH_<name>.json`` after a full run.
+    """
+    name = Path(str(request.node.fspath)).stem.removeprefix("bench_")
+    return _BENCH_METRICS.setdefault(name, {})
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if session.config.getoption("--quick", default=False):
+        return  # smoke numbers are meaningless; keep the real trajectory
+    for name, metrics in _BENCH_METRICS.items():
+        if not metrics:
+            continue
+        payload = {
+            "bench": name,
+            "recorded_unix": int(time.time()),
+            "metrics": metrics,
+        }
+        out = Path(__file__).parent / f"BENCH_{name}.json"
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 from repro.core import MFDFPConfig, run_algorithm1
 from repro.datasets import cifar10_surrogate, imagenet_surrogate

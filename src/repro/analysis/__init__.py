@@ -24,6 +24,7 @@ from repro.analysis.campaign import (
     parallel_map,
     run_campaign,
     shared_engine_cache,
+    train_surrogate,
 )
 from repro.analysis.faults import (
     FaultInjectionResult,
@@ -67,4 +68,5 @@ __all__ = [
     "shared_engine_cache",
     "sqnr_db",
     "stochastic_vs_deterministic",
+    "train_surrogate",
 ]

@@ -5,15 +5,21 @@ Usage::
     python -m repro table1            # design area / power (Table 1)
     python -m repro table3            # parameter memory (Table 3)
     python -m repro schedule          # per-layer latency of both networks
-    python -m repro fig3 [--epochs N] # Figure-3 curves on the surrogate
-    python -m repro table2 [--epochs N]  # accuracy/time/energy (Table 2)
+    python -m repro fig3 [--epochs N] [--no-compiled] [--profile]
+                                      # Figure-3 curves on the surrogate
+    python -m repro table2 [--epochs N] [--no-compiled] [--profile]
+                                      # accuracy/time/energy (Table 2)
     python -m repro serve [--models a,b] [--workers N] [--batch N] \
         [--max-queue N] [--requests N]   # concurrent multi-model serving
     python -m repro sweep CAMPAIGN [--jobs N] [--points N] [--epochs N]
                                       # parallel ablation/fault campaigns
 
 ``table2`` and ``fig3`` train on the CIFAR-10 surrogate and take a few
-minutes; the others are instantaneous.  ``serve`` hosts the named
+minutes; the others are instantaneous.  Training runs through the
+compiled fast path (:mod:`repro.nn.compiled`) by default —
+``--no-compiled`` switches to the eager layer stack (bit-identical
+curves, useful to verify exactly that) and ``--profile`` prints a
+per-layer forward/backward time breakdown after the surrogate training.  ``serve`` hosts the named
 registry models (default ``cifar10_full``; ``alexnet`` also ships) on a
 :class:`repro.serve.ServerRuntime` worker pool, pushes interleaved
 requests through the per-model micro-batch queues, and prints a
@@ -67,7 +73,7 @@ def _cmd_schedule(args) -> None:
             )
 
 
-def _train_problem(epochs: int):
+def _train_problem(epochs: int, compiled: bool = True, profile: bool = False):
     from repro.datasets import cifar10_surrogate
     from repro.nn import SGD, PlateauScheduler, Trainer
     from repro.zoo import cifar10_small
@@ -76,10 +82,26 @@ def _train_problem(epochs: int):
     net = cifar10_small(size=16, rng=np.random.default_rng(0))
     optimizer = SGD(net.params, lr=0.02, momentum=0.9)
     trainer = Trainer(
-        net, optimizer, scheduler=PlateauScheduler(optimizer, patience=2), batch_size=32
+        net,
+        optimizer,
+        scheduler=PlateauScheduler(optimizer, patience=2),
+        batch_size=32,
+        compiled=compiled,
+        profile=profile,
     )
     trainer.fit(train, test, epochs=epochs)
+    if profile:
+        _print_profile(trainer, compiled)
     return net, train, test
+
+
+def _print_profile(trainer, compiled: bool) -> None:
+    from repro.nn import format_profile
+
+    path = "compiled fast path" if trainer.executor is not None else "eager layers"
+    print(f"\nper-layer training time (surrogate training, {path}):")
+    print(format_profile(trainer.profile_rows()))
+    print()
 
 
 def _cmd_table2(args) -> None:
@@ -89,8 +111,12 @@ def _cmd_table2(args) -> None:
     from repro.report import format_table, table2_row
     from repro.zoo import cifar10_full
 
-    net, train, test = _train_problem(args.epochs)
-    config = MFDFPConfig(phase1_epochs=args.epochs // 2, phase2_epochs=args.epochs // 2, lr=5e-3)
+    compiled = not args.no_compiled
+    net, train, test = _train_problem(args.epochs, compiled=compiled, profile=args.profile)
+    config = MFDFPConfig(
+        phase1_epochs=args.epochs // 2, phase2_epochs=args.epochs // 2, lr=5e-3,
+        compiled=compiled,
+    )
     result = run_algorithm1(net.clone(), train, test, train.x[:256], config)
     rng = np.random.default_rng(1)
     second = net.clone()
@@ -178,11 +204,10 @@ def _cmd_serve(args) -> None:
 def _cmd_sweep(args) -> None:
     import time
 
-    from repro.analysis import run_campaign, shared_engine_cache
+    from repro.analysis import run_campaign, shared_engine_cache, train_surrogate
     from repro.analysis.campaign import campaign_points
     from repro.core.mfdfp import deploy_calibrated
     from repro.datasets import cifar10_surrogate
-    from repro.nn import SGD, Trainer
     from repro.zoo import cifar10_small
 
     try:  # reject a bad --points before paying for training
@@ -192,12 +217,11 @@ def _cmd_sweep(args) -> None:
 
     train, test = cifar10_surrogate(n_train=600, n_test=240, size=16, noise=0.7, seed=2)
     net = cifar10_small(size=16, rng=np.random.default_rng(0))
-    print(f"training surrogate network ({args.epochs} epochs)...")
+    print(f"training surrogate network ({args.epochs} epochs, compiled trainer)...")
     t0 = time.perf_counter()
-    Trainer(
-        net, SGD(net.params, lr=0.02, momentum=0.9), batch_size=32,
-        rng=np.random.default_rng(1),
-    ).fit(train, test, epochs=args.epochs)
+    train_surrogate(
+        net, train, test, epochs=args.epochs, rng=np.random.default_rng(1)
+    )
     train_s = time.perf_counter() - t0
 
     calib = train.x[:256]
@@ -252,9 +276,13 @@ def _cmd_fig3(args) -> None:
     from repro.core import MFDFPConfig, MFDFPNetwork, phase1_finetune, phase2_distill
     from repro.nn import error_rate
 
-    net, train, test = _train_problem(args.epochs)
+    compiled = not args.no_compiled
+    net, train, test = _train_problem(args.epochs, compiled=compiled, profile=args.profile)
     float_err = error_rate(net, test)
-    config = MFDFPConfig(phase1_epochs=args.epochs // 2, phase2_epochs=args.epochs // 2, lr=5e-3)
+    config = MFDFPConfig(
+        phase1_epochs=args.epochs // 2, phase2_epochs=args.epochs // 2, lr=5e-3,
+        compiled=compiled,
+    )
     labels_net = MFDFPNetwork.from_float(net.clone(), train.x[:256])
     curve_a = phase1_finetune(labels_net, train, test, config).val_errors
     curve_a += phase1_finetune(labels_net, train, test, config).val_errors
@@ -274,6 +302,21 @@ def _positive_int(value: str) -> int:
     return n
 
 
+def _add_training_flags(parser) -> None:
+    parser.add_argument(
+        "--no-compiled",
+        action="store_true",
+        help="train on the eager layer stack instead of the compiled fast "
+        "path (bit-identical results; escape hatch for debugging)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-layer forward/backward time breakdown of the "
+        "surrogate training after it finishes",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -287,9 +330,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p2 = sub.add_parser("table2", help="accuracy/time/energy (Table 2; trains)")
     p2.add_argument("--epochs", type=_positive_int, default=12)
+    _add_training_flags(p2)
     p2.set_defaults(fn=_cmd_table2)
     p3 = sub.add_parser("fig3", help="training curves (Figure 3; trains)")
     p3.add_argument("--epochs", type=_positive_int, default=12)
+    _add_training_flags(p3)
     p3.set_defaults(fn=_cmd_fig3)
     psw = sub.add_parser("sweep", help="parallel ablation/fault campaigns (trains briefly)")
     psw.add_argument(

@@ -44,7 +44,7 @@ from repro.hw.datapath import (
     requantize_codes,
     saturate,
 )
-from repro.nn.layers.conv import im2col
+from repro.nn.layers.conv import im2col, patch_index_table
 from repro.nn.layers.pool import pool_output_size
 
 #: Accumulator wire width checked when ``check_widths`` is on.
@@ -80,23 +80,18 @@ def shift_weight_ints(codes: np.ndarray) -> np.ndarray:
 # campaigns recompile per corrupted network — pay the index construction
 # once.  The cached arrays are frozen (non-writeable) because every
 # engine shares them.
-@functools.lru_cache(maxsize=256)
 def _im2col_indices(c: int, h: int, w: int, k: int, stride: int, pad: int):
     """Gather table lowering im2col to one fancy-index per batch.
 
     Returns ``(index, oh, ow)`` where ``index`` has shape
     ``(c*k*k, oh*ow)`` and indexes a flattened ``(c*h*w + 1,)`` input
-    whose last slot holds the padding value (the *sentinel*).  Memoized
-    by geometry; the returned index is read-only and shared.
+    whose last slot holds the padding value (the *sentinel*).  The table
+    is the sentinel variant of
+    :func:`repro.nn.layers.conv.patch_index_table` — one geometry-keyed
+    LRU shared with the training path's ``col2im`` scatter; the returned
+    index is read-only and shared.
     """
-    sentinel = c * h * w
-    hp, wp = h + 2 * pad, w + 2 * pad
-    grid = np.full((1, c, hp, wp), sentinel, dtype=np.int64)
-    grid[0, :, pad : pad + h, pad : pad + w] = np.arange(sentinel).reshape(c, h, w)
-    cols, oh, ow = im2col(grid, k, k, stride, 0)
-    index = cols[0].astype(np.intp)
-    index.setflags(write=False)
-    return index, oh, ow
+    return patch_index_table(c, h, w, k, k, stride, pad, sentinel=True)
 
 
 @functools.lru_cache(maxsize=256)

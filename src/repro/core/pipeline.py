@@ -25,7 +25,19 @@ from repro.nn.trainer import EpochResult, TrainHistory, Trainer, error_rate
 
 @dataclass
 class MFDFPConfig:
-    """Hyper-parameters of Algorithm 1 (defaults follow the paper)."""
+    """Hyper-parameters of Algorithm 1 (defaults follow the paper).
+
+    ``compiled`` routes both fine-tuning phases through the compiled
+    training fast path (:mod:`repro.nn.compiled`) — bit-identical to the
+    eager layers, substantially faster.  ``snapshot_phase1`` records the
+    quantized weights after every phase-1 epoch (Algorithm 1 keeps the
+    per-epoch ``W_q``); with the compiled path the snapshot is served
+    from the quantized-weight cache, so only tensors that changed since
+    the epoch's validation sweep are requantized — in practice none.
+    Snapshots are collected only under deterministic weight rounding:
+    requantizing through a stochastic hook would consume RNG state and
+    change the training trajectory itself.
+    """
 
     bits: int = 8
     min_exp: int = -7
@@ -43,17 +55,25 @@ class MFDFPConfig:
     plateau_patience: int = 2
     lr_factor: float = 0.1
     min_lr: float = 1e-7
+    compiled: bool = True
+    snapshot_phase1: bool = True
 
 
 @dataclass
 class MFDFPResult:
-    """Everything produced by one run of Algorithm 1 on one float net."""
+    """Everything produced by one run of Algorithm 1 on one float net.
+
+    ``phase1_snapshots`` holds one ``{param name: quantized weights}``
+    dict per completed phase-1 epoch when the config asked for them
+    (Algorithm 1's per-epoch ``W_q``), else None.
+    """
 
     mfdfp: MFDFPNetwork
     plan: QuantizationPlan
     phase1: TrainHistory
     phase2: TrainHistory
     float_val_error: float
+    phase1_snapshots: Optional[list[dict]] = None
 
     @property
     def final_val_error(self) -> float:
@@ -77,11 +97,16 @@ def phase1_finetune(
     val: ArrayDataset,
     config: MFDFPConfig,
     rng: Optional[np.random.Generator] = None,
+    snapshots: Optional[list] = None,
 ) -> TrainHistory:
     """Phase 1 (Algorithm 1 lines 3–9): fine-tune with hard labels.
 
     Quantized forward passes and float master updates happen automatically
     through the layer hooks attached by ``MFDFPNetwork.from_float``.
+    Pass a list as ``snapshots`` to collect the per-epoch quantized
+    weights (Algorithm 1's ``W_q``); with ``config.compiled`` the copies
+    come out of the trainer's quantized-weight cache, which the epoch's
+    validation sweep already filled — nothing is requantized.
     """
     optimizer = SGD(
         mfdfp.params, lr=config.lr, momentum=config.momentum, weight_decay=config.weight_decay
@@ -92,6 +117,11 @@ def phase1_finetune(
         patience=config.plateau_patience,
         min_lr=config.min_lr,
     )
+    epoch_callback = None
+    if snapshots is not None:
+        def epoch_callback(trainer, result):
+            snapshots.append({k: v.copy() for k, v in trainer.quantized_weights().items()})
+
     trainer = Trainer(
         mfdfp.net,
         optimizer,
@@ -99,6 +129,8 @@ def phase1_finetune(
         scheduler=scheduler,
         batch_size=config.batch_size,
         rng=rng or np.random.default_rng(1),
+        epoch_callback=epoch_callback,
+        compiled=config.compiled,
     )
     return trainer.fit(train, val, epochs=config.phase1_epochs)
 
@@ -115,7 +147,10 @@ def phase2_distill(
 
     Teacher logits are computed on the fly per batch (equivalent to the
     paper's precomputed ``t_logits``, without storing the full training
-    set's logits).
+    set's logits).  Both the student's quantized steps and the teacher's
+    float forwards run through the compiled fast path when
+    ``config.compiled`` (bit-identical to eager execution); the reported
+    train loss is the exact sample mean, weighted by batch size.
     """
     rng = rng or np.random.default_rng(2)
     optimizer = SGD(
@@ -128,19 +163,39 @@ def phase2_distill(
         min_lr=config.min_lr,
     )
     loss = DistillationLoss(tau=config.tau, beta=config.beta)
+    # A Trainer drives the student so phase 2 shares the compiled
+    # executor plumbing; the teacher gets its own executor (separate
+    # network, separate plans).
+    trainer = Trainer(
+        mfdfp.net,
+        optimizer,
+        loss=loss,
+        batch_size=config.batch_size,
+        rng=rng,
+        compiled=config.compiled,
+    )
+    teacher_executor = None
+    if config.compiled:
+        from repro.nn.compiled import CompiledTrainer
+
+        teacher_executor = CompiledTrainer(teacher)
     history = TrainHistory()
     for epoch in range(1, config.phase2_epochs + 1):
         batches = BatchIterator(train, config.batch_size, shuffle=True, rng=rng)
-        losses = []
+        total, count = 0.0, 0
         for x, y in batches:
-            loss.set_teacher_logits(teacher.logits(x))
-            logits = mfdfp.forward(x, training=True)
-            losses.append(loss.forward(logits, y))
+            if teacher_executor is not None:
+                loss.set_teacher_logits(teacher_executor.logits(x))
+            else:
+                loss.set_teacher_logits(teacher.logits(x))
+            logits = trainer.forward_batch(x, training=True)
+            total += loss.forward(logits, y) * len(x)
+            count += len(x)
             mfdfp.net.zero_grad()
-            mfdfp.net.backward(loss.backward())
+            trainer.backward_batch(loss.backward())
             optimizer.step()
-        val_error = error_rate(mfdfp.net, val)
-        train_loss = float(np.mean(losses)) if losses else float("nan")
+        val_error = trainer.evaluate_error(val)
+        train_loss = total / count if count else float("nan")
         history.append(EpochResult(epoch, train_loss, val_error, optimizer.lr))
         scheduler.step(val_error)
         if scheduler.finished:
@@ -175,7 +230,14 @@ def run_algorithm1(
         dynamic=config.dynamic,
         rng=rng,
     )
-    history1 = phase1_finetune(mfdfp, train, val, config, rng=rng)
+    # Snapshots only under deterministic rounding: a stochastic hook
+    # consumes RNG state on every call, so snapshotting would both shift
+    # the draws of subsequent training steps (breaking pre-snapshot
+    # reproducibility) and record a fresh draw the forward pass never
+    # used.
+    collect = config.snapshot_phase1 and config.weight_mode == "deterministic"
+    snapshots: Optional[list] = [] if collect else None
+    history1 = phase1_finetune(mfdfp, train, val, config, rng=rng, snapshots=snapshots)
     history2 = phase2_distill(mfdfp, teacher, train, val, config, rng=rng)
     return MFDFPResult(
         mfdfp=mfdfp,
@@ -183,6 +245,7 @@ def run_algorithm1(
         phase1=history1,
         phase2=history2,
         float_val_error=float_val_error,
+        phase1_snapshots=snapshots,
     )
 
 

@@ -237,6 +237,24 @@ class NetworkQuantizer:
         return plan
 
 
+def hook_is_pure(hook) -> bool:
+    """True when a quantization hook is a pure function of its input.
+
+    Pure hooks are safe to memoize (the compiled training fast path
+    caches the quantized weights of an unchanged master tensor) and to
+    fuse into in-place kernels.  Deterministic power-of-two weight
+    quantizers and DFP activation quantizers qualify; stochastic
+    rounding consumes RNG state on every call, so it must never be
+    cached — skipping a call would shift every later draw.
+    Unknown hook types are conservatively treated as impure.
+    """
+    if isinstance(hook, DFPQuantizer):
+        return True
+    if isinstance(hook, Pow2WeightQuantizer):
+        return hook.mode == "deterministic"
+    return False
+
+
 def strip_quantization(net: Network) -> Network:
     """Remove every quantization hook, restoring float behaviour."""
     net.input_quantizer = None

@@ -10,6 +10,7 @@ gradients accumulate in floating-point master weights.
 """
 
 from repro.nn.augment import Augmenter, random_horizontal_flip, random_shift_crop
+from repro.nn.compiled import CompiledTrainer, TrainPlan, format_profile
 from repro.nn.data import ArrayDataset, BatchIterator, train_val_split
 from repro.nn.initializers import gaussian_init, he_init, xavier_init, zeros_init
 from repro.nn.layers import (
@@ -36,6 +37,7 @@ __all__ = [
     "Augmenter",
     "AvgPool2D",
     "BatchIterator",
+    "CompiledTrainer",
     "Conv2D",
     "Dense",
     "Dropout",
@@ -54,9 +56,11 @@ __all__ = [
     "SoftmaxCrossEntropy",
     "StepScheduler",
     "Tanh",
+    "TrainPlan",
     "Trainer",
     "error_rate",
     "evaluate_topk",
+    "format_profile",
     "gaussian_init",
     "he_init",
     "random_horizontal_flip",

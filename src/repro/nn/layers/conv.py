@@ -3,10 +3,16 @@
 The convolution is lowered to a matrix multiplication via ``im2col``, the
 same strategy Caffe uses; ``col2im`` scatters gradients back.  Data layout
 is NCHW throughout.
+
+Patch geometry is shared infrastructure: :func:`patch_index_table` builds
+the flat gather/scatter index tables that both ``col2im`` here and the
+compiled inference engine's gather tables
+(:mod:`repro.core.engine`) are derived from, memoized per geometry.
 """
 
 from __future__ import annotations
 
+import functools
 from typing import Optional, Union
 
 import numpy as np
@@ -51,19 +57,109 @@ def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int):
     return np.ascontiguousarray(cols), out_h, out_w
 
 
-def col2im(cols: np.ndarray, x_shape: tuple, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
-    """Scatter columns back to an input-shaped tensor (adjoint of im2col)."""
+@functools.lru_cache(maxsize=256)
+def patch_index_table(
+    c: int, h: int, w: int, kh: int, kw: int, stride: int, pad: int, sentinel: bool = False
+):
+    """Flat patch-index table for one convolution geometry, memoized.
+
+    Returns ``(index, out_h, out_w)`` where ``index`` has shape
+    ``(c*kh*kw, out_h*out_w)``: entry ``[t, p]`` is the flat position the
+    ``t``-th kernel tap of output position ``p`` reads from (gather) or
+    writes to (scatter).
+
+    With ``sentinel=False`` positions index the flattened *padded* input
+    ``(c*(h+2*pad)*(w+2*pad),)`` — the scatter space of :func:`col2im`.
+    With ``sentinel=True`` they index the flattened unpadded input plus
+    one trailing slot ``c*h*w`` holding the padding value — the gather
+    space of the compiled inference engine
+    (:mod:`repro.core.engine` derives its im2col tables here).
+
+    The table depends only on geometry, so it is cached process-wide and
+    returned read-only: every caller shares one frozen array.
+    """
+    hp, wp = h + 2 * pad, w + 2 * pad
+    if sentinel:
+        fill = c * h * w
+        grid = np.full((1, c, hp, wp), fill, dtype=np.int64)
+        grid[0, :, pad : pad + h, pad : pad + w] = np.arange(fill).reshape(c, h, w)
+    else:
+        grid = np.arange(c * hp * wp).reshape(1, c, hp, wp)
+    cols, out_h, out_w = im2col(grid, kh, kw, stride, 0)
+    index = cols[0].astype(np.intp)
+    index.setflags(write=False)
+    return index, out_h, out_w
+
+
+#: Above this many scatter slots (``n * c*kh*kw * out_h*out_w``) col2im
+#: stops caching a batch-combined index and loops over samples instead,
+#: bounding cache memory for very large batches.
+_COL2IM_COMBINED_LIMIT = 1 << 24
+
+
+@functools.lru_cache(maxsize=8)
+def _col2im_batch_index(
+    n: int, c: int, h: int, w: int, kh: int, kw: int, stride: int, pad: int
+) -> np.ndarray:
+    """Batch-combined flat scatter index for col2im, memoized.
+
+    Extends the geometry table of :func:`patch_index_table` across the
+    batch axis so the whole scatter is a single 1-D ``np.add.at`` (the
+    fast indexed-ufunc path).  Keyed by batch size as well as geometry;
+    the small LRU bounds memory, and callers above
+    :data:`_COL2IM_COMBINED_LIMIT` slots never reach this cache.
+    """
+    index, _, _ = patch_index_table(c, h, w, kh, kw, stride, pad)
+    span = c * (h + 2 * pad) * (w + 2 * pad)
+    combined = (np.arange(n, dtype=np.intp)[:, None, None] * span + index[None]).reshape(-1)
+    combined.setflags(write=False)
+    return combined
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple,
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Scatter columns back to an input-shaped tensor (adjoint of im2col).
+
+    Implemented as a flat-index ``np.add.at`` scatter over the cached
+    :func:`patch_index_table` rather than a ``kh*kw`` Python loop.
+    Contributions land per target element in kernel-tap order — exactly
+    the order the historical per-tap loop added them — so results are
+    bit-identical for every float dtype.
+
+    ``out``, if given, is a C-contiguous ``(n, c, h+2*pad, w+2*pad)``
+    workspace reused for the padded scatter target (the compiled
+    training path passes one per plan); the returned array is its
+    unpadded interior view.
+    """
     n, c, h, w = x_shape
     hp, wp = h + 2 * pad, w + 2 * pad
-    out_h = conv_output_size(h, kh, stride, pad)
-    out_w = conv_output_size(w, kw, stride, pad)
-    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
-    dx = np.zeros((n, c, hp, wp), dtype=cols.dtype)
-    for i in range(kh):
-        for j in range(kw):
-            dx[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += cols[
-                :, :, i, j
-            ]
+    flat = np.ascontiguousarray(cols).reshape(n, -1)
+    span = c * hp * wp
+    if out is None:
+        dx = np.zeros((n, span), dtype=cols.dtype)
+    else:
+        if out.shape != (n, c, hp, wp) or not out.flags.c_contiguous:
+            raise ValueError("out must be a C-contiguous (n, c, h+2p, w+2p) array")
+        if out.dtype != cols.dtype:
+            raise ValueError(f"out dtype {out.dtype} != cols dtype {cols.dtype}")
+        dx = out.reshape(n, span)
+        dx[...] = 0
+    if n * flat.shape[1] <= _COL2IM_COMBINED_LIMIT:
+        np.add.at(
+            dx.reshape(-1), _col2im_batch_index(n, c, h, w, kh, kw, stride, pad), flat.reshape(-1)
+        )
+    else:
+        index = patch_index_table(c, h, w, kh, kw, stride, pad)[0].reshape(-1)
+        for i in range(n):
+            np.add.at(dx[i], index, flat[i])
+    dx = dx.reshape(n, c, hp, wp)
     if pad:
         dx = dx[:, :, pad : hp - pad, pad : wp - pad]
     return dx
@@ -166,9 +262,11 @@ class Conv2D(Layer):
         g = self.groups
         gr = grad.reshape(n, g, self.out_channels // g, -1)
         dw = np.einsum("ngfp,ngkp->gfk", gr, cols_g, optimize=True)
-        self.weight.grad = dw.reshape(self.weight.data.shape).astype(self.weight.data.dtype)
+        self.weight.grad = dw.reshape(self.weight.data.shape).astype(
+            self.weight.data.dtype, copy=False
+        )
         if self.bias is not None:
-            self.bias.grad = gr.sum(axis=(0, 3)).reshape(-1).astype(self.bias.data.dtype)
+            self.bias.grad = gr.sum(axis=(0, 3)).reshape(-1).astype(self.bias.data.dtype, copy=False)
         dcols = np.einsum("gfk,ngfp->ngkp", w_mat, gr, optimize=True)
         dcols = dcols.reshape(n, -1, dcols.shape[-1])
         return col2im(dcols, x_shape, k, k, s, p)

@@ -68,7 +68,7 @@ class Dense(Layer):
         w = self.effective_weight()
         y = x @ w.T
         if self.bias is not None:
-            y = y + self.bias.data[None, :]
+            y += self.bias.data[None, :]  # in-place: y is freshly allocated
         self._cache = (x, w)
         return self._quantize_output(y)
 
@@ -76,9 +76,9 @@ class Dense(Layer):
         if self._cache is None:
             raise RuntimeError(f"{self.name}: backward called before forward")
         x, w = self._cache
-        self.weight.grad = (grad.T @ x).astype(self.weight.data.dtype)
+        self.weight.grad = (grad.T @ x).astype(self.weight.data.dtype, copy=False)
         if self.bias is not None:
-            self.bias.grad = grad.sum(axis=0).astype(self.bias.data.dtype)
+            self.bias.grad = grad.sum(axis=0).astype(self.bias.data.dtype, copy=False)
         return grad @ w
 
     def macs(self, input_shape: tuple) -> int:

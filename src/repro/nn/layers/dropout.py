@@ -30,7 +30,10 @@ class Dropout(Layer):
             self._mask = None
             return self._quantize_output(x)
         keep = 1.0 - self.p
-        self._mask = (self.rng.random(x.shape) < keep) / keep
+        # The mask is materialized in the input dtype: a float64 mask
+        # would silently upcast both the output product and the backward
+        # gradient of a float32 network.
+        self._mask = ((self.rng.random(x.shape) < keep) / keep).astype(x.dtype, copy=False)
         return self._quantize_output((x * self._mask).astype(x.dtype, copy=False))
 
     def backward(self, grad: np.ndarray) -> np.ndarray:

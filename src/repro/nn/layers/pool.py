@@ -9,6 +9,7 @@ divides by the number of valid elements in the window.
 
 from __future__ import annotations
 
+import functools
 import math
 from typing import Optional
 
@@ -79,11 +80,27 @@ class _Pool2D(Layer):
         return win, xp.shape, oh, ow
 
     def _valid_counts(self, x_shape: tuple, oh: int, ow: int) -> np.ndarray:
-        """Number of non-padding elements in each pooling window."""
+        """Number of non-padding elements in each pooling window.
+
+        Depends only on geometry, so it is memoized process-wide (the
+        eager path used to rebuild a ones-map and its windows on every
+        forward pass).  The cached array is read-only and shared.
+        """
         _, _, h, w = x_shape
-        ones = np.ones((1, 1, h, w), dtype=np.float64)
-        win, _, _, _ = self._windows(ones, fill=0.0)
-        return win.sum(axis=(-1, -2))[0, 0]  # (oh, ow)
+        return pool_valid_counts(h, w, self.kernel_size, self.stride, self.pad, self.ceil_mode)
+
+
+@functools.lru_cache(maxsize=256)
+def pool_valid_counts(
+    h: int, w: int, kernel: int, stride: int, pad: int, ceil_mode: bool
+) -> np.ndarray:
+    """``(oh, ow)`` count of in-bounds elements per pooling window."""
+    probe = _Pool2D(kernel, stride=stride, pad=pad, ceil_mode=ceil_mode)
+    ones = np.ones((1, 1, h, w), dtype=np.float64)
+    win, _, _, _ = probe._windows(ones, fill=0.0)
+    counts = win.sum(axis=(-1, -2))[0, 0]  # (oh, ow)
+    counts.setflags(write=False)
+    return counts
 
 
 class MaxPool2D(_Pool2D):
@@ -104,13 +121,18 @@ class MaxPool2D(_Pool2D):
         x_shape, xp_shape, arg, oh, ow = self._cache
         n, c, h, w = x_shape
         k, s, p = self.kernel_size, self.stride, self.pad
-        ki, kj = arg // k, arg % k
-        rows = np.arange(oh)[None, None, :, None] * s + ki
-        cols = np.arange(ow)[None, None, None, :] * s + kj
-        nn = np.arange(n)[:, None, None, None]
-        cc = np.arange(c)[None, :, None, None]
+        hp, wp = xp_shape[2], xp_shape[3]
+        # One flat 1-D scatter (the fast indexed-ufunc path) instead of a
+        # broadcast 4-tuple index; iteration order — and therefore float
+        # accumulation order per target — is the same C order either way.
+        rows = np.arange(oh, dtype=np.intp)[None, None, :, None] * s + arg // k
+        cols = np.arange(ow, dtype=np.intp)[None, None, None, :] * s + arg % k
+        base = (np.arange(n * c, dtype=np.intp) * hp).reshape(n, c, 1, 1)
+        target = (base + rows) * wp + cols
         dxp = np.zeros(xp_shape, dtype=grad.dtype)
-        np.add.at(dxp, (nn, cc, rows, cols), grad)
+        np.add.at(
+            dxp.reshape(-1), target.reshape(-1), np.ascontiguousarray(grad).reshape(-1)
+        )
         return dxp[:, :, p : p + h, p : p + w]
 
 

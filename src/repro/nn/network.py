@@ -45,10 +45,14 @@ class Network:
                 p.name = f"{layer.name}.{p.name.rsplit('.', 1)[-1]}"
 
     # -- execution ---------------------------------------------------------
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        """Run the network; returns the final layer output (logits)."""
+    def set_training(self, training: bool) -> None:
+        """Set every layer's training flag (shared with the compiled path)."""
         for layer in self.layers:
             layer.training = training
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the network; returns the final layer output (logits)."""
+        self.set_training(training)
         if self.input_quantizer is not None:
             x = self.input_quantizer(x)
         for layer in self.layers:

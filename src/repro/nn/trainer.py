@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -14,18 +15,27 @@ from repro.nn.optim import SGD, PlateauScheduler
 
 
 def topk_correct(
-    net: Network, x: np.ndarray, y: np.ndarray, k: int = 1, batch_size: int = 256
+    net: Network,
+    x: np.ndarray,
+    y: np.ndarray,
+    k: int = 1,
+    batch_size: int = 256,
+    logits_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
 ) -> int:
     """Number of samples whose label lands in the top-k logits.
 
     The chunked evaluation primitive shared by :func:`evaluate_topk` and
     the analysis campaign runner (:mod:`repro.analysis.campaign`): one
     forward pass per ``batch_size`` slice, never materializing logits
-    for the whole set at once.
+    for the whole set at once.  ``logits_fn`` overrides the forward pass
+    (the compiled training fast path routes evaluation through its
+    planned executor, which returns bit-identical logits).
     """
+    if logits_fn is None:
+        logits_fn = net.logits
     correct = 0
     for start in range(0, len(x), batch_size):
-        logits = net.logits(x[start : start + batch_size])
+        logits = logits_fn(x[start : start + batch_size])
         topk = np.argpartition(-logits, kth=min(k, logits.shape[1] - 1), axis=1)[:, :k]
         correct += int((topk == y[start : start + batch_size, None]).any(axis=1).sum())
     return correct
@@ -92,6 +102,14 @@ class Trainer:
             quantized weights).
         augment: Optional batch transform (e.g. :class:`~repro.nn.augment.Augmenter`)
             applied to training inputs only.
+        compiled: Route training and evaluation through the compiled
+            fast path (:mod:`repro.nn.compiled`): planned, workspace
+            backed kernels that are bit-identical to the eager layers.
+            On by default; falls back to eager execution transparently
+            (unsupported layers are delegated inside the plan, and any
+            failure to build the executor disables it for this trainer).
+        profile: Collect per-layer forward/backward wall-clock times;
+            see :meth:`profile_rows`.
     """
 
     def __init__(
@@ -104,6 +122,8 @@ class Trainer:
         rng: Optional[np.random.Generator] = None,
         epoch_callback: Optional[Callable] = None,
         augment: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        compiled: bool = True,
+        profile: bool = False,
     ):
         self.net = net
         self.optimizer = optimizer
@@ -113,27 +133,147 @@ class Trainer:
         self.rng = rng or np.random.default_rng(0)
         self.epoch_callback = epoch_callback
         self.augment = augment
+        self.compiled = compiled
+        self.profile = profile
         self.history = TrainHistory()
+        self._executor = None
+        self._eager_profile: dict[str, dict] = {}
+
+    @property
+    def executor(self):
+        """The compiled executor, built lazily; None when disabled."""
+        if not self.compiled:
+            return None
+        if self._executor is None:
+            try:
+                from repro.nn.compiled import CompiledTrainer
+
+                self._executor = CompiledTrainer(self.net, profile=self.profile)
+            except Exception:  # missing/broken fast path: stay eager
+                self.compiled = False
+                return None
+        return self._executor
+
+    # -- single-batch execution (compiled or eager, always bit-identical) --
+    def forward_batch(self, x: np.ndarray, training: bool) -> np.ndarray:
+        """Forward one batch through the compiled executor or eagerly.
+
+        The building block custom training loops (e.g. the phase-2
+        distillation loop) share with :meth:`train_epoch`; bit-identical
+        either way.
+        """
+        executor = self.executor
+        if executor is not None:
+            return executor.forward(x, training=training)
+        if not self.profile:
+            return self.net.forward(x, training=training)
+        self.net.set_training(training)
+        if self.net.input_quantizer is not None:
+            x = self.net.input_quantizer(x)
+        for layer in self.net.layers:
+            t0 = time.perf_counter()
+            x = layer.forward(x)
+            row = self._profile_row(layer)
+            row["forward_s"] += time.perf_counter() - t0
+            row["calls"] += 1
+        return x
+
+    def backward_batch(self, grad: np.ndarray) -> None:
+        """Backpropagate one batch (pairs with :meth:`forward_batch`)."""
+        executor = self.executor
+        if executor is not None:
+            executor.backward(grad)
+            return
+        if not self.profile:
+            self.net.backward(grad)
+            return
+        for layer in reversed(self.net.layers):
+            t0 = time.perf_counter()
+            grad = layer.backward(grad)
+            self._profile_row(layer)["backward_s"] += time.perf_counter() - t0
+
+    def _profile_row(self, layer) -> dict:
+        return self._eager_profile.setdefault(
+            layer.name,
+            {
+                "layer": layer.name,
+                "kind": type(layer).__name__,
+                "delegated": False,
+                "forward_s": 0.0,
+                "backward_s": 0.0,
+                "calls": 0,
+            },
+        )
 
     def train_epoch(self, train: ArrayDataset) -> float:
-        """One pass over the training set; returns mean batch loss."""
+        """One pass over the training set; returns the mean sample loss.
+
+        Batch losses are weighted by batch size, so the return value is
+        the exact mean over every sample seen this epoch even when the
+        dataset length is not divisible by ``batch_size`` (an unweighted
+        mean of batch means over-weights a partial trailing batch).
+        """
         batches = BatchIterator(train, self.batch_size, shuffle=True, rng=self.rng)
-        losses = []
+        total, count = 0.0, 0
         for x, y in batches:
             if self.augment is not None:
                 x = self.augment(x)
-            logits = self.net.forward(x, training=True)
-            losses.append(self.loss.forward(logits, y))
+            logits = self.forward_batch(x, training=True)
+            total += self.loss.forward(logits, y) * len(x)
+            count += len(x)
             self.net.zero_grad()
-            self.net.backward(self.loss.backward())
+            self.backward_batch(self.loss.backward())
             self.optimizer.step()
-        return float(np.mean(losses)) if losses else float("nan")
+        return total / count if count else float("nan")
+
+    def evaluate_error(self, dataset: ArrayDataset, batch_size: int = 256) -> float:
+        """Top-1 error on ``dataset``, through the compiled executor when on.
+
+        Bit-identical to :func:`error_rate` on the same network — the
+        executor replays the eager op sequence — but without
+        requantizing unchanged weights on every batch.
+        """
+        executor = self.executor
+        logits_fn = None
+        if executor is not None:
+            logits_fn = lambda xb: executor.forward(xb, training=False)  # noqa: E731
+        correct = topk_correct(
+            self.net, dataset.x, dataset.y, k=1, batch_size=batch_size, logits_fn=logits_fn
+        )
+        return 1.0 - correct / len(dataset)
+
+    def quantized_weights(self) -> dict[str, np.ndarray]:
+        """Weights as the quantized forward pass sees them.
+
+        Served from the compiled executor's quantized-weight cache when
+        available — after an epoch's validation sweep this requantizes
+        nothing — and recomputed eagerly otherwise.  The MF-DFP pipeline
+        snapshots these per phase-1 epoch.
+        """
+        executor = self.executor
+        if executor is not None:
+            return executor.quantized_weights()
+        out = {}
+        for layer in self.net.layers:
+            w = layer.effective_weight()
+            if w is not None:
+                out[layer.name] = w
+        return out
+
+    def profile_rows(self) -> list[dict]:
+        """Per-layer timing rows (compiled plans or eager timers)."""
+        if self._executor is not None:
+            return self._executor.profile_rows()
+        order = {layer.name: i for i, layer in enumerate(self.net.layers)}
+        return sorted(
+            self._eager_profile.values(), key=lambda r: order.get(r["layer"], 1 << 30)
+        )
 
     def fit(self, train: ArrayDataset, val: ArrayDataset, epochs: int) -> TrainHistory:
         """Train up to ``epochs`` epochs (or until the scheduler finishes)."""
         for epoch in range(1, epochs + 1):
             train_loss = self.train_epoch(train)
-            val_error = error_rate(self.net, val)
+            val_error = self.evaluate_error(val)
             result = EpochResult(epoch, train_loss, val_error, self.optimizer.lr)
             self.history.append(result)
             if self.epoch_callback is not None:

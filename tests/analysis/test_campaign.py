@@ -11,6 +11,7 @@ from repro.analysis.campaign import (
     parallel_map,
     run_campaign,
     shared_engine_cache,
+    train_surrogate,
 )
 from repro.analysis.faults import accuracy_under_faults
 from repro.analysis.sqnr import layer_sqnr_report, quantization_noise_campaign
@@ -290,3 +291,22 @@ class TestAcceleratorEvaluate:
         acc = Accelerator(AcceleratorConfig(precision="mfdfp"))
         with pytest.raises(ValueError):
             acc.evaluate_deployed(problem["deployed"], test.x[:0], test.y[:0])
+
+
+class TestTrainSurrogate:
+    def test_compiled_bit_identical_to_eager(self, small_data):
+        """The campaign's surrogate training: fast path changes nothing."""
+        train, test = small_data
+        histories, weights = {}, {}
+        for compiled in (False, True):
+            net = cifar10_small(size=16, rng=np.random.default_rng(4))
+            history, trainer = train_surrogate(
+                net, train, test, epochs=2, rng=np.random.default_rng(2), compiled=compiled
+            )
+            histories[compiled] = history
+            weights[compiled] = net.get_weights()
+            assert (trainer.executor is not None) == compiled
+        assert histories[False].train_losses == histories[True].train_losses
+        assert histories[False].val_errors == histories[True].val_errors
+        for name in weights[False]:
+            assert np.array_equal(weights[False][name], weights[True][name])

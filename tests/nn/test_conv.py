@@ -64,6 +64,84 @@ class TestIm2col:
         assert np.isclose(lhs, rhs)
 
 
+def _loop_col2im(cols, x_shape, kh, kw, stride, pad):
+    """The historical kh*kw tap-loop col2im — the scatter's reference."""
+    n, c, h, w = x_shape
+    hp, wp = h + 2 * pad, w + 2 * pad
+    out_h = conv_output_size(h, kh, stride, pad)
+    out_w = conv_output_size(w, kw, stride, pad)
+    cols = cols.reshape(n, c, kh, kw, out_h, out_w)
+    dx = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            dx[:, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride] += cols[
+                :, :, i, j
+            ]
+    if pad:
+        dx = dx[:, :, pad : hp - pad, pad : wp - pad]
+    return dx
+
+
+class TestCol2imScatter:
+    """The flat-index scatter must be bit-identical to the old tap loop.
+
+    Float accumulation order matters, so equality is asserted with
+    ``array_equal`` (exact bits), not ``allclose`` — per target element
+    the scatter adds contributions in kernel-tap order, exactly as the
+    loop did.
+    """
+
+    GEOMETRIES = [
+        # (n, c, h, w, kh, kw, stride, pad)
+        (2, 3, 7, 6, 3, 3, 2, 1),
+        (4, 8, 16, 16, 5, 5, 1, 2),
+        (1, 1, 5, 5, 3, 3, 1, 0),
+        (3, 2, 9, 9, 2, 4, 3, 2),
+        (2, 4, 8, 8, 1, 1, 1, 0),
+    ]
+
+    @pytest.mark.parametrize("geometry", GEOMETRIES)
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_bit_identical_to_loop(self, rng, geometry, dtype):
+        n, c, h, w, kh, kw, stride, pad = geometry
+        oh = conv_output_size(h, kh, stride, pad)
+        ow = conv_output_size(w, kw, stride, pad)
+        cols = rng.normal(size=(n, c * kh * kw, oh * ow)).astype(dtype)
+        got = col2im(cols, (n, c, h, w), kh, kw, stride, pad)
+        ref = _loop_col2im(cols, (n, c, h, w), kh, kw, stride, pad)
+        assert got.dtype == ref.dtype
+        assert np.array_equal(got, ref)
+
+    def test_out_workspace_reused(self, rng):
+        n, c, h, w, k, s, p = 2, 3, 8, 8, 3, 1, 1
+        oh = conv_output_size(h, k, s, p)
+        cols = rng.normal(size=(n, c * k * k, oh * oh)).astype(np.float32)
+        ws = np.full((n, c, h + 2 * p, w + 2 * p), 99.0, dtype=np.float32)  # stale junk
+        got = col2im(cols, (n, c, h, w), k, k, s, p, out=ws)
+        ref = col2im(cols, (n, c, h, w), k, k, s, p)
+        assert np.array_equal(got, ref)
+        assert got.base is ws  # a view of the caller's workspace
+
+    def test_out_validates_shape_and_dtype(self, rng):
+        cols = rng.normal(size=(1, 9, 9)).astype(np.float32)
+        with pytest.raises(ValueError):
+            col2im(cols, (1, 1, 3, 3), 3, 3, 1, 1, out=np.empty((1, 1, 3, 3), np.float32))
+        with pytest.raises(ValueError):
+            col2im(cols, (1, 1, 3, 3), 3, 3, 1, 1, out=np.empty((1, 1, 5, 5), np.float64))
+
+    def test_per_sample_fallback_above_combined_limit(self, rng, monkeypatch):
+        """Huge batches skip the batch-combined index cache, same bits."""
+        import repro.nn.layers.conv as conv_mod
+
+        n, c, h, w, k, s, p = 3, 2, 6, 6, 3, 1, 1
+        oh = conv_output_size(h, k, s, p)
+        cols = rng.normal(size=(n, c * k * k, oh * oh)).astype(np.float32)
+        ref = col2im(cols, (n, c, h, w), k, k, s, p)
+        monkeypatch.setattr(conv_mod, "_COL2IM_COMBINED_LIMIT", 1)
+        got = col2im(cols, (n, c, h, w), k, k, s, p)
+        assert np.array_equal(got, ref)
+
+
 class TestConvForward:
     def test_known_values_1x1(self):
         layer = Conv2D(1, 1, 1, bias=True, dtype=np.float64)

@@ -84,6 +84,41 @@ class TestTraining:
         trainer.fit(train, train, epochs=3)
         assert calls == [1, 2, 3]
 
+    def test_train_epoch_loss_is_exact_sample_mean(self):
+        """A partial trailing batch must not skew the reported loss.
+
+        With 50 samples at batch size 16 the last batch holds 2 samples;
+        an unweighted mean of batch means would overweight them 8x.  The
+        returned loss must equal the mean of per-sample losses over the
+        epoch, reconstructed here by replaying the same shuffled batches
+        through an identical network.
+        """
+        from repro.nn import BatchIterator, SoftmaxCrossEntropy
+
+        train = blob_dataset(50, seed=6)  # 50 % 16 != 0
+        net_a, net_b = mlp(seed=3), mlp(seed=3)
+        trainer = Trainer(
+            net_a,
+            SGD(net_a.params, lr=1e-3, momentum=0.9),
+            batch_size=16,
+            rng=np.random.default_rng(9),
+        )
+        reported = trainer.train_epoch(train)
+
+        # replay: same shuffle stream, same updates, accumulate per-sample mean
+        loss = SoftmaxCrossEntropy()
+        optimizer = SGD(net_b.params, lr=1e-3, momentum=0.9)
+        total, count = 0.0, 0
+        for x, y in BatchIterator(train, 16, shuffle=True, rng=np.random.default_rng(9)):
+            batch_mean = loss.forward(net_b.forward(x, training=True), y)
+            total += batch_mean * len(x)
+            count += len(x)
+            net_b.zero_grad()
+            net_b.backward(loss.backward())
+            optimizer.step()
+        assert count == 50
+        assert reported == total / count
+
     def test_plateau_scheduler_stops_training(self):
         train = blob_dataset(64)
         net = mlp()

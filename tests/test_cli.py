@@ -21,6 +21,18 @@ class TestParser:
         args = build_parser().parse_args(["table2", "--epochs", "4"])
         assert args.epochs == 4
 
+    @pytest.mark.parametrize("command", ["table2", "fig3"])
+    def test_training_flags_default_off(self, command):
+        args = build_parser().parse_args([command])
+        assert args.no_compiled is False
+        assert args.profile is False
+
+    @pytest.mark.parametrize("command", ["table2", "fig3"])
+    def test_training_flags_parse(self, command):
+        args = build_parser().parse_args([command, "--no-compiled", "--profile"])
+        assert args.no_compiled is True
+        assert args.profile is True
+
     def test_serve_flags(self):
         args = build_parser().parse_args(
             [
@@ -126,3 +138,19 @@ class TestFastCommands:
         assert "ber=0e+00" in out and "ber=1e-04" in out
         assert "engine cache:" in out
         assert "modeled NPU" in out
+        assert "compiled trainer" in out  # surrogate training took the fast path
+
+    def test_fig3_profile_prints_layer_breakdown(self, capsys):
+        main(["fig3", "--epochs", "1", "--profile"])
+        out = capsys.readouterr().out
+        assert "per-layer training time" in out
+        assert "compiled fast path" in out
+        assert "conv1" in out and "ip1" in out
+        assert "float baseline error" in out  # the figure still prints
+
+    def test_fig3_no_compiled_profiles_eager_layers(self, capsys):
+        main(["fig3", "--epochs", "1", "--no-compiled", "--profile"])
+        out = capsys.readouterr().out
+        assert "per-layer training time" in out
+        assert "eager layers" in out
+        assert "conv1" in out
