@@ -13,6 +13,9 @@ Public API tour:
 * :mod:`repro.report` — regenerate the paper's tables.
 * :mod:`repro.serve` — request micro-batching over the compiled
   :class:`repro.core.engine.BatchedEngine` for serving workloads.
+* :mod:`repro.io` — versioned artifact persistence: the container
+  format, training checkpoint/resume, and the on-disk model store the
+  serving registry cold-starts from.
 
 Quickstart::
 
@@ -31,6 +34,6 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from repro import core, datasets, hw, nn, report, serve, zoo
+from repro import core, datasets, hw, io, nn, report, serve, zoo
 
-__all__ = ["core", "datasets", "hw", "nn", "report", "serve", "zoo", "__version__"]
+__all__ = ["core", "datasets", "hw", "io", "nn", "report", "serve", "zoo", "__version__"]

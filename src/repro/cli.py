@@ -10,9 +10,16 @@ Usage::
     python -m repro table2 [--epochs N] [--no-compiled] [--profile]
                                       # accuracy/time/energy (Table 2)
     python -m repro serve [--models a,b] [--workers N] [--batch N] \
-        [--max-queue N] [--requests N]   # concurrent multi-model serving
+        [--max-queue N] [--requests N] [--store DIR]
+                                      # concurrent multi-model serving
     python -m repro sweep CAMPAIGN [--jobs N] [--points N] [--epochs N]
                                       # parallel ablation/fault campaigns
+    python -m repro export --store DIR [--models a,b]
+                                      # publish zoo deployables to a store
+    python -m repro import SRC --store DIR [--name N]
+                                      # validate + publish an artifact file
+    python -m repro resume --checkpoint-dir DIR [--epochs N]
+                                      # continue a checkpointed training run
 
 ``table2`` and ``fig3`` train on the CIFAR-10 surrogate and take a few
 minutes; the others are instantaneous.  Training runs through the
@@ -37,6 +44,17 @@ content-addressed cache (the summary reports the cache traffic and the
 modeled NPU batch-throughput/energy from ``Accelerator.batch_profile``),
 while the design-space campaigns evaluate the quantized *simulation* —
 numerically identical to the serial sweeps, parallelized.
+
+The persistence verbs ride on :mod:`repro.io`.  ``export`` builds the
+zoo's deployable artifacts and publishes them (content-addressed,
+versioned) into an :class:`~repro.io.store.ArtifactStore`; ``serve
+--store DIR`` then cold-starts the registry from disk without
+retraining or requantizing anything.  ``import`` validates any deployed
+artifact file (current or legacy ``repro.hw.export`` format) and
+publishes it under a chosen name.  ``fig3``/``table2`` accept
+``--checkpoint-dir`` to write epoch-boundary checkpoints of the
+surrogate training, and ``resume`` continues such a run bit-identically
+— same weights and curves as a run that was never interrupted.
 """
 
 from __future__ import annotations
@@ -73,7 +91,13 @@ def _cmd_schedule(args) -> None:
             )
 
 
-def _train_problem(epochs: int, compiled: bool = True, profile: bool = False):
+def _surrogate_trainer(compiled: bool = True, profile: bool = False):
+    """The CLI's deterministic surrogate training problem, unfitted.
+
+    Shared by ``table2``/``fig3`` (which fit it) and ``resume`` (which
+    restores a checkpoint into it first) — both must construct the
+    identical problem for resumed runs to be bit-identical.
+    """
     from repro.datasets import cifar10_surrogate
     from repro.nn import SGD, PlateauScheduler, Trainer
     from repro.zoo import cifar10_small
@@ -89,10 +113,26 @@ def _train_problem(epochs: int, compiled: bool = True, profile: bool = False):
         compiled=compiled,
         profile=profile,
     )
-    trainer.fit(train, test, epochs=epochs)
+    return trainer, train, test
+
+
+def _train_problem(
+    epochs: int,
+    compiled: bool = True,
+    profile: bool = False,
+    checkpoint_dir=None,
+    checkpoint_every: int = 1,
+):
+    trainer, train, test = _surrogate_trainer(compiled=compiled, profile=profile)
+    checkpoint = None
+    if checkpoint_dir is not None:
+        from repro.io import Checkpointer
+
+        checkpoint = Checkpointer(checkpoint_dir, every=checkpoint_every)
+    trainer.fit(train, test, epochs=epochs, checkpoint=checkpoint)
     if profile:
         _print_profile(trainer, compiled)
-    return net, train, test
+    return trainer.net, train, test
 
 
 def _print_profile(trainer, compiled: bool) -> None:
@@ -112,7 +152,13 @@ def _cmd_table2(args) -> None:
     from repro.zoo import cifar10_full
 
     compiled = not args.no_compiled
-    net, train, test = _train_problem(args.epochs, compiled=compiled, profile=args.profile)
+    net, train, test = _train_problem(
+        args.epochs,
+        compiled=compiled,
+        profile=args.profile,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+    )
     config = MFDFPConfig(
         phase1_epochs=args.epochs // 2, phase2_epochs=args.epochs // 2, lr=5e-3,
         compiled=compiled,
@@ -144,8 +190,22 @@ def _cmd_serve(args) -> None:
     from repro.hw import Accelerator, AcceleratorConfig
     from repro.serve import ModelRegistry, QueueFullError, ServerRuntime
 
-    registry = ModelRegistry.with_defaults()
-    models = [name.strip() for name in args.models.split(",") if name.strip()]
+    if args.store is not None:
+        from repro.io import ArtifactError
+
+        try:
+            registry = ModelRegistry.from_store(args.store)
+        except ArtifactError as exc:
+            raise SystemExit(f"error: {exc}") from None
+        default_models = ",".join(registry.names())
+        if not default_models:
+            raise SystemExit(f"error: store {args.store} has no published models")
+    else:
+        registry = ModelRegistry.with_defaults()
+        default_models = "cifar10_full"
+    models = [
+        name.strip() for name in (args.models or default_models).split(",") if name.strip()
+    ]
     runtime = ServerRuntime(
         registry,
         models,
@@ -272,12 +332,86 @@ def _cmd_sweep(args) -> None:
         )
 
 
+def _cmd_export(args) -> None:
+    from repro.io import ArtifactStore
+    from repro.zoo import publish_deployables
+
+    store = ArtifactStore(args.store)
+    names = None
+    if args.models:
+        names = [name.strip() for name in args.models.split(",") if name.strip()]
+    try:
+        published = publish_deployables(store, names)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    for name, version in published.items():
+        path = store.model_path(name, version)
+        print(
+            f"  {name:<14} v{version:04d}  {path.stat().st_size:>9,} bytes  "
+            f"fingerprint {store.fingerprint(name, version)}"
+        )
+    print(f"store {store.root}: {len(store.model_names())} model(s) published")
+
+
+def _cmd_import(args) -> None:
+    from repro.core.engine import engine_fingerprint
+    from repro.io import ArtifactError, ArtifactStore, load_deployed
+
+    try:
+        deployed = load_deployed(args.src)
+    except ArtifactError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    name = args.name or deployed.name
+    store = ArtifactStore(args.store)
+    try:
+        version = store.publish_deployed(name, deployed)
+    except ArtifactError as exc:  # e.g. a corrupt existing version in the store
+        raise SystemExit(f"error: {exc}") from None
+    except ValueError as exc:  # legacy artifacts can carry store-invalid names
+        raise SystemExit(f"error: {exc} (use --name to rename on import)") from None
+    print(
+        f"imported {args.src} as {name!r} v{version:04d} "
+        f"({deployed.parameter_count():,} parameters, "
+        f"fingerprint {engine_fingerprint(deployed)})"
+    )
+
+
+def _cmd_resume(args) -> None:
+    from repro.io import Checkpointer
+
+    compiled = not args.no_compiled
+    trainer, train, test = _surrogate_trainer(compiled=compiled, profile=args.profile)
+    checkpoint = Checkpointer(args.checkpoint_dir, every=args.checkpoint_every)
+    done = checkpoint.resume(trainer)
+    if not done:
+        raise SystemExit(f"error: no checkpoint found under {args.checkpoint_dir}")
+    if done >= args.epochs:
+        raise SystemExit(
+            f"error: checkpoint already covers {done} epoch(s), nothing to train "
+            f"at --epochs {args.epochs} (pass a larger --epochs to continue)"
+        )
+    print(f"resuming surrogate training at epoch {done + 1}/{args.epochs} (from {checkpoint.latest().name})")
+    trainer.fit(train, test, epochs=args.epochs, resume=True, checkpoint=checkpoint)
+    if args.profile:
+        _print_profile(trainer, compiled)
+    print(f"{'epoch':>5}  {'train loss':>12}  {'val error':>10}  {'lr':>9}")
+    for e in trainer.history.epochs:
+        marker = " (resumed)" if e.epoch == done + 1 else ""
+        print(f"{e.epoch:>5}  {e.train_loss:>12.4f}  {e.val_error:>10.4f}  {e.lr:>9.2e}{marker}")
+
+
 def _cmd_fig3(args) -> None:
     from repro.core import MFDFPConfig, MFDFPNetwork, phase1_finetune, phase2_distill
     from repro.nn import error_rate
 
     compiled = not args.no_compiled
-    net, train, test = _train_problem(args.epochs, compiled=compiled, profile=args.profile)
+    net, train, test = _train_problem(
+        args.epochs,
+        compiled=compiled,
+        profile=args.profile,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+    )
     float_err = error_rate(net, test)
     config = MFDFPConfig(
         phase1_epochs=args.epochs // 2, phase2_epochs=args.epochs // 2, lr=5e-3,
@@ -302,7 +436,7 @@ def _positive_int(value: str) -> int:
     return n
 
 
-def _add_training_flags(parser) -> None:
+def _add_training_flags(parser, checkpointing: bool = True) -> None:
     parser.add_argument(
         "--no-compiled",
         action="store_true",
@@ -314,6 +448,21 @@ def _add_training_flags(parser) -> None:
         action="store_true",
         help="print a per-layer forward/backward time breakdown of the "
         "surrogate training after it finishes",
+    )
+    if checkpointing:
+        parser.add_argument(
+            "--checkpoint-dir",
+            default=None,
+            metavar="DIR",
+            help="write an epoch-boundary checkpoint of the surrogate "
+            "training into DIR (resume with `python -m repro resume`)",
+        )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=_positive_int,
+        default=1,
+        metavar="K",
+        help="checkpoint every K epochs (default: 1)",
     )
 
 
@@ -358,9 +507,17 @@ def build_parser() -> argparse.ArgumentParser:
     p4 = sub.add_parser("serve", help="concurrent multi-model serving demo")
     p4.add_argument(
         "--models",
-        default="cifar10_full",
-        help="comma-separated registered model names (default: cifar10_full; "
-        "also available: alexnet)",
+        default=None,
+        help="comma-separated registered model names (default: cifar10_full, "
+        "or every model in --store; alexnet also ships in the zoo)",
+    )
+    p4.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="cold-start the registry from an artifact store directory "
+        "(written by `python -m repro export`) instead of building "
+        "models in-process",
     )
     p4.add_argument("--workers", type=_positive_int, default=2, help="worker threads")
     p4.add_argument("--batch", type=_positive_int, default=64, help="micro-batch size")
@@ -374,6 +531,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--requests", type=_positive_int, default=256, help="requests per model"
     )
     p4.set_defaults(fn=_cmd_serve)
+    pex = sub.add_parser("export", help="publish zoo deployables into an artifact store")
+    pex.add_argument("--store", required=True, metavar="DIR", help="artifact store directory")
+    pex.add_argument(
+        "--models",
+        default=None,
+        help="comma-separated deployable names (default: every zoo deployable)",
+    )
+    pex.set_defaults(fn=_cmd_export)
+    pim = sub.add_parser(
+        "import", help="validate a deployed-artifact file and publish it into a store"
+    )
+    pim.add_argument("src", help="artifact file (current or legacy hw.export format)")
+    pim.add_argument("--store", required=True, metavar="DIR", help="artifact store directory")
+    pim.add_argument(
+        "--name", default=None, help="store name (default: the artifact's own name)"
+    )
+    pim.set_defaults(fn=_cmd_import)
+    pre = sub.add_parser(
+        "resume", help="continue a checkpointed surrogate training run bit-identically"
+    )
+    pre.add_argument(
+        "--checkpoint-dir",
+        required=True,
+        metavar="DIR",
+        help="checkpoint directory written by fig3/table2 --checkpoint-dir",
+    )
+    pre.add_argument(
+        "--epochs",
+        type=_positive_int,
+        default=12,
+        help="total epochs (the resumed run trains the remainder)",
+    )
+    _add_training_flags(pre, checkpointing=False)
+    pre.set_defaults(fn=_cmd_resume)
     return parser
 
 

@@ -98,6 +98,8 @@ def phase1_finetune(
     config: MFDFPConfig,
     rng: Optional[np.random.Generator] = None,
     snapshots: Optional[list] = None,
+    resume_state: Optional[dict] = None,
+    checkpoint=None,
 ) -> TrainHistory:
     """Phase 1 (Algorithm 1 lines 3–9): fine-tune with hard labels.
 
@@ -107,6 +109,12 @@ def phase1_finetune(
     weights (Algorithm 1's ``W_q``); with ``config.compiled`` the copies
     come out of the trainer's quantized-weight cache, which the epoch's
     validation sweep already filled — nothing is requantized.
+
+    ``resume_state`` is a ``Trainer.state_dict()`` captured at a phase-1
+    epoch boundary: it is restored into the freshly built trainer and
+    the fit continues bit-identically from the next epoch.
+    ``checkpoint`` is forwarded to ``Trainer.fit`` (called once per
+    epoch, after the scheduler step).
     """
     optimizer = SGD(
         mfdfp.params, lr=config.lr, momentum=config.momentum, weight_decay=config.weight_decay
@@ -132,7 +140,15 @@ def phase1_finetune(
         epoch_callback=epoch_callback,
         compiled=config.compiled,
     )
-    return trainer.fit(train, val, epochs=config.phase1_epochs)
+    if resume_state is not None:
+        trainer.load_state_dict(resume_state)
+    return trainer.fit(
+        train,
+        val,
+        epochs=config.phase1_epochs,
+        resume=resume_state is not None,
+        checkpoint=checkpoint,
+    )
 
 
 def phase2_distill(
@@ -142,6 +158,8 @@ def phase2_distill(
     val: ArrayDataset,
     config: MFDFPConfig,
     rng: Optional[np.random.Generator] = None,
+    resume_state: Optional[dict] = None,
+    checkpoint=None,
 ) -> TrainHistory:
     """Phase 2 (Algorithm 1 lines 10–20): student-teacher fine-tuning.
 
@@ -151,6 +169,12 @@ def phase2_distill(
     float forwards run through the compiled fast path when
     ``config.compiled`` (bit-identical to eager execution); the reported
     train loss is the exact sample mean, weighted by batch size.
+
+    ``resume_state``/``checkpoint`` mirror :func:`phase1_finetune`: the
+    state is a ``Trainer.state_dict()`` captured at a phase-2 epoch
+    boundary (the driving trainer owns the scheduler and history, so one
+    state dict covers the whole phase), and ``checkpoint`` runs once per
+    epoch after the scheduler step.
     """
     rng = rng or np.random.default_rng(2)
     optimizer = SGD(
@@ -165,22 +189,30 @@ def phase2_distill(
     loss = DistillationLoss(tau=config.tau, beta=config.beta)
     # A Trainer drives the student so phase 2 shares the compiled
     # executor plumbing; the teacher gets its own executor (separate
-    # network, separate plans).
+    # network, separate plans).  The scheduler and history hang off the
+    # trainer (stepped by this loop, not by fit) so that
+    # ``Trainer.state_dict`` captures the complete phase state.
     trainer = Trainer(
         mfdfp.net,
         optimizer,
         loss=loss,
+        scheduler=scheduler,
         batch_size=config.batch_size,
         rng=rng,
         compiled=config.compiled,
     )
+    if resume_state is not None:
+        trainer.load_state_dict(resume_state)
     teacher_executor = None
     if config.compiled:
         from repro.nn.compiled import CompiledTrainer
 
         teacher_executor = CompiledTrainer(teacher)
-    history = TrainHistory()
-    for epoch in range(1, config.phase2_epochs + 1):
+    history = trainer.history
+    start = len(history.epochs) + 1
+    for epoch in range(start, config.phase2_epochs + 1):
+        if scheduler.finished:
+            break
         batches = BatchIterator(train, config.batch_size, shuffle=True, rng=rng)
         total, count = 0.0, 0
         for x, y in batches:
@@ -198,6 +230,8 @@ def phase2_distill(
         train_loss = total / count if count else float("nan")
         history.append(EpochResult(epoch, train_loss, val_error, optimizer.lr))
         scheduler.step(val_error)
+        if checkpoint is not None:
+            checkpoint(trainer)
         if scheduler.finished:
             break
     return history
@@ -210,11 +244,20 @@ def run_algorithm1(
     calibration_x: np.ndarray,
     config: Optional[MFDFPConfig] = None,
     rng: Optional[np.random.Generator] = None,
+    checkpoint=None,
 ) -> MFDFPResult:
     """Full Algorithm 1 on one float network (Phases 1 and 2).
 
     ``float_net`` is cloned to serve as the (frozen) teacher; the original
     instance is converted in place into the MF-DFP student.
+
+    ``checkpoint`` is an optional pipeline checkpointer (duck-typed so
+    this module needs no ``repro.io`` import — see
+    :class:`repro.io.checkpoint.PipelineCheckpointer`): ``begin`` is
+    called once with the run context, ``phase1``/``phase2`` once per
+    epoch at the exact-resume boundary, and ``phase1_complete`` when
+    phase 1 finishes.  A killed run restarts through
+    :func:`repro.io.checkpoint.resume_algorithm1`.
     """
     config = config or MFDFPConfig()
     rng = rng or np.random.default_rng(0)
@@ -237,8 +280,22 @@ def run_algorithm1(
     # used.
     collect = config.snapshot_phase1 and config.weight_mode == "deterministic"
     snapshots: Optional[list] = [] if collect else None
-    history1 = phase1_finetune(mfdfp, train, val, config, rng=rng, snapshots=snapshots)
-    history2 = phase2_distill(mfdfp, teacher, train, val, config, rng=rng)
+    hook1 = hook2 = None
+    if checkpoint is not None:
+        checkpoint.begin(
+            plan=mfdfp.plan,
+            config=config,
+            teacher=teacher,
+            float_val_error=float_val_error,
+            snapshots=snapshots,
+        )
+        hook1, hook2 = checkpoint.phase1, checkpoint.phase2
+    history1 = phase1_finetune(
+        mfdfp, train, val, config, rng=rng, snapshots=snapshots, checkpoint=hook1
+    )
+    if checkpoint is not None:
+        checkpoint.phase1_complete(history1)
+    history2 = phase2_distill(mfdfp, teacher, train, val, config, rng=rng, checkpoint=hook2)
     return MFDFPResult(
         mfdfp=mfdfp,
         plan=mfdfp.plan,

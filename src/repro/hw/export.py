@@ -1,87 +1,40 @@
-"""Serialization of deployed MF-DFP networks.
+"""Serialization of deployed MF-DFP networks (compat shim).
 
-A :class:`~repro.core.mfdfp.DeployedMFDFP` is the artifact one would
-flash into the accelerator's weight memory: 4-bit weight codes, integer
-biases, and per-layer radix indices.  This module persists it as a single
-``.npz`` file with a JSON header, so a deployment produced on one machine
-can be executed (bit-identically) on another.
+The original home of deployed-artifact persistence; the implementation
+now lives in :mod:`repro.io.artifacts`, which generalized this module's
+``.npz``+JSON layout into the versioned artifact container used by
+checkpoints and the :class:`~repro.io.store.ArtifactStore`.  This shim
+keeps the historical entry points importable:
+
+* :func:`save_deployed` writes the current container format
+  (``FORMAT_VERSION`` 2, with schema metadata and an embedded
+  :func:`~repro.core.engine.engine_fingerprint`).
+* :func:`load_deployed` reads both the current format and every legacy
+  version-1 file ever written by this module, with full field/dtype
+  validation up front — malformed input raises the typed
+  :class:`~repro.io.artifacts.ArtifactError` hierarchy (a ``ValueError``
+  subclass, as this module always raised) instead of failing deep
+  inside reconstruction.
 """
 
 from __future__ import annotations
 
-import json
-
-import numpy as np
-
-from repro.core.mfdfp import DeployedLayer, DeployedMFDFP
-
-FORMAT_VERSION = 1
-
-_OP_FIELDS = (
-    "kind",
-    "name",
-    "in_frac",
-    "out_frac",
-    "activation",
-    "in_channels",
-    "out_channels",
-    "kernel_size",
-    "stride",
-    "pad",
-    "ceil_mode",
-    "in_features",
-    "out_features",
+from repro.io.artifacts import (
+    FORMAT_VERSION,
+    ArtifactCorruptError,
+    ArtifactError,
+    ArtifactSchemaError,
+    ArtifactVersionError,
+    load_deployed,
+    save_deployed,
 )
 
-
-def save_deployed(deployed: DeployedMFDFP, path) -> None:
-    """Write a deployed network to ``path`` (.npz with a JSON header)."""
-    header = {
-        "format_version": FORMAT_VERSION,
-        "name": deployed.name,
-        "input_shape": list(deployed.input_shape),
-        "input_frac": deployed.input_frac,
-        "bits": deployed.bits,
-        "ops": [
-            {field: getattr(op, field) for field in _OP_FIELDS} for op in deployed.ops
-        ],
-    }
-    arrays = {"__header__": np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)}
-    for i, op in enumerate(deployed.ops):
-        if op.weight_codes is not None:
-            arrays[f"op{i}.weight_codes"] = op.weight_codes
-            arrays[f"op{i}.weight_shape"] = np.array(op.weight_codes.shape, dtype=np.int64)
-        if op.bias_int is not None:
-            arrays[f"op{i}.bias_int"] = op.bias_int
-    np.savez(path, **arrays)
-
-
-def load_deployed(path) -> DeployedMFDFP:
-    """Read a deployed network written by :func:`save_deployed`.
-
-    Raises ``ValueError`` on missing header or unsupported version.
-    """
-    with np.load(path) as data:
-        if "__header__" not in data.files:
-            raise ValueError(f"{path} is not a deployed MF-DFP file (missing header)")
-        header = json.loads(bytes(data["__header__"]).decode())
-        version = header.get("format_version")
-        if version != FORMAT_VERSION:
-            raise ValueError(f"unsupported format version {version!r}")
-        deployed = DeployedMFDFP(
-            name=header["name"],
-            input_shape=tuple(header["input_shape"]),
-            input_frac=header["input_frac"],
-            bits=header["bits"],
-        )
-        for i, op_meta in enumerate(header["ops"]):
-            op = DeployedLayer(**op_meta)
-            key = f"op{i}.weight_codes"
-            if key in data.files:
-                shape = tuple(data[f"op{i}.weight_shape"])
-                op.weight_codes = data[key].reshape(shape)
-            bkey = f"op{i}.bias_int"
-            if bkey in data.files:
-                op.bias_int = data[bkey]
-            deployed.ops.append(op)
-    return deployed
+__all__ = [
+    "FORMAT_VERSION",
+    "ArtifactCorruptError",
+    "ArtifactError",
+    "ArtifactSchemaError",
+    "ArtifactVersionError",
+    "load_deployed",
+    "save_deployed",
+]

@@ -1,0 +1,343 @@
+"""Periodic training checkpoints and exact (bit-identical) resume.
+
+Two checkpointers, one contract: state is captured at an epoch boundary
+— after the epoch's optimizer steps, validation sweep, history append
+and scheduler step — which is exactly what ``Trainer.state_dict``
+serializes (master weights, velocity, scheduler progress, every RNG
+site, history).  A run killed at any epoch boundary and resumed in a
+fresh process produces bit-identical weights, loss curves and
+distillation results to the uninterrupted run, on both the eager and
+compiled training paths; ``tests/io/test_resume_bit_identity.py``
+proves this in subprocesses.
+
+* :class:`Checkpointer` — for a plain :class:`~repro.nn.trainer.Trainer`;
+  pass it as ``Trainer.fit(..., checkpoint=ck)`` and later
+  ``ck.resume(trainer)`` + ``fit(..., resume=True)``.
+* :class:`PipelineCheckpointer` — for Algorithm 1
+  (:func:`~repro.core.pipeline.run_algorithm1`); it additionally
+  persists the quantization plan, the frozen teacher, the phase-1
+  snapshot series and the config, so :func:`resume_algorithm1` can
+  rebuild the MF-DFP student in a process that never ran phase 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.io.artifacts import (
+    ArtifactError,
+    ArtifactSchemaError,
+    _field,
+    _int_field,
+    _pack,
+    _snapshot_arrays,
+    _snapshots_from_arrays,
+    _trainer_state_join,
+    _trainer_state_split,
+    _unpack,
+    load_checkpoint,
+    plan_from_meta,
+    plan_to_meta,
+    read_container,
+    save_checkpoint,
+    write_container,
+)
+
+
+def _epoch_of(path: Path) -> int:
+    try:
+        return int(path.stem.rsplit("_", 1)[-1])
+    except ValueError:
+        return -1
+
+
+def _list_checkpoints(directory: Path, prefix: str) -> list[Path]:
+    """Checkpoint files named ``<prefix>_<number>.npz``, oldest first."""
+    if not directory.is_dir():
+        return []
+    return sorted(
+        (p for p in directory.glob(f"{prefix}_*.npz") if _epoch_of(p) >= 0),
+        key=_epoch_of,
+    )
+
+
+class Checkpointer:
+    """Writes (and restores) epoch-boundary checkpoints of one training run.
+
+    Args:
+        directory: Where checkpoint files live; created on first save.
+            Files are named ``epoch_0003.npz`` by completed-epoch count.
+        every: Save every k-th epoch (the final state of a run killed
+            between saves is recovered by re-running the few epochs
+            since the last checkpoint — bit-identical either way).
+        phase: Label stored in each checkpoint (pipeline phases use
+            ``phase1``/``phase2``).
+
+    An instance is callable with the trainer, matching the
+    ``Trainer.fit(checkpoint=...)`` hook.
+    """
+
+    def __init__(self, directory, every: int = 1, phase: str = "train"):
+        if every < 1:
+            raise ValueError("checkpoint interval must be >= 1")
+        self.directory = Path(directory)
+        self.every = every
+        self.phase = phase
+
+    def __call__(self, trainer) -> None:
+        epoch = len(trainer.history.epochs)
+        if epoch % self.every == 0:
+            self.save(trainer)
+
+    def path_for(self, epoch: int) -> Path:
+        return self.directory / f"epoch_{epoch:04d}.npz"
+
+    def save(self, trainer) -> Path:
+        """Write the trainer's current epoch-boundary state."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(len(trainer.history.epochs))
+        save_checkpoint(path, trainer.state_dict(), phase=self.phase)
+        return path
+
+    def checkpoints(self) -> list[Path]:
+        """Existing checkpoint files, oldest first."""
+        return _list_checkpoints(self.directory, "epoch")
+
+    def latest(self) -> Optional[Path]:
+        found = self.checkpoints()
+        return found[-1] if found else None
+
+    def resume(self, trainer) -> int:
+        """Restore the latest checkpoint into ``trainer``.
+
+        Returns the number of completed epochs restored (0 when no
+        checkpoint exists — the caller trains from scratch).  Continue
+        with ``trainer.fit(..., resume=True, checkpoint=self)``.
+        """
+        path = self.latest()
+        if path is None:
+            return 0
+        _, state, _ = load_checkpoint(path)
+        trainer.load_state_dict(state)
+        return len(trainer.history.epochs)
+
+
+class PipelineCheckpointer:
+    """Checkpoints Algorithm 1 across both fine-tuning phases.
+
+    Pass to :func:`repro.core.pipeline.run_algorithm1` as
+    ``checkpoint=``; the pipeline calls :meth:`begin` once with the run
+    context and :meth:`phase1`/:meth:`phase2` at each epoch boundary.
+    Each file is self-contained: config, plan, teacher weights, the
+    phase trainer state, completed phase-1 history and the snapshot
+    series — enough for :func:`resume_algorithm1` to continue in a
+    process with no memory of the original run.
+    """
+
+    def __init__(self, directory, every: int = 1, keep: int = 3):
+        if every < 1:
+            raise ValueError("checkpoint interval must be >= 1")
+        if keep < 1:
+            raise ValueError("must keep at least one checkpoint")
+        self.directory = Path(directory)
+        self.every = every
+        self.keep = keep
+        self._ctx: Optional[dict] = None
+        self._phase1_history: list = []
+
+    # -- pipeline protocol -------------------------------------------------
+    def begin(self, plan, config, teacher, float_val_error, snapshots) -> None:
+        """Bind the run context (called by ``run_algorithm1``)."""
+        self._ctx = {
+            "plan": plan_to_meta(plan),
+            "config": asdict(config),
+            "teacher": {p.name: p.data.copy() for p in teacher.params},
+            "float_val_error": float(float_val_error),
+            "snapshots": snapshots,
+        }
+
+    def phase1_complete(self, history) -> None:
+        self._phase1_history = [asdict(e) for e in history.epochs]
+
+    def phase1(self, trainer) -> None:
+        epochs = len(trainer.history.epochs)
+        if epochs % self.every == 0:
+            self._save("phase1", trainer, seq=epochs)
+
+    def phase2(self, trainer) -> None:
+        epochs = len(trainer.history.epochs)
+        if epochs % self.every == 0:
+            self._save("phase2", trainer, seq=len(self._phase1_history) + epochs)
+
+    # -- persistence -------------------------------------------------------
+    def _save(self, phase: str, trainer, seq: int) -> Path:
+        if self._ctx is None:
+            raise ValueError("PipelineCheckpointer.begin was never called")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        meta, arrays = _trainer_state_split(trainer.state_dict())
+        snapshots = self._ctx["snapshots"]
+        meta.update(
+            {
+                "phase": phase,
+                "plan": self._ctx["plan"],
+                "config": self._ctx["config"],
+                "float_val_error": self._ctx["float_val_error"],
+                "phase1_history": self._phase1_history,
+                "has_snapshots": snapshots is not None,
+                "n_snapshots": 0 if snapshots is None else len(snapshots),
+            }
+        )
+        arrays.update(_pack("teacher", self._ctx["teacher"]))
+        arrays.update(_snapshot_arrays(snapshots))
+        path = self.directory / f"step_{seq:04d}.npz"
+        write_container(path, "pipeline", meta, arrays)
+        # Each file is self-contained (teacher + full snapshot series),
+        # so disk use would grow quadratically with epochs if every step
+        # survived; resume only ever reads the newest, so prune to the
+        # last ``keep`` (a margin of older boundaries, not a history).
+        for old in self.checkpoints()[: -self.keep]:
+            old.unlink(missing_ok=True)
+        return path
+
+    def checkpoints(self) -> list[Path]:
+        return _list_checkpoints(self.directory, "step")
+
+    def latest(self) -> Optional[Path]:
+        found = self.checkpoints()
+        return found[-1] if found else None
+
+    def load_latest(self) -> dict:
+        """Load the newest pipeline checkpoint into plain restore data."""
+        path = self.latest()
+        if path is None:
+            raise ArtifactError(f"no pipeline checkpoint found under {self.directory}")
+        header, arrays = read_container(path, expect_kind="pipeline")
+        meta = header["meta"]
+        ctx = str(path)
+        snapshots = None
+        if meta.get("has_snapshots"):
+            snapshots = _snapshots_from_arrays(arrays, _int_field(meta, "n_snapshots", ctx))
+        return {
+            "phase": _field(meta, "phase", str, ctx),
+            "config": _field(meta, "config", dict, ctx),
+            "plan_meta": _field(meta, "plan", dict, ctx),
+            "float_val_error": float(_field(meta, "float_val_error", (int, float), ctx)),
+            "phase1_history": _field(meta, "phase1_history", list, ctx),
+            "trainer": _trainer_state_join(meta, arrays, ctx),
+            "teacher": _unpack(arrays, "teacher"),
+            "snapshots": snapshots,
+        }
+
+
+def resume_algorithm1(
+    float_net,
+    train,
+    val,
+    directory,
+    rng: Optional[np.random.Generator] = None,
+    every: int = 1,
+    config=None,
+):
+    """Continue a killed :func:`~repro.core.pipeline.run_algorithm1` run.
+
+    ``float_net`` supplies the architecture only (same constructor as
+    the original run); plan, config, teacher weights, student state,
+    RNG states and snapshots all come from the newest checkpoint under
+    ``directory``, so the result is bit-identical to the uninterrupted
+    run.  ``float_net`` is converted in place into the MF-DFP student,
+    mirroring ``run_algorithm1``'s contract.  Checkpointing continues
+    with the same ``every`` cadence.  ``config`` is normally
+    reconstructed from the checkpoint; passing one that differs raises
+    :class:`~repro.io.artifacts.ArtifactSchemaError` (a mismatched
+    config cannot reproduce the original trajectory).
+    """
+    from repro.core.mfdfp import MFDFPNetwork
+    from repro.core.pipeline import (
+        MFDFPConfig,
+        MFDFPResult,
+        phase1_finetune,
+        phase2_distill,
+    )
+    from repro.core.quantizer import NetworkQuantizer
+    from repro.nn.trainer import EpochResult, TrainHistory
+
+    checkpoint = PipelineCheckpointer(directory, every=every)
+    data = checkpoint.load_latest()
+    try:
+        saved_config = MFDFPConfig(**data["config"])
+    except TypeError as exc:
+        raise ArtifactSchemaError(f"{directory}: malformed pipeline config: {exc}") from exc
+    if config is not None and asdict(config) != asdict(saved_config):
+        raise ArtifactSchemaError(
+            "resume config differs from the checkpointed run "
+            f"(checkpointed: {asdict(saved_config)})"
+        )
+    config = saved_config
+    plan = plan_from_meta(data["plan_meta"], str(directory))
+    # The seed below is irrelevant: every consumer of this generator has
+    # its state restored from the checkpoint before the first draw.
+    rng = rng or np.random.default_rng(0)
+
+    teacher = float_net.clone()
+    teacher.set_weights(data["teacher"])
+    quantizer = NetworkQuantizer(
+        bits=config.bits,
+        min_exp=config.min_exp,
+        max_exp=config.max_exp,
+        weight_mode=config.weight_mode,
+        dynamic=config.dynamic,
+        rng=rng,
+    )
+    quantizer.apply(float_net, plan)
+    mfdfp = MFDFPNetwork(float_net, plan)
+
+    snapshots = data["snapshots"]
+    checkpoint.begin(
+        plan=plan,
+        config=config,
+        teacher=teacher,
+        float_val_error=data["float_val_error"],
+        snapshots=snapshots,
+    )
+    if data["phase"] == "phase1":
+        history1 = phase1_finetune(
+            mfdfp,
+            train,
+            val,
+            config,
+            rng=rng,
+            snapshots=snapshots,
+            resume_state=data["trainer"],
+            checkpoint=checkpoint.phase1,
+        )
+        checkpoint.phase1_complete(history1)
+        history2 = phase2_distill(
+            mfdfp, teacher, train, val, config, rng=rng, checkpoint=checkpoint.phase2
+        )
+    elif data["phase"] == "phase2":
+        history1 = TrainHistory([EpochResult(**e) for e in data["phase1_history"]])
+        checkpoint.phase1_complete(history1)
+        history2 = phase2_distill(
+            mfdfp,
+            teacher,
+            train,
+            val,
+            config,
+            rng=rng,
+            resume_state=data["trainer"],
+            checkpoint=checkpoint.phase2,
+        )
+    else:
+        raise ArtifactSchemaError(f"unknown pipeline phase {data['phase']!r}")
+    return MFDFPResult(
+        mfdfp=mfdfp,
+        plan=plan,
+        phase1=history1,
+        phase2=history2,
+        float_val_error=data["float_val_error"],
+        phase1_snapshots=snapshots,
+    )

@@ -1,0 +1,167 @@
+"""Disk-backed, versioned store of deployed models and training runs.
+
+Directory layout::
+
+    <root>/
+      store.json                    # marker: {"format": ..., "version": 1}
+      models/<name>/v0001.npz       # deployed artifacts, monotone versions
+      checkpoints/<run>/epoch_0003.npz      # Trainer checkpoints
+      checkpoints/<run>/step_0007.npz       # pipeline checkpoints
+
+Publishing a deployed artifact appends a new version — unless its
+:func:`~repro.core.engine.engine_fingerprint` matches the current
+latest, in which case the existing version is returned (publishing is
+idempotent per content).  ``load`` of a model name resolves to the
+newest version by default, which is what
+:meth:`repro.serve.ModelRegistry.from_store` serves: a cold process
+start loads every model from disk in milliseconds instead of re-running
+quantization and calibration.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Optional
+
+from repro.core.engine import engine_fingerprint
+from repro.core.mfdfp import DeployedMFDFP
+
+from repro.io.artifacts import (
+    ArtifactError,
+    load_deployed,
+    read_header,
+    save_deployed,
+)
+from repro.io.checkpoint import Checkpointer, PipelineCheckpointer
+
+_MARKER = "store.json"
+_STORE_FORMAT = "repro-artifact-store"
+_VERSION_RE = re.compile(r"^v(\d{4,})\.npz$")
+_NAME_RE = re.compile(r"^[A-Za-z0-9][\w.-]*$")
+
+
+class ArtifactStore:
+    """A versioned artifact directory (see module docstring).
+
+    Args:
+        root: Store directory.
+        create: Initialize the directory (and marker file) if missing.
+            With ``create=False`` a path that is not an existing store
+            raises :class:`~repro.io.artifacts.ArtifactError` — the
+            read-only open used by ``serve --store``.
+    """
+
+    def __init__(self, root, create: bool = True):
+        self.root = Path(root)
+        marker = self.root / _MARKER
+        if marker.is_file():
+            try:
+                payload = json.loads(marker.read_text())
+            except json.JSONDecodeError as exc:
+                raise ArtifactError(f"{marker}: unreadable store marker") from exc
+            if payload.get("format") != _STORE_FORMAT:
+                raise ArtifactError(f"{self.root} is not a repro artifact store")
+        elif create:
+            self.root.mkdir(parents=True, exist_ok=True)
+            marker.write_text(json.dumps({"format": _STORE_FORMAT, "version": 1}) + "\n")
+        else:
+            raise ArtifactError(f"{self.root} is not a repro artifact store (no {_MARKER})")
+
+    # -- deployed models ---------------------------------------------------
+    def _model_dir(self, name: str, create: bool = False) -> Path:
+        if not _NAME_RE.fullmatch(name or ""):
+            raise ValueError(f"invalid model name {name!r}")
+        path = self.root / "models" / name
+        if create:
+            path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def model_names(self) -> list[str]:
+        """Model names with at least one published version, sorted."""
+        models = self.root / "models"
+        if not models.is_dir():
+            return []
+        return sorted(d.name for d in models.iterdir() if d.is_dir() and self._versions(d))
+
+    @staticmethod
+    def _versions(model_dir: Path) -> list[int]:
+        out = []
+        for p in model_dir.glob("v*.npz"):
+            m = _VERSION_RE.match(p.name)
+            if m:
+                out.append(int(m.group(1)))
+        return sorted(out)
+
+    def versions(self, name: str) -> list[int]:
+        """Published versions of a model, oldest first."""
+        return self._versions(self._model_dir(name))
+
+    def latest_version(self, name: str) -> Optional[int]:
+        versions = self.versions(name)
+        return versions[-1] if versions else None
+
+    def model_path(self, name: str, version: Optional[int] = None) -> Path:
+        """Path of one published version (default: newest)."""
+        if version is None:
+            version = self.latest_version(name)
+            if version is None:
+                raise ArtifactError(f"store has no model named {name!r}")
+        path = self._model_dir(name) / f"v{version:04d}.npz"
+        if not path.is_file():
+            raise ArtifactError(f"store has no version {version} of model {name!r}")
+        return path
+
+    def publish_deployed(self, name: str, deployed: DeployedMFDFP) -> int:
+        """Publish a deployed artifact; returns its version number.
+
+        Content-addressed idempotence: when the artifact's engine
+        fingerprint equals the current newest version's, no new version
+        is written and the existing number is returned.
+        """
+        fingerprint = engine_fingerprint(deployed)
+        latest = self.latest_version(name)
+        if latest is not None and self.fingerprint(name, latest) == fingerprint:
+            return latest
+        version = (latest or 0) + 1
+        save_deployed(deployed, self._model_dir(name, create=True) / f"v{version:04d}.npz")
+        return version
+
+    def load_deployed(self, name: str, version: Optional[int] = None) -> DeployedMFDFP:
+        """Load one published version (default: newest), fully validated."""
+        return load_deployed(self.model_path(name, version))
+
+    def fingerprint(self, name: str, version: Optional[int] = None) -> Optional[str]:
+        """Stored engine fingerprint of a version (header read only).
+
+        Artifacts imported from legacy files carry no stored
+        fingerprint; those return None (a full load still verifies the
+        tensors are well formed).
+        """
+        header = read_header(self.model_path(name, version))
+        return header["meta"].get("fingerprint")
+
+    # -- training runs -----------------------------------------------------
+    def checkpoint_dir(self, run: str) -> Path:
+        if not _NAME_RE.fullmatch(run or ""):
+            raise ValueError(f"invalid run name {run!r}")
+        return self.root / "checkpoints" / run
+
+    def runs(self) -> list[str]:
+        """Run names that have at least one checkpoint file."""
+        checkpoints = self.root / "checkpoints"
+        if not checkpoints.is_dir():
+            return []
+        return sorted(d.name for d in checkpoints.iterdir() if any(d.glob("*.npz")))
+
+    def checkpointer(self, run: str, every: int = 1) -> Checkpointer:
+        """A :class:`~repro.io.checkpoint.Checkpointer` for one run."""
+        return Checkpointer(self.checkpoint_dir(run), every=every)
+
+    def pipeline_checkpointer(self, run: str, every: int = 1) -> PipelineCheckpointer:
+        """A pipeline checkpointer for one Algorithm-1 run."""
+        return PipelineCheckpointer(self.checkpoint_dir(run), every=every)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArtifactStore({str(self.root)!r}, models={self.model_names()})"

@@ -53,6 +53,41 @@ class SGD:
         for p in self.params:
             p.zero_grad()
 
+    # -- persistence (exact resume) ---------------------------------------
+    def state_dict(self) -> dict:
+        """Complete optimizer state: hyper-parameters + velocity copies.
+
+        Velocity buffers are keyed by parameter name, so the state can be
+        restored into a freshly built optimizer over an identically named
+        parameter list (a resumed process).
+        """
+        return {
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+            "velocity": {p.name: v.copy() for p, v in zip(self.params, self._velocity)},
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (strict name/shape match)."""
+        velocity = state["velocity"]
+        own = [p.name for p in self.params]
+        if set(own) != set(velocity):
+            missing = set(own) ^ set(velocity)
+            raise ValueError(f"optimizer state name mismatch: {sorted(missing)}")
+        self.lr = float(state["lr"])
+        self.momentum = float(state["momentum"])
+        self.weight_decay = float(state["weight_decay"])
+        new = []
+        for p, v in zip(self.params, self._velocity):
+            value = np.asarray(velocity[p.name])
+            if value.shape != v.shape:
+                raise ValueError(
+                    f"velocity for {p.name!r}: shape {value.shape} != {v.shape}"
+                )
+            new.append(value.astype(v.dtype).copy())
+        self._velocity = new
+
 
 class StepScheduler:
     """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
@@ -71,6 +106,13 @@ class StepScheduler:
         self._epoch += 1
         if self._epoch % self.step_size == 0:
             self.optimizer.lr *= self.gamma
+
+    def state_dict(self) -> dict:
+        """Schedule progress (the LR itself lives in the optimizer state)."""
+        return {"epoch": self._epoch}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._epoch = int(state["epoch"])
 
 
 class PlateauScheduler:
@@ -112,3 +154,20 @@ class PlateauScheduler:
             self._bad_epochs = 0
             if self.optimizer.lr < self.min_lr:
                 self.finished = True
+
+    def state_dict(self) -> dict:
+        """Plateau-tracking state for exact resume.
+
+        ``best`` may be ``inf`` (no improvement recorded yet); JSON
+        round-trips it as ``Infinity``, bit-exactly.
+        """
+        return {
+            "best": float(self.best),
+            "bad_epochs": self._bad_epochs,
+            "finished": self.finished,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.best = float(state["best"])
+        self._bad_epochs = int(state["bad_epochs"])
+        self.finished = bool(state["finished"])

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Optional
 
 import numpy as np
@@ -49,6 +49,26 @@ def evaluate_topk(net: Network, dataset: ArrayDataset, k: int = 1, batch_size: i
 def error_rate(net: Network, dataset: ArrayDataset, batch_size: int = 256) -> float:
     """Top-1 error rate (1 - accuracy)."""
     return 1.0 - evaluate_topk(net, dataset, k=1, batch_size=batch_size)
+
+
+def _rng_state_to_jsonable(state):
+    """Bit-generator state → JSON-able form (MT19937 et al. carry ndarrays)."""
+    if isinstance(state, dict):
+        return {k: _rng_state_to_jsonable(v) for k, v in state.items()}
+    if isinstance(state, np.ndarray):
+        return {"__ndarray__": state.tolist(), "dtype": str(state.dtype)}
+    if isinstance(state, np.integer):
+        return int(state)
+    return state
+
+
+def _rng_state_from_jsonable(state):
+    """Exact inverse of :func:`_rng_state_to_jsonable`."""
+    if isinstance(state, dict):
+        if "__ndarray__" in state:
+            return np.array(state["__ndarray__"], dtype=state["dtype"])
+        return {k: _rng_state_from_jsonable(v) for k, v in state.items()}
+    return state
 
 
 @dataclass
@@ -260,6 +280,76 @@ class Trainer:
                 out[layer.name] = w
         return out
 
+    # -- persistence (exact resume) ----------------------------------------
+    def rng_sites(self) -> list[tuple[str, np.random.Generator]]:
+        """Every random source that influences the training trajectory.
+
+        The trainer's shuffle generator, the augmenter's, each layer's
+        (dropout masks) and each quantization hook's (stochastic weight
+        rounding).  Labels are stable across processes, so a checkpoint
+        written in one run restores into a freshly built trainer in
+        another.  Sites may alias one underlying generator (the MF-DFP
+        pipeline threads one generator through shuffling and hooks);
+        capturing and restoring aliases is idempotent because all
+        aliased labels carry the same state.
+        """
+        sites: list[tuple[str, np.random.Generator]] = [("trainer", self.rng)]
+        if isinstance(getattr(self.augment, "rng", None), np.random.Generator):
+            sites.append(("augment", self.augment.rng))
+        for layer in self.net.layers:
+            if isinstance(getattr(layer, "rng", None), np.random.Generator):
+                sites.append((f"layer:{layer.name}", layer.rng))
+            for tag, hook in (
+                ("whook", layer.weight_quantizer),
+                ("ohook", layer.output_quantizer),
+            ):
+                if isinstance(getattr(hook, "rng", None), np.random.Generator):
+                    sites.append((f"{tag}:{layer.name}", hook.rng))
+        return sites
+
+    def state_dict(self) -> dict:
+        """Everything needed to resume training bit-identically.
+
+        Master weights, optimizer velocity and hyper-parameters,
+        scheduler progress, every RNG site's bit-generator state, and
+        the epoch history.  Captured at an epoch boundary (after the
+        scheduler step), restoring this into a freshly constructed
+        trainer and continuing with ``fit(..., resume=True)`` reproduces
+        the uninterrupted run exactly — see ``repro.io.checkpoint``.
+        """
+        return {
+            "weights": {p.name: p.data.copy() for p in self.net.params},
+            "optimizer": self.optimizer.state_dict(),
+            "scheduler": None if self.scheduler is None else self.scheduler.state_dict(),
+            "rng": {
+                label: _rng_state_to_jsonable(gen.bit_generator.state)
+                for label, gen in self.rng_sites()
+            },
+            "history": [asdict(e) for e in self.history.epochs],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this trainer (strict)."""
+        self.net.set_weights(state["weights"])
+        self.optimizer.load_state_dict(state["optimizer"])
+        saved_scheduler = state.get("scheduler")
+        if (saved_scheduler is None) != (self.scheduler is None):
+            raise ValueError(
+                "scheduler mismatch: checkpoint "
+                f"{'has' if saved_scheduler is not None else 'lacks'} scheduler state, "
+                f"trainer {'lacks' if self.scheduler is None else 'has'} a scheduler"
+            )
+        if saved_scheduler is not None:
+            self.scheduler.load_state_dict(saved_scheduler)
+        sites = dict(self.rng_sites())
+        saved_rng = state["rng"]
+        if set(sites) != set(saved_rng):
+            missing = set(sites) ^ set(saved_rng)
+            raise ValueError(f"RNG site mismatch: {sorted(missing)}")
+        for label, gen in sites.items():
+            gen.bit_generator.state = _rng_state_from_jsonable(saved_rng[label])
+        self.history = TrainHistory([EpochResult(**e) for e in state["history"]])
+
     def profile_rows(self) -> list[dict]:
         """Per-layer timing rows (compiled plans or eager timers)."""
         if self._executor is not None:
@@ -269,9 +359,29 @@ class Trainer:
             self._eager_profile.values(), key=lambda r: order.get(r["layer"], 1 << 30)
         )
 
-    def fit(self, train: ArrayDataset, val: ArrayDataset, epochs: int) -> TrainHistory:
-        """Train up to ``epochs`` epochs (or until the scheduler finishes)."""
-        for epoch in range(1, epochs + 1):
+    def fit(
+        self,
+        train: ArrayDataset,
+        val: ArrayDataset,
+        epochs: int,
+        resume: bool = False,
+        checkpoint: Optional[Callable[["Trainer"], None]] = None,
+    ) -> TrainHistory:
+        """Train up to ``epochs`` epochs (or until the scheduler finishes).
+
+        With ``resume=True`` the run continues from the restored history
+        (see :meth:`load_state_dict`): epoch numbering picks up where it
+        left off and ``epochs`` still means *total* epochs, so a run
+        killed after k epochs and resumed trains exactly the remaining
+        ``epochs - k``.  ``checkpoint`` is invoked with the trainer after
+        each epoch's scheduler step — the epoch boundary where
+        :meth:`state_dict` is exact — typically a
+        :class:`repro.io.checkpoint.Checkpointer`.
+        """
+        start = len(self.history.epochs) + 1 if resume else 1
+        for epoch in range(start, epochs + 1):
+            if isinstance(self.scheduler, PlateauScheduler) and self.scheduler.finished:
+                break
             train_loss = self.train_epoch(train)
             val_error = self.evaluate_error(val)
             result = EpochResult(epoch, train_loss, val_error, self.optimizer.lr)
@@ -280,6 +390,8 @@ class Trainer:
                 self.epoch_callback(self, result)
             if self.scheduler is not None:
                 self.scheduler.step(val_error)
-                if isinstance(self.scheduler, PlateauScheduler) and self.scheduler.finished:
-                    break
+            if checkpoint is not None:
+                checkpoint(self)
+            if isinstance(self.scheduler, PlateauScheduler) and self.scheduler.finished:
+                break
         return self.history

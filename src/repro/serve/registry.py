@@ -16,8 +16,9 @@ well under a second each.
 
 from __future__ import annotations
 
+import functools
 import threading
-from typing import Callable
+from typing import Callable, Optional, Sequence
 
 from repro.core.engine import BatchedEngine, EngineCache
 from repro.core.mfdfp import DeployedMFDFP
@@ -48,6 +49,35 @@ class ModelRegistry:
         registry = cls(**kwargs)
         for name, builder in DEPLOYABLE_BUILDERS.items():
             registry.register(name, builder)
+        return registry
+
+    @classmethod
+    def from_store(
+        cls, store, names: Optional[Sequence[str]] = None, **kwargs
+    ) -> "ModelRegistry":
+        """A registry whose models load from an on-disk artifact store.
+
+        ``store`` is an :class:`~repro.io.store.ArtifactStore` or a path
+        to one (opened read-only — a missing store raises
+        :class:`~repro.io.artifacts.ArtifactError` rather than creating
+        a directory).  Every model in the store (or the given ``names``)
+        is registered with a builder that loads the newest published
+        version lazily on first use; loaded artifacts carry the same
+        engine fingerprints as their in-memory builds, so a cold-started
+        server compiles exactly the engines a warm one would.
+        """
+        from repro.io.store import ArtifactStore
+
+        if not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store, create=False)
+        registry = cls(**kwargs)
+        available = store.model_names()
+        if names is None:
+            names = available
+        for name in names:
+            if name not in available:
+                raise UnknownModelError(name, tuple(available))
+            registry.register(name, functools.partial(store.load_deployed, name))
         return registry
 
     # -- registration ------------------------------------------------------

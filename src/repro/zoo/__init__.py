@@ -29,6 +29,33 @@ DEPLOYABLE_BUILDERS = {
     "alexnet": alexnet_deployable,
 }
 
+
+def publish_deployables(store, names=None) -> dict[str, int]:
+    """Build zoo deployables and publish them into an artifact store.
+
+    ``store`` is an :class:`~repro.io.store.ArtifactStore` (or a path,
+    created if missing).  Builds each named entry of
+    :data:`DEPLOYABLE_BUILDERS` (default: all) and publishes it;
+    returns ``{name: version}``.  Publishing is content-addressed, so
+    re-running against an unchanged zoo returns the existing versions
+    without writing new files — what ``python -m repro export`` calls.
+    """
+    from repro.io.store import ArtifactStore
+
+    if not isinstance(store, ArtifactStore):
+        store = ArtifactStore(store)
+    if names is None:
+        names = list(DEPLOYABLE_BUILDERS)
+    # Validate every name up front: an unknown one must not leave the
+    # store partially published.
+    unknown = [name for name in names if name not in DEPLOYABLE_BUILDERS]
+    if unknown:
+        raise ValueError(
+            f"unknown deployable {unknown[0]!r} (available: {sorted(DEPLOYABLE_BUILDERS)})"
+        )
+    return {name: store.publish_deployed(name, DEPLOYABLE_BUILDERS[name]()) for name in names}
+
+
 __all__ = [
     "DEPLOYABLE_BUILDERS",
     "alexnet",
@@ -37,4 +64,5 @@ __all__ = [
     "cifar10_full",
     "cifar10_full_deployable",
     "cifar10_small",
+    "publish_deployables",
 ]

@@ -1,0 +1,144 @@
+"""Regenerate the golden deployed artifacts (run only on format changes).
+
+Usage::
+
+    PYTHONPATH=src python tests/data/golden/make_golden.py
+
+Writes, into this directory:
+
+* ``deployed_v2.npz`` — the tiny reference network in the current
+  container format;
+* ``deployed_v1_legacy.npz`` — the same network in the legacy
+  ``repro.hw.export`` version-1 layout (byte layout reproduced here,
+  since the writer for it no longer exists in the codebase);
+* ``expected.npz`` — a fixed input batch and the engine's output codes;
+* ``golden.json`` — the engine fingerprint and provenance notes.
+
+The committed files are a format-stability contract: regenerating them
+is only legitimate alongside a deliberate, loader-branch-accompanied
+format change (see ``tests/io/test_golden_artifact.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.engine import engine_fingerprint, execute_deployed
+from repro.core.mfdfp import DeployedLayer, DeployedMFDFP
+from repro.io.artifacts import FORMAT_VERSION, save_deployed
+
+HERE = Path(__file__).parent
+
+#: The legacy writer's field list (no ``groups`` — v1 predates grouped conv).
+_V1_OP_FIELDS = (
+    "kind",
+    "name",
+    "in_frac",
+    "out_frac",
+    "activation",
+    "in_channels",
+    "out_channels",
+    "kernel_size",
+    "stride",
+    "pad",
+    "ceil_mode",
+    "in_features",
+    "out_features",
+)
+
+
+def build_golden() -> DeployedMFDFP:
+    """A tiny, fully deterministic deployed network (conv/pool/dense)."""
+    rng = np.random.default_rng(2017)
+    deployed = DeployedMFDFP(name="golden_tiny", input_shape=(2, 6, 6), input_frac=4, bits=8)
+    deployed.ops.append(
+        DeployedLayer(
+            kind="conv",
+            name="conv1",
+            in_frac=4,
+            out_frac=3,
+            weight_codes=rng.integers(0, 16, size=(3, 2, 3, 3)),
+            bias_int=rng.integers(-2000, 2000, size=3),
+            activation="relu",
+            in_channels=2,
+            out_channels=3,
+            kernel_size=3,
+            stride=1,
+            pad=1,
+        )
+    )
+    deployed.ops.append(
+        DeployedLayer(
+            kind="maxpool",
+            name="pool1",
+            in_frac=3,
+            out_frac=3,
+            kernel_size=2,
+            stride=2,
+            ceil_mode=True,
+        )
+    )
+    deployed.ops.append(DeployedLayer(kind="flatten", name="flat", in_frac=3, out_frac=3))
+    deployed.ops.append(
+        DeployedLayer(
+            kind="dense",
+            name="ip1",
+            in_frac=3,
+            out_frac=2,
+            weight_codes=rng.integers(0, 16, size=(5, 27)),
+            bias_int=rng.integers(-2000, 2000, size=5),
+            in_features=27,
+            out_features=5,
+        )
+    )
+    return deployed
+
+
+def write_v1_legacy(deployed: DeployedMFDFP, path: Path) -> None:
+    """Byte-for-byte reproduction of the seed ``repro.hw.export`` writer."""
+    header = {
+        "format_version": 1,
+        "name": deployed.name,
+        "input_shape": list(deployed.input_shape),
+        "input_frac": deployed.input_frac,
+        "bits": deployed.bits,
+        "ops": [
+            {field: getattr(op, field) for field in _V1_OP_FIELDS} for op in deployed.ops
+        ],
+    }
+    arrays = {"__header__": np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)}
+    for i, op in enumerate(deployed.ops):
+        if op.weight_codes is not None:
+            arrays[f"op{i}.weight_codes"] = op.weight_codes
+            arrays[f"op{i}.weight_shape"] = np.array(op.weight_codes.shape, dtype=np.int64)
+        if op.bias_int is not None:
+            arrays[f"op{i}.bias_int"] = op.bias_int
+    np.savez(path, **arrays)
+
+
+def main() -> None:
+    deployed = build_golden()
+    save_deployed(deployed, HERE / "deployed_v2.npz")
+    write_v1_legacy(deployed, HERE / "deployed_v1_legacy.npz")
+    x = np.random.default_rng(7).normal(scale=0.5, size=(3, 2, 6, 6))
+    np.savez(HERE / "expected.npz", x=x, out_codes=execute_deployed(deployed, x))
+    (HERE / "golden.json").write_text(
+        json.dumps(
+            {
+                "fingerprint": engine_fingerprint(deployed),
+                "written_with_format_version": FORMAT_VERSION,
+                "note": "regenerate only with a deliberate format change "
+                "(python tests/data/golden/make_golden.py)",
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    print("golden artifacts written:", engine_fingerprint(deployed))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,11 +1,20 @@
-"""Serialization of deployed networks."""
+"""Serialization of deployed networks (via the repro.io compat shim)."""
+
+import json
 
 import numpy as np
 import pytest
 
 from repro.core.mfdfp import MFDFPNetwork
 from repro.hw.accelerator import execute_deployed
-from repro.hw.export import FORMAT_VERSION, load_deployed, save_deployed
+from repro.hw.export import (
+    FORMAT_VERSION,
+    ArtifactError,
+    ArtifactSchemaError,
+    ArtifactVersionError,
+    load_deployed,
+    save_deployed,
+)
 from repro.zoo import cifar10_small
 
 
@@ -63,6 +72,18 @@ class TestRoundtrip:
         assert loaded.weight_memory_mb() == deployed.weight_memory_mb()
 
 
+def _rewrite_header(src, dst, mutate):
+    with np.load(src) as data:
+        arrays = {k: data[k] for k in data.files if k != "__header__"}
+        header = json.loads(bytes(data["__header__"]).decode())
+    np.savez(
+        dst,
+        __header__=np.frombuffer(json.dumps(mutate(header)).encode(), dtype=np.uint8),
+        **arrays,
+    )
+    return dst
+
+
 class TestErrors:
     def test_missing_header_rejected(self, tmp_path):
         path = tmp_path / "bogus.npz"
@@ -70,12 +91,77 @@ class TestErrors:
         with pytest.raises(ValueError, match="missing header"):
             load_deployed(path)
 
-    def test_wrong_version_rejected(self, deployed, tmp_path, monkeypatch):
-        import repro.hw.export as export_mod
-
+    def test_wrong_version_rejected(self, deployed, tmp_path):
         path = tmp_path / "net.npz"
-        monkeypatch.setattr(export_mod, "FORMAT_VERSION", FORMAT_VERSION + 1)
         save_deployed(deployed, path)
-        monkeypatch.setattr(export_mod, "FORMAT_VERSION", FORMAT_VERSION)
+        bad = _rewrite_header(
+            path, tmp_path / "bad.npz",
+            lambda h: {**h, "format_version": FORMAT_VERSION + 1},
+        )
         with pytest.raises(ValueError, match="unsupported format version"):
-            load_deployed(path)
+            load_deployed(bad)
+        # ...and the typed error is part of the contract now.
+        with pytest.raises(ArtifactVersionError):
+            load_deployed(bad)
+
+    def test_missing_field_rejected_before_reconstruction(self, deployed, tmp_path):
+        """Regression: a dropped header field used to surface as a raw
+        KeyError/TypeError deep inside DeployedLayer reconstruction."""
+        path = tmp_path / "net.npz"
+        save_deployed(deployed, path)
+
+        def drop_field(h):
+            h = json.loads(json.dumps(h))
+            del h["meta"]["ops"][0]["kernel_size"]
+            return h
+
+        bad = _rewrite_header(path, tmp_path / "bad.npz", drop_field)
+        with pytest.raises(ArtifactSchemaError, match="kernel_size"):
+            load_deployed(bad)
+
+    def test_wrong_dtype_rejected(self, deployed, tmp_path):
+        """Regression: float weight codes used to flow into execution."""
+        path = tmp_path / "net.npz"
+        save_deployed(deployed, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["op0.weight_codes"] = arrays["op0.weight_codes"].astype(np.float64)
+        np.savez(tmp_path / "bad.npz", **arrays)
+        with pytest.raises(ArtifactSchemaError, match="integer"):
+            load_deployed(tmp_path / "bad.npz")
+
+    def test_errors_remain_value_errors(self):
+        """The pre-shim API raised ValueError; old callers must still catch."""
+        assert issubclass(ArtifactError, ValueError)
+
+
+class TestLegacyCompat:
+    def test_v1_artifact_loads_through_shim(self, deployed, tmp_path):
+        """A file written by the seed-era exporter still loads (and runs)."""
+        # Byte layout of the original hw/export writer.
+        v1_fields = (
+            "kind", "name", "in_frac", "out_frac", "activation", "in_channels",
+            "out_channels", "kernel_size", "stride", "pad", "ceil_mode",
+            "in_features", "out_features",
+        )
+        header = {
+            "format_version": 1,
+            "name": deployed.name,
+            "input_shape": list(deployed.input_shape),
+            "input_frac": deployed.input_frac,
+            "bits": deployed.bits,
+            "ops": [{f: getattr(op, f) for f in v1_fields} for op in deployed.ops],
+        }
+        arrays = {"__header__": np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)}
+        for i, op in enumerate(deployed.ops):
+            if op.weight_codes is not None:
+                arrays[f"op{i}.weight_codes"] = op.weight_codes
+                arrays[f"op{i}.weight_shape"] = np.array(op.weight_codes.shape, dtype=np.int64)
+            if op.bias_int is not None:
+                arrays[f"op{i}.bias_int"] = op.bias_int
+        path = tmp_path / "legacy.npz"
+        np.savez(path, **arrays)
+
+        loaded = load_deployed(path)
+        x = np.random.default_rng(3).normal(size=(4, 3, 16, 16))
+        assert np.array_equal(execute_deployed(deployed, x), execute_deployed(loaded, x))

@@ -1,0 +1,217 @@
+"""Property tests: save/load is bit-identity over random artifact spaces.
+
+Seeded random draws (the repo's property-test idiom, cf.
+``tests/core/test_engine_properties.py``) of deployed-network layer
+stacks — geometry, strides, padding, groups, fraction lengths, 4-bit
+codes — and of float networks with mixed dtypes.  Every draw must
+round-trip bit-identically: tensors, engine fingerprints, optimizer
+state.  The flip side is the corruption property: a file with flipped
+or missing bytes either still loads to the *identical* artifact (the
+damage hit slack bytes) or raises the typed
+:class:`~repro.io.artifacts.ArtifactError` — never a raw
+numpy/JSON/zipfile exception.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import engine_fingerprint, execute_deployed
+from repro.io import (
+    ArtifactError,
+    load_deployed,
+    load_network_state,
+    load_optimizer_state,
+    save_deployed,
+    save_network,
+    save_optimizer,
+)
+from repro.nn import SGD
+from repro.nn.layers import AvgPool2D, Conv2D, Dense, Flatten, MaxPool2D, ReLU
+from repro.nn.network import Network
+
+try:  # mirrors repro.core.mfdfp imports without depending on test order
+    from repro.core.mfdfp import DeployedLayer, DeployedMFDFP
+except ImportError:  # pragma: no cover
+    raise
+
+SEEDS = range(8)
+
+
+def _conv_out(size: int, k: int, stride: int, pad: int) -> int:
+    return (size + 2 * pad - k) // stride + 1
+
+
+def _pool_out(size: int, k: int, stride: int) -> int:
+    # ceil mode, as DeployedLayer defaults to
+    return -(-(size - k) // stride) + 1
+
+
+def random_deployed(rng: np.random.Generator) -> DeployedMFDFP:
+    """A random conv/pool stack ending in flatten + dense."""
+    c = int(rng.integers(1, 4))
+    h = w = int(rng.integers(6, 12))
+    deployed = DeployedMFDFP(
+        name=f"prop_{rng.integers(1 << 16)}",
+        input_shape=(c, h, w),
+        input_frac=int(rng.integers(0, 8)),
+        bits=8,
+    )
+    frac = deployed.input_frac
+    for i in range(int(rng.integers(1, 3))):
+        out_frac = int(rng.integers(0, 8))
+        groups = int(rng.choice([1, 2])) if c % 2 == 0 else 1
+        cout = groups * int(rng.integers(1, 3))
+        k = int(rng.integers(1, min(4, h + 1)))
+        stride = int(rng.integers(1, 3))
+        pad = int(rng.integers(0, 2))
+        deployed.ops.append(
+            DeployedLayer(
+                kind="conv",
+                name=f"conv{i}",
+                in_frac=frac,
+                out_frac=out_frac,
+                weight_codes=rng.integers(0, 16, size=(cout, c // groups, k, k)),
+                bias_int=rng.integers(-3000, 3000, size=cout) if rng.integers(2) else None,
+                activation=str(rng.choice(["none", "relu"])),
+                in_channels=c,
+                out_channels=cout,
+                kernel_size=k,
+                stride=stride,
+                pad=pad,
+                groups=groups,
+            )
+        )
+        c, h = cout, _conv_out(h, k, stride, pad)
+        w, frac = _conv_out(w, k, stride, pad), out_frac
+        if h >= 3 and rng.integers(2):
+            pk, ps = 2, 2
+            out_frac = int(rng.integers(0, 8))
+            deployed.ops.append(
+                DeployedLayer(
+                    kind=str(rng.choice(["maxpool", "avgpool"])),
+                    name=f"pool{i}",
+                    in_frac=frac,
+                    out_frac=out_frac,
+                    kernel_size=pk,
+                    stride=ps,
+                )
+            )
+            h, w, frac = _pool_out(h, pk, ps), _pool_out(w, pk, ps), out_frac
+    features = c * h * w
+    deployed.ops.append(
+        DeployedLayer(kind="flatten", name="flat", in_frac=frac, out_frac=frac)
+    )
+    out_features = int(rng.integers(2, 6))
+    deployed.ops.append(
+        DeployedLayer(
+            kind="dense",
+            name="head",
+            in_frac=frac,
+            out_frac=int(rng.integers(0, 8)),
+            weight_codes=rng.integers(0, 16, size=(out_features, features)),
+            bias_int=rng.integers(-3000, 3000, size=out_features),
+            in_features=features,
+            out_features=out_features,
+        )
+    )
+    return deployed
+
+
+def random_float_net(rng: np.random.Generator) -> Network:
+    """A random small conv/dense network with a random float dtype."""
+    dtype = rng.choice([np.float32, np.float64])
+    c = int(rng.integers(1, 4))
+    size = 8
+    width = int(rng.integers(2, 6))
+    layers = [
+        Conv2D(c, width, 3, pad=1, dtype=dtype, rng=rng, name="conv1"),
+        ReLU(name="relu1"),
+        MaxPool2D(2, stride=2, name="pool1") if rng.integers(2) else AvgPool2D(2, stride=2, name="pool1"),
+        Flatten(name="flat"),
+        Dense(width * (size // 2) ** 2, int(rng.integers(2, 8)), dtype=dtype, rng=rng, name="ip1"),
+    ]
+    return Network(layers, input_shape=(c, size, size), name="prop_net")
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_deployed_roundtrip_random_stacks(seed, tmp_path):
+    rng = np.random.default_rng(1000 + seed)
+    deployed = random_deployed(rng)
+    path = tmp_path / "d.npz"
+    save_deployed(deployed, path)
+    loaded = load_deployed(path)
+    assert engine_fingerprint(loaded) == engine_fingerprint(deployed)
+    assert len(loaded.ops) == len(deployed.ops)
+    for a, b in zip(deployed.ops, loaded.ops):
+        if a.weight_codes is None:
+            assert b.weight_codes is None
+        else:
+            assert np.array_equal(a.weight_codes, b.weight_codes)
+        if a.bias_int is None:
+            assert b.bias_int is None
+        else:
+            assert np.array_equal(a.bias_int, b.bias_int)
+    x = rng.normal(scale=0.5, size=(3,) + tuple(deployed.input_shape))
+    assert np.array_equal(execute_deployed(loaded, x), execute_deployed(deployed, x))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_network_and_optimizer_roundtrip_random(seed, tmp_path):
+    rng = np.random.default_rng(2000 + seed)
+    net = random_float_net(rng)
+    opt = SGD(net.params, lr=float(rng.uniform(1e-4, 0.1)), momentum=float(rng.uniform(0, 0.99)))
+    x = rng.normal(size=(4,) + net.input_shape).astype(net.params[0].data.dtype)
+    logits = net.forward(x, training=True)
+    net.backward(np.ones_like(logits))
+    opt.step()
+
+    save_network(net, tmp_path / "n.npz")
+    state = load_network_state(tmp_path / "n.npz")
+    for p in net.params:
+        assert state[p.name].dtype == p.data.dtype  # dtype-exact, not just value-equal
+        assert np.array_equal(state[p.name], p.data)
+
+    save_optimizer(opt, tmp_path / "o.npz")
+    fresh = SGD(net.params, lr=1.0)
+    fresh.load_state_dict(load_optimizer_state(tmp_path / "o.npz"))
+    assert fresh.lr == opt.lr and fresh.momentum == opt.momentum
+    for v, v2 in zip(opt._velocity, fresh._velocity):
+        assert np.array_equal(v, v2)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_corruption_never_raises_raw_exceptions(seed, tmp_path):
+    """Flipped bytes: either an identical load or a typed ArtifactError."""
+    rng = np.random.default_rng(3000 + seed)
+    deployed = random_deployed(rng)
+    path = tmp_path / "d.npz"
+    save_deployed(deployed, path)
+    blob = bytearray(path.read_bytes())
+    reference = engine_fingerprint(deployed)
+    for _ in range(6):
+        corrupted = bytearray(blob)
+        pos = int(rng.integers(0, len(corrupted)))
+        corrupted[pos] ^= int(rng.integers(1, 256))
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(bytes(corrupted))
+        try:
+            loaded = load_deployed(bad)
+        except ArtifactError:
+            continue  # the typed hierarchy is the only acceptable failure
+        # A flip that slipped through every check must not have changed
+        # the executable content.
+        assert engine_fingerprint(loaded) == reference
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_truncation_never_raises_raw_exceptions(seed, tmp_path):
+    rng = np.random.default_rng(4000 + seed)
+    deployed = random_deployed(rng)
+    path = tmp_path / "d.npz"
+    save_deployed(deployed, path)
+    blob = path.read_bytes()
+    for frac in (0.1, 0.5, 0.9, 0.99):
+        cut = tmp_path / "cut.npz"
+        cut.write_bytes(blob[: int(len(blob) * frac)])
+        with pytest.raises(ArtifactError):
+            load_deployed(cut)

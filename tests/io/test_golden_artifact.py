@@ -1,0 +1,75 @@
+"""Format-stability guards: committed golden artifacts must keep loading.
+
+``tests/data/golden/`` holds a tiny deployed network written in both the
+current container format and the legacy version-1 layout (generated
+once by ``make_golden.py``; regenerate only alongside a deliberate
+format change).  These tests pin:
+
+* today's loader reproduces the committed artifacts bit-identically,
+  down to the engine fingerprint and executed output codes;
+* the legacy v1 file and the v2 file decode to the same network;
+* every format version up to :data:`~repro.io.artifacts.FORMAT_VERSION`
+  has a registered loader branch — a version bump without a loader is a
+  tier-1 failure, not a latent load error in the field.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.engine import engine_fingerprint, execute_deployed
+from repro.io import FORMAT_VERSION, load_deployed, read_header
+from repro.io.artifacts import DEPLOYED_LOADERS
+
+GOLDEN = Path(__file__).resolve().parents[1] / "data" / "golden"
+
+
+@pytest.fixture(scope="module")
+def golden_meta():
+    return json.loads((GOLDEN / "golden.json").read_text())
+
+
+@pytest.fixture(scope="module")
+def expected():
+    with np.load(GOLDEN / "expected.npz") as data:
+        return {k: data[k] for k in data.files}
+
+
+def test_golden_files_are_committed():
+    for name in ("deployed_v2.npz", "deployed_v1_legacy.npz", "expected.npz", "golden.json"):
+        assert (GOLDEN / name).is_file(), f"golden file {name} is missing"
+
+
+@pytest.mark.parametrize("filename", ["deployed_v2.npz", "deployed_v1_legacy.npz"])
+def test_golden_loads_bit_identically(filename, golden_meta, expected):
+    deployed = load_deployed(GOLDEN / filename)
+    assert engine_fingerprint(deployed) == golden_meta["fingerprint"]
+    out = execute_deployed(deployed, expected["x"])
+    assert np.array_equal(out, expected["out_codes"])
+
+
+def test_legacy_and_current_format_agree():
+    v1 = load_deployed(GOLDEN / "deployed_v1_legacy.npz")
+    v2 = load_deployed(GOLDEN / "deployed_v2.npz")
+    assert engine_fingerprint(v1) == engine_fingerprint(v2)
+    assert [op.kind for op in v1.ops] == [op.kind for op in v2.ops]
+    for a, b in zip(v1.ops, v2.ops):
+        assert a.groups == b.groups  # v1 predates groups; the loader defaults it
+
+
+def test_golden_header_versions():
+    assert read_header(GOLDEN / "deployed_v1_legacy.npz")["format_version"] == 1
+    assert read_header(GOLDEN / "deployed_v2.npz")["format_version"] == FORMAT_VERSION
+
+
+def test_every_version_has_a_loader_branch():
+    """Bumping FORMAT_VERSION without a loader branch must fail tier-1."""
+    assert FORMAT_VERSION == 2, (
+        "FORMAT_VERSION changed: add a loader branch to DEPLOYED_LOADERS, "
+        "regenerate nothing (old goldens must keep loading), extend this "
+        "test's pin, and commit a new golden for the new version"
+    )
+    assert set(DEPLOYED_LOADERS) == set(range(1, FORMAT_VERSION + 1))
+    assert all(callable(fn) for fn in DEPLOYED_LOADERS.values())

@@ -1,0 +1,215 @@
+"""Kill-and-resume bit-identity, across real process boundaries.
+
+The acceptance gate of the checkpoint subsystem: a training run killed
+at an epoch boundary and resumed in a *fresh process namespace* (new
+interpreter, new module state, new caches) must produce bit-identical
+final weights and loss curves to the uninterrupted run — for the eager
+trainer, the compiled trainer, and the full MF-DFP pipeline (killed in
+phase 1 and in phase 2, with phase-1 snapshots and phase-2 distillation
+compared exactly).
+
+Each scenario writes a driver script to a temp directory and runs it
+twice under ``sys.executable``: once to train k epochs and checkpoint,
+once to resume to completion and dump the final state; the reference
+(uninterrupted) run happens in-process — everything is deterministic,
+so any drift between the three namespaces is a real bug.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Shared problem construction, inlined into every driver namespace.
+PROBLEM_SRC = textwrap.dedent(
+    """
+    import numpy as np
+    from repro.datasets import cifar10_surrogate
+    from repro.nn import SGD, PlateauScheduler, Trainer
+    from repro.zoo import cifar10_small
+
+    def make_trainer(compiled):
+        train, test = cifar10_surrogate(n_train=96, n_test=48, size=8, seed=2)
+        net = cifar10_small(size=8, width=4, rng=np.random.default_rng(0))
+        optimizer = SGD(net.params, lr=0.02, momentum=0.9)
+        trainer = Trainer(
+            net, optimizer,
+            scheduler=PlateauScheduler(optimizer, patience=1),
+            batch_size=16, rng=np.random.default_rng(5), compiled=compiled,
+        )
+        return trainer, train, test
+
+    def make_pipeline_problem():
+        train, test = cifar10_surrogate(n_train=96, n_test=48, size=8, seed=2)
+        net = cifar10_small(size=8, width=4, rng=np.random.default_rng(0))
+        return net, train, test
+    """
+)
+
+
+def run_driver(tmp_path: Path, name: str, body: str) -> None:
+    script = tmp_path / f"{name}.py"
+    script.write_text(PROBLEM_SRC + textwrap.dedent(body))
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"driver {name} failed:\n{proc.stdout[-2000:]}\n{proc.stderr[-2000:]}"
+    )
+
+
+def load_result(path: Path) -> dict:
+    with np.load(path) as data:
+        return {k: data[k] for k in data.files}
+
+
+def assert_results_equal(ref: dict, resumed: dict) -> None:
+    assert set(ref) == set(resumed)
+    for key in sorted(ref):
+        assert np.array_equal(ref[key], resumed[key]), f"{key} differs after resume"
+
+
+class TestTrainerResume:
+    @pytest.mark.parametrize("compiled", [False, True], ids=["eager", "compiled"])
+    def test_killed_run_resumes_bit_identically(self, tmp_path, compiled):
+        # Reference: 6 uninterrupted epochs, this process.
+        sys.path.insert(0, str(tmp_path))
+        try:
+            namespace: dict = {}
+            exec(PROBLEM_SRC, namespace)  # noqa: S102 - our own driver source
+            trainer, train, test = namespace["make_trainer"](compiled)
+            trainer.fit(train, test, epochs=6)
+            ref = {
+                **{f"w/{k}": v for k, v in trainer.net.get_weights().items()},
+                "losses": np.array(trainer.history.train_losses),
+                "errors": np.array(trainer.history.val_errors),
+            }
+        finally:
+            sys.path.remove(str(tmp_path))
+
+        run_driver(
+            tmp_path,
+            "part1",
+            f"""
+            from repro.io import Checkpointer
+            trainer, train, test = make_trainer({compiled!r})
+            trainer.fit(train, test, epochs=3, checkpoint=Checkpointer("ckpt"))
+            """,
+        )
+        assert (tmp_path / "ckpt" / "epoch_0003.npz").is_file()
+        run_driver(
+            tmp_path,
+            "part2",
+            f"""
+            from repro.io import Checkpointer
+            trainer, train, test = make_trainer({compiled!r})
+            ck = Checkpointer("ckpt")
+            assert ck.resume(trainer) == 3
+            trainer.fit(train, test, epochs=6, resume=True, checkpoint=ck)
+            out = {{f"w/{{k}}": v for k, v in trainer.net.get_weights().items()}}
+            out["losses"] = np.array(trainer.history.train_losses)
+            out["errors"] = np.array(trainer.history.val_errors)
+            np.savez("resumed.npz", **out)
+            """,
+        )
+        assert_results_equal(ref, load_result(tmp_path / "resumed.npz"))
+
+
+PIPELINE_REF_SRC = textwrap.dedent(
+    """
+    from repro.core import MFDFPConfig, run_algorithm1
+    config = MFDFPConfig(phase1_epochs=3, phase2_epochs=3, lr=5e-3, batch_size=16)
+    net, train, test = make_pipeline_problem()
+    result = run_algorithm1(net, train, test, train.x[:48], config,
+                            rng=np.random.default_rng(9))
+    """
+)
+
+PIPELINE_DUMP_SRC = textwrap.dedent(
+    """
+    out = {f"w/{k}": v for k, v in result.mfdfp.net.get_weights().items()}
+    out["p1_losses"] = np.array(result.phase1.train_losses)
+    out["p1_errors"] = np.array(result.phase1.val_errors)
+    out["p2_losses"] = np.array(result.phase2.train_losses)
+    out["p2_errors"] = np.array(result.phase2.val_errors)
+    out["float_val_error"] = np.array(result.float_val_error)
+    for e, snap in enumerate(result.phase1_snapshots):
+        for k, v in snap.items():
+            out[f"snap{e}/{k}"] = v
+    np.savez(OUT, **out)
+    """
+)
+
+
+class TestPipelineResume:
+    @pytest.mark.parametrize("kill_after", [2, 4], ids=["killed-in-phase1", "killed-in-phase2"])
+    def test_killed_pipeline_resumes_bit_identically(self, tmp_path, kill_after):
+        # Reference: the uninterrupted pipeline, in a fresh process too
+        # (cleanest comparison: all three runs cross process boundaries).
+        run_driver(
+            tmp_path,
+            "reference",
+            PIPELINE_REF_SRC + "OUT = 'reference.npz'\n" + PIPELINE_DUMP_SRC,
+        )
+        run_driver(
+            tmp_path,
+            "killed",
+            f"""
+            from repro.core import MFDFPConfig, run_algorithm1
+            from repro.io import PipelineCheckpointer
+
+            class Killed(Exception):
+                pass
+
+            config = MFDFPConfig(phase1_epochs=3, phase2_epochs=3, lr=5e-3, batch_size=16)
+            net, train, test = make_pipeline_problem()
+            ck = PipelineCheckpointer("ckpt")
+            inner = ck._save
+            def killing(phase, trainer, seq):
+                path = inner(phase, trainer, seq)
+                if seq >= {kill_after}:
+                    raise Killed()  # simulates the process dying at the boundary
+                return path
+            ck._save = killing
+            try:
+                run_algorithm1(net, train, test, train.x[:48], config,
+                               rng=np.random.default_rng(9), checkpoint=ck)
+            except Killed:
+                pass
+            else:
+                raise SystemExit("kill never happened")
+            """,
+        )
+        run_driver(
+            tmp_path,
+            "resumed",
+            textwrap.dedent(
+                """
+                from repro.io import resume_algorithm1
+                net, train, test = make_pipeline_problem()
+                result = resume_algorithm1(net, train, test, "ckpt")
+                OUT = 'resumed.npz'
+                """
+            )
+            + PIPELINE_DUMP_SRC,
+        )
+        assert_results_equal(
+            load_result(tmp_path / "reference.npz"), load_result(tmp_path / "resumed.npz")
+        )

@@ -1,0 +1,152 @@
+"""ArtifactStore layout, versioning, and the serving registry cold start."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import engine_fingerprint
+from repro.core.mfdfp import deploy_calibrated
+from repro.io import ArtifactError, ArtifactStore
+from repro.serve import ModelRegistry, UnknownModelError
+from repro.zoo import cifar10_small, publish_deployables
+
+
+def tiny_deployed(seed=0, width=4):
+    net = cifar10_small(size=8, width=width, rng=np.random.default_rng(seed), dtype=np.float64)
+    calib = np.random.default_rng(100 + seed).normal(size=(16, 3, 8, 8))
+    return deploy_calibrated(net, calib)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+class TestVersioning:
+    def test_publish_and_load(self, store):
+        deployed = tiny_deployed(0)
+        assert store.publish_deployed("m", deployed) == 1
+        loaded = store.load_deployed("m")
+        assert engine_fingerprint(loaded) == engine_fingerprint(deployed)
+        assert store.model_names() == ["m"]
+        assert store.versions("m") == [1]
+
+    def test_identical_content_is_idempotent(self, store):
+        deployed = tiny_deployed(0)
+        assert store.publish_deployed("m", deployed) == 1
+        assert store.publish_deployed("m", tiny_deployed(0)) == 1  # same content, same version
+        assert store.versions("m") == [1]
+
+    def test_changed_content_appends_version(self, store):
+        store.publish_deployed("m", tiny_deployed(0))
+        v2 = store.publish_deployed("m", tiny_deployed(1))
+        assert v2 == 2
+        assert store.versions("m") == [1, 2]
+        # default load resolves the newest version
+        assert engine_fingerprint(store.load_deployed("m")) == engine_fingerprint(
+            tiny_deployed(1)
+        )
+        # older versions stay addressable
+        assert engine_fingerprint(store.load_deployed("m", version=1)) == engine_fingerprint(
+            tiny_deployed(0)
+        )
+
+    def test_fingerprint_reads_header_only(self, store):
+        deployed = tiny_deployed(0)
+        store.publish_deployed("m", deployed)
+        assert store.fingerprint("m") == engine_fingerprint(deployed)
+
+    def test_unknown_model_rejected(self, store):
+        with pytest.raises(ArtifactError, match="no model"):
+            store.load_deployed("ghost")
+        with pytest.raises(ArtifactError, match="no version"):
+            store.publish_deployed("m", tiny_deployed(0))
+            store.load_deployed("m", version=9)
+
+    def test_invalid_names_rejected(self, store):
+        for bad in ("", "../escape", "a/b", "tiny\n", ".hidden"):
+            with pytest.raises(ValueError):
+                store.publish_deployed(bad, tiny_deployed(0))
+        with pytest.raises(ValueError):
+            store.checkpoint_dir("../escape")
+
+    def test_open_missing_store_readonly(self, tmp_path):
+        with pytest.raises(ArtifactError, match="not a repro artifact store"):
+            ArtifactStore(tmp_path / "nope", create=False)
+        assert not (tmp_path / "nope").exists()
+
+    def test_reopen_existing(self, store):
+        store.publish_deployed("m", tiny_deployed(0))
+        again = ArtifactStore(store.root, create=False)
+        assert again.model_names() == ["m"]
+
+    def test_checkpointer_accessors(self, store):
+        ck = store.checkpointer("run1", every=2)
+        assert ck.every == 2
+        assert ck.directory == store.root / "checkpoints" / "run1"
+        pk = store.pipeline_checkpointer("run2")
+        assert pk.directory == store.root / "checkpoints" / "run2"
+        assert store.runs() == []  # nothing written yet
+
+
+class TestRegistryColdStart:
+    def test_from_store_serves_identical_engines(self, store):
+        deployed = tiny_deployed(0)
+        store.publish_deployed("tiny", deployed)
+        registry = ModelRegistry.from_store(store)
+        assert registry.names() == ["tiny"]
+        # Engine fingerprints of disk-loaded artifacts match the
+        # in-memory build, so cold and warm servers compile identically.
+        assert engine_fingerprint(registry.deployed("tiny")) == engine_fingerprint(deployed)
+        x = np.random.default_rng(5).normal(size=(4, 3, 8, 8))
+        warm = ModelRegistry()
+        warm.register("tiny", lambda: tiny_deployed(0))
+        assert np.array_equal(registry.engine("tiny").run(x), warm.engine("tiny").run(x))
+
+    def test_from_store_accepts_path(self, store):
+        store.publish_deployed("tiny", tiny_deployed(0))
+        registry = ModelRegistry.from_store(store.root)
+        assert registry.names() == ["tiny"]
+
+    def test_from_store_unknown_name_rejected(self, store):
+        store.publish_deployed("tiny", tiny_deployed(0))
+        with pytest.raises(UnknownModelError):
+            ModelRegistry.from_store(store, names=["ghost"])
+
+    def test_from_store_missing_dir_rejected(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            ModelRegistry.from_store(tmp_path / "missing")
+
+    def test_lazy_load(self, store, monkeypatch):
+        """Artifacts load on first use, not at registry construction."""
+        store.publish_deployed("tiny", tiny_deployed(0))
+        calls = []
+        original = ArtifactStore.load_deployed
+
+        def counting(self, name, version=None):
+            calls.append(name)
+            return original(self, name, version)
+
+        monkeypatch.setattr(ArtifactStore, "load_deployed", counting)
+        registry = ModelRegistry.from_store(store)
+        assert calls == []
+        registry.deployed("tiny")
+        registry.deployed("tiny")
+        assert calls == ["tiny"]  # memoized after the first load
+
+
+class TestZooPublishing:
+    def test_publish_deployables_real_builders(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        published = publish_deployables(store)
+        assert set(published) == {"cifar10_full", "alexnet"}
+        assert all(v == 1 for v in published.values())
+        # Content-addressed: a second export writes nothing new.
+        assert publish_deployables(store) == published
+        registry = ModelRegistry.from_store(store)
+        assert registry.names() == ["alexnet", "cifar10_full"]
+        for name in registry.names():
+            assert registry.engine(name).input_shape == registry.deployed(name).input_shape[0:3]
+
+    def test_publish_unknown_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown deployable"):
+            publish_deployables(ArtifactStore(tmp_path / "store"), ["ghost"])

@@ -50,8 +50,41 @@ class TestParser:
 
     def test_serve_defaults(self):
         args = build_parser().parse_args(["serve"])
-        assert args.models == "cifar10_full"
+        assert args.models is None  # resolved at run time: zoo default or store contents
+        assert args.store is None
         assert args.workers == 2 and args.max_queue == 1024
+
+    def test_serve_store_flag(self):
+        args = build_parser().parse_args(["serve", "--store", "/tmp/somewhere"])
+        assert args.store == "/tmp/somewhere"
+
+    def test_export_flags(self):
+        args = build_parser().parse_args(["export", "--store", "dir", "--models", "a,b"])
+        assert args.store == "dir" and args.models == "a,b"
+        with pytest.raises(SystemExit):  # --store is required
+            build_parser().parse_args(["export"])
+
+    def test_import_flags(self):
+        args = build_parser().parse_args(["import", "file.npz", "--store", "dir", "--name", "x"])
+        assert args.src == "file.npz" and args.store == "dir" and args.name == "x"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["import", "file.npz"])
+
+    def test_resume_flags(self):
+        args = build_parser().parse_args(["resume", "--checkpoint-dir", "ck", "--epochs", "9"])
+        assert args.checkpoint_dir == "ck" and args.epochs == 9
+        assert args.no_compiled is False
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["resume"])
+
+    @pytest.mark.parametrize("command", ["table2", "fig3"])
+    def test_checkpoint_flags(self, command):
+        args = build_parser().parse_args(
+            [command, "--checkpoint-dir", "ck", "--checkpoint-every", "3"]
+        )
+        assert args.checkpoint_dir == "ck" and args.checkpoint_every == 3
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([command, "--checkpoint-every", "0"])
 
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
@@ -154,3 +187,102 @@ class TestFastCommands:
         assert "per-layer training time" in out
         assert "eager layers" in out
         assert "conv1" in out
+
+
+class TestPersistenceCommands:
+    @pytest.fixture
+    def tiny_store(self, tmp_path, monkeypatch):
+        """A store + zoo monkeypatched down to one fast tiny deployable."""
+        import numpy as np
+
+        import repro.zoo as zoo
+        from repro.core.mfdfp import deploy_calibrated
+        from repro.zoo import cifar10_small
+
+        def tiny_builder():
+            net = cifar10_small(size=8, width=4, rng=np.random.default_rng(0), dtype=np.float64)
+            return deploy_calibrated(net, np.random.default_rng(1).normal(size=(16, 3, 8, 8)))
+
+        monkeypatch.setattr(zoo, "DEPLOYABLE_BUILDERS", {"tiny": tiny_builder})
+        return tmp_path / "store"
+
+    def test_export_then_serve_from_store(self, tiny_store, capsys):
+        main(["export", "--store", str(tiny_store)])
+        out = capsys.readouterr().out
+        assert "tiny" in out and "v0001" in out and "fingerprint" in out
+        assert "1 model(s) published" in out
+
+        main(["serve", "--store", str(tiny_store), "--requests", "8", "--workers", "1"])
+        out = capsys.readouterr().out
+        assert "hosting tiny: 1 workers" in out
+        assert "8 served" in out
+
+    def test_export_unknown_model_fails_cleanly(self, tiny_store):
+        with pytest.raises(SystemExit, match="unknown deployable"):
+            main(["export", "--store", str(tiny_store), "--models", "ghost"])
+
+    def test_serve_missing_store_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="error: .*not a repro artifact store"):
+            main(["serve", "--store", str(tmp_path / "nope")])
+
+    def test_export_with_any_unknown_model_publishes_nothing(self, tiny_store):
+        """Names validate up front: a typo must not half-populate the store."""
+        from repro.io import ArtifactStore
+
+        with pytest.raises(SystemExit, match="unknown deployable"):
+            main(["export", "--store", str(tiny_store), "--models", "tiny,ghost"])
+        assert ArtifactStore(tiny_store).model_names() == []
+
+    def test_import_roundtrip(self, tiny_store, tmp_path, capsys):
+        import numpy as np
+
+        from repro.core.mfdfp import deploy_calibrated
+        from repro.io import ArtifactStore, save_deployed
+        from repro.zoo import cifar10_small
+
+        net = cifar10_small(size=8, width=4, rng=np.random.default_rng(2), dtype=np.float64)
+        deployed = deploy_calibrated(net, np.random.default_rng(3).normal(size=(16, 3, 8, 8)))
+        src = tmp_path / "artifact.npz"
+        save_deployed(deployed, src)
+        main(["import", str(src), "--store", str(tiny_store), "--name", "imported"])
+        out = capsys.readouterr().out
+        assert "imported" in out and "v0001" in out
+        assert ArtifactStore(tiny_store).model_names() == ["imported"]
+
+    def test_import_rejects_corrupt_file(self, tiny_store, tmp_path):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"not an artifact")
+        with pytest.raises(SystemExit, match="error"):
+            main(["import", str(bad), "--store", str(tiny_store)])
+
+    def test_resume_without_checkpoint_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="no checkpoint"):
+            main(["resume", "--checkpoint-dir", str(tmp_path / "empty")])
+
+    def test_resume_with_nothing_left_to_train_fails_cleanly(self, tmp_path):
+        from repro.cli import _surrogate_trainer
+        from repro.io import Checkpointer
+
+        trainer, train, test = _surrogate_trainer()
+        ck_dir = tmp_path / "ck"
+        trainer.fit(train, test, epochs=2, checkpoint=Checkpointer(ck_dir))
+        with pytest.raises(SystemExit, match="nothing to train"):
+            main(["resume", "--checkpoint-dir", str(ck_dir), "--epochs", "2"])
+
+    def test_resume_continues_surrogate_training(self, tmp_path, capsys):
+        from repro.cli import _surrogate_trainer
+        from repro.io import Checkpointer
+
+        trainer, train, test = _surrogate_trainer()
+        ck_dir = tmp_path / "ck"
+        trainer.fit(train, test, epochs=1, checkpoint=Checkpointer(ck_dir))
+
+        main(["resume", "--checkpoint-dir", str(ck_dir), "--epochs", "2"])
+        out = capsys.readouterr().out
+        assert "resuming surrogate training at epoch 2/2" in out
+        assert "(resumed)" in out
+        # The resumed epoch's numbers must match an uninterrupted run.
+        ref, train, test = _surrogate_trainer()
+        ref.fit(train, test, epochs=2)
+        assert f"{ref.history.epochs[1].train_loss:.4f}" in out
+        assert f"{ref.history.epochs[1].val_error:.4f}" in out
