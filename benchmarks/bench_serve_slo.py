@@ -1,0 +1,251 @@
+"""Serving SLO gates: sustained-load p99, zero-drop rollover, crash isolation.
+
+``bench_serve_concurrency`` gates raw throughput; this file gates the
+*supervised* runtime's behavioural contracts under load:
+
+* **Sustained-load p99** — a paced open-loop stream (bounded in-flight
+  window, ~half the machine's measured capacity) against the adaptive
+  batcher must keep the served p99 under the configured SLO target.
+  The latency gate itself is ``full_only`` (wall-clock numbers mean
+  nothing on a loaded smoke machine); the pacing loop and its
+  exactly-once accounting run in ``--quick`` too.
+* **Rollover under load** — ``rollover()`` fired mid-stream between two
+  store-published versions must drop nothing: every future resolves,
+  each is bit-identical to the engine of whichever version served it
+  (the future's ``serving_version`` says which), and both versions
+  actually serve traffic.
+* **Crash isolation** — scheduled crashes injected into one model's
+  engine must leave the other model's stream untouched (every response
+  bit-identical, zero failures) while the crashed model restarts and
+  keeps serving.
+
+Measured numbers land in ``benchmarks/BENCH_serve_slo.json`` on full
+runs via the shared ``bench_metrics`` fixture.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.io.store import ArtifactStore
+from repro.serve import (
+    CrashError,
+    CrashingEngine,
+    ModelRegistry,
+    ServerRuntime,
+    SupervisorPolicy,
+)
+from repro.zoo import alexnet_deployable, cifar10_full_deployable
+
+#: Served-latency SLO for the sustained-load gate: generous (~50x) over
+#: the size-8 artifact's per-batch cost, tight against real regressions
+#: (an engine recompile per batch or a lost-wakeup stall blows through it).
+TARGET_P99_S = 0.05
+WINDOW = 32  # in-flight requests per pacing wave
+
+
+@pytest.fixture(scope="module")
+def model_versions():
+    """Two distinct deployable builds of cifar10_full (seed 0 vs seed 1)."""
+    return {
+        "v1": cifar10_full_deployable(size=8, seed=0),
+        "v2": cifar10_full_deployable(size=8, seed=1),
+    }
+
+
+def _paced_stream(runtime, name, requests):
+    """Open-loop in waves: at most WINDOW requests in flight at once."""
+    futures = []
+    start = time.perf_counter()
+    for lo in range(0, len(requests), WINDOW):
+        wave = [runtime.submit(name, s) for s in requests[lo : lo + WINDOW]]
+        futures.extend(wave)
+        for future in wave:
+            future.result(timeout=120)
+    return time.perf_counter() - start, futures
+
+
+class TestSustainedLoadP99:
+    @pytest.fixture(scope="class")
+    def stream_registry(self):
+        registry = ModelRegistry()
+        registry.register("cifar10_full", lambda: cifar10_full_deployable(size=8))
+        registry.engine("cifar10_full")  # compile outside any timed region
+        return registry
+
+    def _runtime(self, registry):
+        return ServerRuntime(
+            registry,
+            ["cifar10_full"],
+            workers=2,
+            max_batch=WINDOW,
+            max_queue=10_000,
+            target_p99_s=TARGET_P99_S,
+        )
+
+    def test_paced_stream_accounting_is_exact(self, stream_registry, quick):
+        """Quick-safe: the pacing loop loses and double-serves nothing."""
+        n = 64 if quick else 512
+        rng = np.random.default_rng(5)
+        shape = stream_registry.engine("cifar10_full").input_shape
+        requests = rng.normal(scale=0.5, size=(n,) + shape).astype(np.float32)
+        runtime = self._runtime(stream_registry)
+        with runtime:
+            _, futures = _paced_stream(runtime, "cifar10_full", requests)
+        assert len(futures) == n and all(f.exception(timeout=0) is None for f in futures)
+        metrics = runtime.metrics("cifar10_full")
+        assert metrics.submitted == metrics.completed == n
+        assert metrics.rejected == 0 and metrics.crashed == 0
+        assert metrics.queue_depth == 0
+
+    def test_sustained_p99_meets_target(self, stream_registry, full_only, bench_metrics):
+        """Acceptance gate: served p99 under the SLO target, sustained."""
+        n = 2048
+        rng = np.random.default_rng(6)
+        shape = stream_registry.engine("cifar10_full").input_shape
+        requests = rng.normal(scale=0.5, size=(n,) + shape).astype(np.float32)
+        runtime = self._runtime(stream_registry)
+        with runtime:
+            _paced_stream(runtime, "cifar10_full", requests[:WINDOW])  # warm
+            elapsed, futures = _paced_stream(runtime, "cifar10_full", requests)
+        snap = runtime.metrics("cifar10_full").snapshot()
+        p99_ms = 1e3 * snap["latency_p99_s"]
+        rps = n / elapsed
+        slo = runtime.health()["models"]["cifar10_full"]["slo"]
+        print(
+            f"\nsustained {rps:.0f} req/s over {n} requests: "
+            f"p50 {1e3 * snap['latency_p50_s']:.2f} ms, p99 {p99_ms:.2f} ms "
+            f"(target {1e3 * TARGET_P99_S:.0f} ms, recent window met={slo['met']})"
+        )
+        bench_metrics["sustained_rps"] = round(rps, 1)
+        bench_metrics["sustained_p99_ms"] = round(p99_ms, 3)
+        bench_metrics["target_p99_ms"] = 1e3 * TARGET_P99_S
+        assert len(futures) == n
+        assert snap["latency_p99_s"] <= TARGET_P99_S, (
+            f"sustained p99 {p99_ms:.2f} ms blew the {1e3 * TARGET_P99_S:.0f} ms SLO"
+        )
+
+
+class TestRolloverUnderLoad:
+    def test_zero_drops_and_per_version_bit_identity(
+        self, model_versions, tmp_path, quick, bench_metrics
+    ):
+        from repro.core.engine import BatchedEngine
+
+        per_phase = 32 if quick else 512
+        store = ArtifactStore(tmp_path / "store")
+        assert store.publish_deployed("cifar10_full", model_versions["v1"]) == 1
+        registry = ModelRegistry.from_store(store)
+        references = {
+            "v0001": BatchedEngine(model_versions["v1"]),
+            "v0002": BatchedEngine(model_versions["v2"]),
+        }
+        shape = references["v0001"].input_shape
+        rng = np.random.default_rng(7)
+        requests = rng.normal(scale=0.5, size=(2 * per_phase,) + shape).astype(np.float32)
+
+        runtime = ServerRuntime(
+            registry, ["cifar10_full"], workers=2, max_batch=16, max_queue=10_000
+        ).start()
+        plan = []
+        anchored = per_phase // 2
+        start = time.perf_counter()
+        for i in range(per_phase):  # old version serving, backlog live
+            plan.append((i, runtime.submit("cifar10_full", requests[i])))
+        for _, future in plan[:anchored]:
+            future.result(timeout=120)  # guaranteed served by the old version
+        # The new version is published and swapped in mid-stream.
+        assert store.publish_deployed("cifar10_full", model_versions["v2"]) == 2
+        label = runtime.rollover("cifar10_full")  # hot swap, backlog in flight
+        for i in range(per_phase, 2 * per_phase):
+            plan.append((i, runtime.submit("cifar10_full", requests[i])))
+        runtime.stop(drain=True)
+        elapsed = time.perf_counter() - start
+
+        assert label == "v0002"
+        served_by = {"v0001": 0, "v0002": 0}
+        for i, future in plan:
+            assert future.done(), f"request {i} dropped"
+            assert future.exception(timeout=0) is None, f"request {i} failed"
+            version = future.serving_version
+            expected = references[version].run(requests[i][None])[0]
+            assert np.array_equal(future.result(timeout=0), expected), (i, version)
+            served_by[version] += 1
+        # The swap happened mid-stream: the anchored prefix ran on the old
+        # version, everything submitted after the swap on the new one.
+        assert served_by["v0001"] >= anchored and served_by["v0002"] >= per_phase
+        metrics = runtime.metrics("cifar10_full")
+        assert metrics.completed == 2 * per_phase and metrics.queue_depth == 0
+        assert runtime.health()["models"]["cifar10_full"]["active_version"] == "v0002"
+        bench_metrics["rollover_requests"] = 2 * per_phase
+        bench_metrics["rollover_dropped"] = 0
+        bench_metrics["rollover_rps"] = round(2 * per_phase / elapsed, 1)
+
+
+class TestCrashIsolation:
+    def test_injected_crashes_never_touch_the_healthy_model(self, quick, bench_metrics):
+        from repro.core.engine import BatchedEngine
+
+        per_model = 48 if quick else 384
+        registry = ModelRegistry()
+        registry.register("cifar10_full", lambda: cifar10_full_deployable(size=8))
+        registry.register("alexnet", lambda: alexnet_deployable(size=8))
+        real = {name: registry.engine(name) for name in ("cifar10_full", "alexnet")}
+        # Crash calls 2 and 5: with max_batch=8 even the --quick stream
+        # (48 requests => >= 6 claims) is guaranteed to hit both.
+        flaky = CrashingEngine(real["cifar10_full"], crash_on={2, 5})
+
+        def provider(name, version):
+            if name == "cifar10_full":
+                return flaky, "flaky-v1"
+            return real[name], "solid-v1"
+
+        runtime = ServerRuntime(
+            registry,
+            ["cifar10_full", "alexnet"],
+            workers=2,
+            max_batch=8,
+            max_queue=10_000,
+            engine_provider=provider,
+            policy=SupervisorPolicy(
+                max_failures=20, backoff_initial_s=0.001, backoff_cap_s=0.01
+            ),
+        ).start()
+        rng = np.random.default_rng(8)
+        samples = {
+            name: rng.normal(
+                scale=0.5, size=(per_model,) + real[name].input_shape
+            ).astype(np.float32)
+            for name in real
+        }
+        futures = {
+            name: [runtime.submit(name, s) for s in samples[name]] for name in real
+        }
+        runtime.stop(drain=True)
+
+        # Healthy model: untouched — every response exact, zero failures.
+        expected_b = real["alexnet"].run(samples["alexnet"])
+        for i, future in enumerate(futures["alexnet"]):
+            assert np.array_equal(future.result(timeout=0), expected_b[i]), i
+        # Crashing model: failures are only the injected ones, survivors
+        # exact, and the actor restarted rather than staying dead.
+        ok = crashed = 0
+        expected_a = real["cifar10_full"].run(samples["cifar10_full"])
+        for i, future in enumerate(futures["cifar10_full"]):
+            error = future.exception(timeout=0)
+            if error is None:
+                assert np.array_equal(future.result(timeout=0), expected_a[i]), i
+                ok += 1
+            else:
+                assert isinstance(error, CrashError)
+                crashed += 1
+        assert crashed >= 1 and ok >= 1 and ok + crashed == per_model
+        health = runtime.health()["models"]
+        assert health["alexnet"]["crashes"] == 0
+        assert health["cifar10_full"]["crashes"] >= 1
+        assert health["cifar10_full"]["restarts"] >= 1
+        assert health["cifar10_full"]["state"] == "running"
+        bench_metrics["isolation_crashed_requests"] = crashed
+        bench_metrics["isolation_served_requests"] = ok
+        bench_metrics["isolation_healthy_failures"] = 0

@@ -10,8 +10,10 @@ Usage::
     python -m repro table2 [--epochs N] [--no-compiled] [--profile]
                                       # accuracy/time/energy (Table 2)
     python -m repro serve [--models a,b] [--workers N] [--batch N] \
-        [--max-queue N] [--requests N] [--store DIR]
-                                      # concurrent multi-model serving
+        [--max-queue N] [--requests N] [--store DIR] \
+        [--target-p99-ms MS] [--min-batch N] [--quarantine-after N] \
+        [--health]
+                                      # supervised multi-model serving
     python -m repro sweep CAMPAIGN [--jobs N] [--points N] [--epochs N]
                                       # parallel ablation/fault campaigns
     python -m repro export --store DIR [--models a,b]
@@ -27,12 +29,16 @@ compiled fast path (:mod:`repro.nn.compiled`) by default —
 ``--no-compiled`` switches to the eager layer stack (bit-identical
 curves, useful to verify exactly that) and ``--profile`` prints a
 per-layer forward/backward time breakdown after the surrogate training.  ``serve`` hosts the named
-registry models (default ``cifar10_full``; ``alexnet`` also ships) on a
-:class:`repro.serve.ServerRuntime` worker pool, pushes interleaved
-requests through the per-model micro-batch queues, and prints a
-per-model metrics summary — served/shed counts, batch fill, latency
-percentiles, and the modeled silicon throughput next to the measured
-one.
+registry models (default ``cifar10_full``; ``alexnet`` also ships) on
+the supervised per-model actors of :class:`repro.serve.ServerRuntime`,
+pushes interleaved requests through the per-model micro-batch mailboxes,
+and prints a per-model metrics summary — served/shed counts, batch fill,
+latency percentiles, and the modeled silicon throughput next to the
+measured one.  ``--target-p99-ms`` turns on SLO-driven adaptive batching
+(``--min-batch`` bounds the shrink), ``--quarantine-after`` sets the
+consecutive-failure budget before a crashing model is quarantined, and
+``--health`` prints the structured supervision/health surface as JSON
+instead of running the demo traffic.
 
 ``sweep`` trains a small surrogate network once, then fans one of the
 design-space ablation campaigns (``bitwidth``/``clamp``/``rounding``/
@@ -185,10 +191,11 @@ def _cmd_table2(args) -> None:
 
 
 def _cmd_serve(args) -> None:
+    import json
     import time
 
     from repro.hw import Accelerator, AcceleratorConfig
-    from repro.serve import ModelRegistry, QueueFullError, ServerRuntime
+    from repro.serve import ModelRegistry, QueueFullError, ServerRuntime, SupervisorPolicy
 
     if args.store is not None:
         from repro.io import ArtifactError
@@ -213,7 +220,22 @@ def _cmd_serve(args) -> None:
         max_batch=args.batch,
         max_queue=args.max_queue,
         accelerator=Accelerator(AcceleratorConfig(precision="mfdfp")),
+        target_p99_s=args.target_p99_ms / 1e3 if args.target_p99_ms else None,
+        min_batch=args.min_batch,
+        policy=SupervisorPolicy(max_failures=args.quarantine_after),
     )
+    if args.health:
+        # Admin surface: one warmup request per model so the health dict
+        # carries real latencies/versions, then the structured snapshot.
+        warm_rng = np.random.default_rng(0)
+        with runtime:
+            for name in models:
+                shape = registry.engine(name).input_shape
+                runtime.submit(
+                    name, warm_rng.normal(scale=0.5, size=shape).astype(np.float32)
+                ).result()
+            print(json.dumps(runtime.health(), indent=2, sort_keys=True))
+        return
     rng = np.random.default_rng(0)
     samples = {
         name: rng.normal(scale=0.5, size=(args.requests,) + registry.engine(name).input_shape)
@@ -436,6 +458,13 @@ def _positive_int(value: str) -> int:
     return n
 
 
+def _positive_float(value: str) -> float:
+    x = float(value)
+    if x <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive number, got {x}")
+    return x
+
+
 def _add_training_flags(parser, checkpointing: bool = True) -> None:
     parser.add_argument(
         "--no-compiled",
@@ -519,8 +548,8 @@ def build_parser() -> argparse.ArgumentParser:
         "(written by `python -m repro export`) instead of building "
         "models in-process",
     )
-    p4.add_argument("--workers", type=_positive_int, default=2, help="worker threads")
-    p4.add_argument("--batch", type=_positive_int, default=64, help="micro-batch size")
+    p4.add_argument("--workers", type=_positive_int, default=2, help="worker threads per model")
+    p4.add_argument("--batch", type=_positive_int, default=64, help="largest micro-batch")
     p4.add_argument(
         "--max-queue",
         type=_positive_int,
@@ -529,6 +558,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p4.add_argument(
         "--requests", type=_positive_int, default=256, help="requests per model"
+    )
+    p4.add_argument(
+        "--target-p99-ms",
+        type=_positive_float,
+        default=None,
+        metavar="MS",
+        help="p99 latency SLO: batches shrink when the recent p99 exceeds "
+        "it and grow back under queue pressure (default: latency-blind "
+        "greedy fill at --batch)",
+    )
+    p4.add_argument(
+        "--min-batch",
+        type=_positive_int,
+        default=1,
+        help="smallest micro-batch the SLO loop may shrink to",
+    )
+    p4.add_argument(
+        "--quarantine-after",
+        type=_positive_int,
+        default=3,
+        metavar="N",
+        help="consecutive actor failures before a model is quarantined "
+        "instead of restarted",
+    )
+    p4.add_argument(
+        "--health",
+        action="store_true",
+        help="print the structured health/admin surface (supervision "
+        "state, versions, queue depths, latency percentiles) as JSON "
+        "after one warmup request per model, then exit",
     )
     p4.set_defaults(fn=_cmd_serve)
     pex = sub.add_parser("export", help="publish zoo deployables into an artifact store")

@@ -1,47 +1,81 @@
 """Serving runtime for deployed MF-DFP networks.
 
 Layered front door for heavy-traffic workloads, from a single queue to
-a concurrent multi-tenant server:
+a supervised concurrent multi-tenant server:
 
 * :func:`repro.serve.batching.predict_many` — chunk an ``(N, ...)``
   array into order-preserving micro-batches.
 * :class:`repro.serve.batching.MicroBatchQueue` — submit single-sample
   requests, flush in batches, collect per-ticket logits; ``close``
   drains or rejects in-flight work, never drops it.
+* :class:`repro.serve.batching.AdaptiveBatchPolicy` — SLO-driven batch
+  sizing: grow under queue pressure, shrink when recent p99 latency
+  exceeds the target.
 * :class:`repro.serve.registry.ModelRegistry` — named deployable
   models, built lazily and compiled once behind the thread-safe
-  content-addressed :class:`repro.core.engine.EngineCache`.
-* :class:`repro.serve.runtime.ServerRuntime` — a worker pool draining
-  per-model bounded queues concurrently, with admission control
-  (typed load shedding) and per-model
+  content-addressed :class:`repro.core.engine.EngineCache`; store-backed
+  registries pin and roll model versions.
+* :class:`repro.serve.supervisor.Supervisor` /
+  :class:`repro.serve.supervisor.ModelActor` — the supervision tree:
+  per-model actors whose deaths (build crashes, poisoned batches) are
+  restarted with capped exponential backoff
+  (:class:`repro.serve.supervisor.SupervisorPolicy`) and quarantined
+  after repeated failure, isolating faults per model.
+* :class:`repro.serve.runtime.ServerRuntime` — the facade: admission
+  control (typed load shedding), zero-downtime version rollover, the
+  structured health surface, and per-model
   :class:`repro.serve.metrics.ModelMetrics`.
 * :mod:`repro.serve.errors` — the typed rejections
   (:class:`UnknownModelError`, :class:`QueueFullError`,
-  :class:`ServerClosedError`).
+  :class:`ServerClosedError`, :class:`ModelQuarantinedError`).
+* :mod:`repro.serve.faults` — deterministic fault-injection doubles
+  (crashing engines, flaky builders) for the supervision test harness.
 
 Exposed on the command line as ``python -m repro serve``.
 """
 
-from repro.serve.batching import MicroBatchQueue, ServeStats, predict_many
+from repro.serve.batching import (
+    AdaptiveBatchPolicy,
+    MicroBatchQueue,
+    ServeStats,
+    predict_many,
+)
 from repro.serve.errors import (
+    ModelQuarantinedError,
     QueueFullError,
     ServeError,
     ServerClosedError,
     UnknownModelError,
 )
+from repro.serve.faults import (
+    CrashError,
+    CrashingEngine,
+    FlakyBuilder,
+    crash_schedule,
+)
 from repro.serve.metrics import ModelMetrics
 from repro.serve.registry import ModelRegistry
 from repro.serve.runtime import ServerRuntime
+from repro.serve.supervisor import ModelActor, Supervisor, SupervisorPolicy
 
 __all__ = [
+    "AdaptiveBatchPolicy",
+    "CrashError",
+    "CrashingEngine",
+    "FlakyBuilder",
     "MicroBatchQueue",
+    "ModelActor",
     "ModelMetrics",
+    "ModelQuarantinedError",
     "ModelRegistry",
     "QueueFullError",
     "ServeError",
     "ServerClosedError",
     "ServerRuntime",
     "ServeStats",
+    "Supervisor",
+    "SupervisorPolicy",
     "UnknownModelError",
+    "crash_schedule",
     "predict_many",
 ]

@@ -11,8 +11,11 @@ from *shutdown*:
 * :class:`ServerClosedError` — the runtime (or queue) has shut down;
   raised both for new submissions after close and for in-flight
   requests rejected by a non-draining shutdown.
+* :class:`ModelQuarantinedError` — supervision took one model out of
+  service after too many consecutive actor crashes; requests to it are
+  refused while every other hosted model keeps serving.
 
-All three derive from :class:`ServeError`; ``UnknownModelError`` also
+All of them derive from :class:`ServeError`; ``UnknownModelError`` also
 derives from :class:`KeyError` so registry lookups behave like a
 mapping.
 """
@@ -54,3 +57,24 @@ class ServerClosedError(ServeError):
 
     def __init__(self, message: str = "server is closed"):
         super().__init__(message)
+
+
+class ModelQuarantinedError(ServeError):
+    """Supervision quarantined one model after repeated actor crashes.
+
+    Raised for new submissions to the quarantined model and used to fail
+    its pending futures at the moment of quarantine.  Other hosted
+    models are unaffected; a successful
+    :meth:`~repro.serve.runtime.ServerRuntime.rollover` reinstates the
+    model.
+    """
+
+    def __init__(self, model: str, failures: int, last_error: str = ""):
+        self.model = model
+        self.failures = failures
+        self.last_error = last_error
+        detail = f" (last error: {last_error})" if last_error else ""
+        super().__init__(
+            f"model {model!r} is quarantined after {failures} consecutive "
+            f"failures{detail}; rollover a fixed version to reinstate it"
+        )

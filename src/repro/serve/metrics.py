@@ -2,8 +2,17 @@
 
 :class:`ModelMetrics` is the one instrumentation object the runtime
 keeps per hosted model: request counters (submitted / completed /
-rejected), batch-fill accounting, a live queue-depth gauge, a bounded
-latency reservoir with percentile readout, and wall-clock throughput.
+rejected / crashed), batch-fill accounting, a live queue-depth gauge, a
+bounded latency reservoir with (optionally windowed) percentile
+readout, and wall-clock throughput.
+
+The queue-depth gauge is **owned by the counters**, not by call sites:
+``record_submit`` is the only increment and ``record_claim`` the only
+decrement, so admission-control rejections (``record_reject``) cannot
+leak a depth increment and the gauge can never drift from the queue it
+describes.  Requests removed from the queue without being served
+(shutdown without drain, quarantine) are a claim *followed by* a
+reject — two calls, one invariant: ``depth == submitted admitted - claimed``.
 
 The clock is injectable (any zero-argument callable returning seconds)
 so tests drive a fake clock and assert exact latencies and throughput;
@@ -22,6 +31,9 @@ from typing import Callable, Optional
 #: Most recent per-request latencies kept for percentile readout.
 LATENCY_RESERVOIR = 4096
 
+#: Default recent-window size for SLO-facing percentile readout.
+SLO_WINDOW = 256
+
 
 class ModelMetrics:
     """Thread-safe counters, gauges and latency percentiles for one model.
@@ -39,6 +51,7 @@ class ModelMetrics:
         self.submitted = 0
         self.completed = 0
         self.rejected = 0
+        self.crashed = 0
         self.batches = 0
         self.batch_samples = 0
         self.queue_depth = 0
@@ -46,16 +59,43 @@ class ModelMetrics:
 
     # -- recording ---------------------------------------------------------
     def record_submit(self) -> float:
-        """Count one admitted request; returns its admission timestamp."""
+        """Count one admitted request (gauge +1); returns its admission time."""
         now = self.clock()
         with self._lock:
             self.submitted += 1
+            self.queue_depth += 1
         return now
 
+    def record_claim(self, n: int) -> None:
+        """Count ``n`` requests leaving the queue (gauge -n).
+
+        Every departure is a claim — whether the requests go on to
+        execute, get rejected at shutdown, or fall to quarantine — so
+        the gauge always equals the number of requests actually
+        pending.
+        """
+        with self._lock:
+            self.queue_depth -= n
+            if self.queue_depth < 0:  # pragma: no cover - call-site bug guard
+                raise AssertionError(
+                    f"queue-depth gauge for {self.model!r} went negative; "
+                    f"record_claim({n}) without matching record_submit calls"
+                )
+
     def record_reject(self, n: int = 1) -> None:
-        """Count ``n`` requests refused (admission shed or shutdown)."""
+        """Count ``n`` requests refused; never touches the depth gauge.
+
+        Admission-control sheds were never queued; post-admission
+        rejections (shutdown, quarantine) must call :meth:`record_claim`
+        first — rejection itself is depth-neutral by construction.
+        """
         with self._lock:
             self.rejected += n
+
+    def record_crash(self, n: int = 1) -> None:
+        """Count ``n`` requests failed by an actor crash (poisoned batch)."""
+        with self._lock:
+            self.crashed += n
 
     def record_batch(self, n: int) -> None:
         """Count one executed batch of ``n`` samples."""
@@ -70,11 +110,6 @@ class ModelMetrics:
             self.completed += 1
             self._latencies.append(now - submitted_at)
 
-    def set_queue_depth(self, depth: int) -> None:
-        """Update the live pending-request gauge."""
-        with self._lock:
-            self.queue_depth = depth
-
     # -- readout -----------------------------------------------------------
     @property
     def mean_fill(self) -> float:
@@ -86,18 +121,26 @@ class ModelMetrics:
         with self._lock:
             return self.batch_samples / self.batches if self.batches else 0.0
 
-    def latency_percentile(self, q: float) -> float:
+    def latency_percentile(self, q: float, window: Optional[int] = None) -> float:
         """Nearest-rank percentile of recorded latencies, in seconds.
 
         Nearest-rank always returns an observed latency and is monotone
-        in ``q``; returns ``nan`` before any completion.
+        in ``q``; returns ``nan`` before any completion.  ``window``
+        restricts the readout to the most recent ``window`` completions
+        — the SLO-facing view the adaptive batcher steers on, which must
+        react to *current* latency, not the whole reservoir's history.
         """
         if not 0 <= q <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if window is not None and window < 1:
+            raise ValueError(f"window must be positive, got {window}")
         with self._lock:
-            ordered = sorted(self._latencies)
-        if not ordered:
+            recent = list(self._latencies)
+        if window is not None:
+            recent = recent[-window:]
+        if not recent:
             return float("nan")
+        ordered = sorted(recent)
         rank = max(1, math.ceil(q / 100.0 * len(ordered)))
         return ordered[rank - 1]
 
@@ -119,6 +162,7 @@ class ModelMetrics:
                 "submitted": self.submitted,
                 "completed": self.completed,
                 "rejected": self.rejected,
+                "crashed": self.crashed,
                 "batches": self.batches,
                 "queue_depth": self.queue_depth,
                 "mean_fill": self.batch_samples / self.batches if self.batches else 0.0,

@@ -16,11 +16,10 @@ well under a second each.
 
 from __future__ import annotations
 
-import functools
 import threading
 from typing import Callable, Optional, Sequence
 
-from repro.core.engine import BatchedEngine, EngineCache
+from repro.core.engine import BatchedEngine, EngineCache, engine_fingerprint
 from repro.core.mfdfp import DeployedMFDFP
 from repro.serve.errors import UnknownModelError
 
@@ -40,6 +39,9 @@ class ModelRegistry:
         self._builders: dict[str, Callable[[], DeployedMFDFP]] = {}
         self._artifacts: dict[str, DeployedMFDFP] = {}
         self._cache = EngineCache(capacity=cache_capacity)
+        self._store = None
+        self._store_names: set[str] = set()
+        self._store_versions: dict[str, int] = {}
 
     @classmethod
     def with_defaults(cls, **kwargs) -> "ModelRegistry":
@@ -71,14 +73,34 @@ class ModelRegistry:
         if not isinstance(store, ArtifactStore):
             store = ArtifactStore(store, create=False)
         registry = cls(**kwargs)
+        registry._store = store
         available = store.model_names()
         if names is None:
             names = available
         for name in names:
             if name not in available:
                 raise UnknownModelError(name, tuple(available))
-            registry.register(name, functools.partial(store.load_deployed, name))
+            registry._register_store_builder(name, None)
         return registry
+
+    def _register_store_builder(self, name: str, version: Optional[int]) -> None:
+        """(Re)bind ``name`` to a store load of one version (None = newest).
+
+        The loaded version number is recorded at build time, so
+        :meth:`version_label` reports the version actually served even
+        when the builder floats on "newest".
+        """
+
+        def build() -> DeployedMFDFP:
+            pinned = version if version is not None else self._store.latest_version(name)
+            artifact = self._store.load_deployed(name, pinned)
+            with self._lock:
+                self._store_versions[name] = pinned
+            return artifact
+
+        self.register(name, build, replace=name in self._store_names)
+        with self._lock:
+            self._store_names.add(name)
 
     # -- registration ------------------------------------------------------
     def register(
@@ -101,6 +123,8 @@ class ModelRegistry:
                 raise ValueError(f"model {name!r} is already registered (replace=True to override)")
             self._builders[name] = builder
             self._artifacts.pop(name, None)
+            self._store_names.discard(name)
+            self._store_versions.pop(name, None)
 
     def names(self) -> list[str]:
         """Registered model names, in registration order."""
@@ -135,6 +159,50 @@ class ModelRegistry:
     def engine(self, name: str) -> BatchedEngine:
         """The model's compiled engine — same object on every cache hit."""
         return self._cache.get(self.deployed(name), check_widths=self.check_widths)
+
+    def reload(self, name: str, version: Optional[int] = None) -> BatchedEngine:
+        """Re-resolve a model and return its fresh engine (rollover hook).
+
+        For a store-backed model the builder is rebound to ``version``
+        (``None`` = the newest version published *now*, not the one
+        loaded at cold start) and the artifact reloaded from disk.  For
+        an in-memory model the memoized artifact is dropped so the
+        registered builder runs again — re-register with
+        ``replace=True`` first to roll to genuinely new content;
+        ``version`` is meaningless without a store and rejected.  The
+        engine cache is content-addressed, so reloading identical bytes
+        costs one disk read and zero recompiles.
+        """
+        with self._lock:
+            if name not in self._builders:
+                raise UnknownModelError(name, tuple(self._builders))
+            store_backed = name in self._store_names
+        if store_backed:
+            self._register_store_builder(name, version)
+        else:
+            if version is not None:
+                raise ValueError(
+                    f"model {name!r} is not store-backed; cannot pin version {version}"
+                )
+            with self._lock:
+                self._artifacts.pop(name, None)
+        return self.engine(name)
+
+    def version_label(self, name: str) -> Optional[str]:
+        """A human-readable version for what ``name`` currently serves.
+
+        Store-backed models report their store version (``"v0003"``);
+        in-memory models report a content fingerprint prefix.  ``None``
+        until the model has actually been built.
+        """
+        with self._lock:
+            version = self._store_versions.get(name)
+            if version is not None:
+                return f"v{version:04d}"
+            artifact = self._artifacts.get(name)
+        if artifact is not None:
+            return engine_fingerprint(artifact)[:12]
+        return None
 
     def cache_stats(self) -> dict:
         """Engine-cache occupancy and hit/miss counters."""

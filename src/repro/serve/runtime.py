@@ -1,91 +1,130 @@
-"""Concurrent multi-tenant serving runtime.
+"""Supervised concurrent multi-tenant serving runtime.
 
-:class:`ServerRuntime` hosts any number of registered models at once: a
-pool of worker threads drains per-model request queues, executing each
-claim as one micro-batch on the model's compiled
-:class:`~repro.core.engine.BatchedEngine`.  The design in one breath::
+:class:`ServerRuntime` hosts any number of registered models at once,
+each behind its own supervised actor (see
+:mod:`repro.serve.supervisor`): per-model worker threads drain per-model
+bounded mailboxes, executing each claim as one micro-batch on the
+model's compiled :class:`~repro.core.engine.BatchedEngine`.  The design
+in one breath::
 
-    clients ──submit()──▶ per-model bounded deques ──claim──▶ worker pool
-                │ admission control                      │ round-robin,
-                ▼ (QueueFullError)                       ▼ ≤ max_batch
-            Future                         engine.run(batch) → futures
+    clients ──submit()──▶ per-model actor mailboxes ──claim──▶ per-model workers
+                │ admission control                       │ adaptive batch ≤ max
+                ▼ (QueueFullError /                       ▼
+            Future     ModelQuarantinedError)   engine.run(batch) → futures
+                                                    │ crash = actor death
+                                                    ▼
+                              supervisor: restart w/ capped backoff,
+                              quarantine after N consecutive failures
 
 Guarantees:
 
-* **Admission control** — each model's queue is bounded at
+* **Admission control** — each model's mailbox is bounded at
   ``max_queue``; a submit beyond the bound is shed immediately with a
   typed :class:`~repro.serve.errors.QueueFullError` (never silently
   queued or dropped), and the shed is counted in that model's metrics.
+* **Failure isolation** — an exception escaping a model build or a
+  batch execution kills only that model's actor: the dead batch's
+  futures fail with the original error, the supervisor restarts the
+  actor with capped exponential backoff, and after
+  ``policy.max_failures`` consecutive failures the model is quarantined
+  (typed :class:`~repro.serve.errors.ModelQuarantinedError`) while
+  every other model keeps serving.
 * **No cross-model bleed** — a claim takes requests from exactly one
-  queue, so a batch only ever contains one model's samples, and each
+  mailbox, so a batch only ever contains one model's samples, and each
   future is resolved from its own batch row (a private copy).
+* **SLO-driven batching** — claim sizes follow
+  :class:`~repro.serve.batching.AdaptiveBatchPolicy`: grow under queue
+  pressure, shrink when the recent p99 exceeds ``target_p99_s``
+  (latency-blind greedy fill when no target is set).
+* **Zero-downtime rollover** — :meth:`rollover` resolves the new
+  version while the old engine keeps serving, then swaps atomically:
+  requests claimed before the swap finish on the old engine, requests
+  claimed after run on the new one, nothing is dropped, and every
+  future's ``serving_version`` attribute names the version that
+  produced its (bit-identical) output.  Rolling over a quarantined
+  model reinstates it.
 * **Clean shutdown** — ``stop(drain=True)`` serves every admitted
-  request before returning; ``stop(drain=False)`` fails the in-flight
-  futures with :class:`~repro.serve.errors.ServerClosedError`.  Either
-  way nothing is silently dropped.
+  request before returning (crashed actors restart or quarantine mid-
+  drain, so the drain always terminates); ``stop(drain=False)`` fails
+  the in-flight futures with
+  :class:`~repro.serve.errors.ServerClosedError`.  Either way nothing
+  is silently dropped.
 * **Determinism** — requests can be submitted before ``start()``; with
   one worker and one model, service order is submission order, and
   outputs are bit-identical to running each sample alone (the engine
-  guarantee), whatever the interleaving.
+  guarantee), whatever the interleaving.  The clock *and* the backoff
+  sleep are injectable, so every supervision path is testable on a fake
+  clock.
 
-Throughput comes from two directions: micro-batching (the engine's
-per-sample speedup) and worker concurrency (the numpy/BLAS kernels
-release the GIL, so batches of *different* models genuinely overlap).
-``benchmarks/bench_serve_concurrency.py`` gates the combination at ≥ 3x
-the serialized single-worker baseline.
+Throughput comes from micro-batching (the engine's per-sample speedup)
+and per-model worker concurrency (the numpy/BLAS kernels release the
+GIL, so batches of *different* models genuinely overlap).
+``benchmarks/bench_serve_concurrency.py`` gates raw throughput;
+``benchmarks/bench_serve_slo.py`` gates sustained-load p99 latency,
+rollover-under-load with zero drops, and crash isolation.
 """
 
 from __future__ import annotations
 
-import threading
 import time
-from collections import deque
 from concurrent.futures import Future
-from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
 import numpy as np
 
-from repro.core.engine import BatchedEngine
-from repro.serve.errors import QueueFullError, ServerClosedError, UnknownModelError
+from repro.serve.batching import AdaptiveBatchPolicy
+from repro.serve.errors import (
+    ModelQuarantinedError,
+    QueueFullError,
+    ServerClosedError,
+    UnknownModelError,
+)
 from repro.serve.metrics import ModelMetrics
 from repro.serve.registry import ModelRegistry
+from repro.serve.supervisor import (
+    QUARANTINED,
+    ModelActor,
+    Request,
+    Supervisor,
+    SupervisorPolicy,
+)
 
-
-@dataclass
-class _Request:
-    """One admitted request: its payload, its future, its admission time."""
-
-    sample: np.ndarray
-    future: Future
-    submitted_at: float
-
-
-@dataclass
-class _HostedModel:
-    """Per-model serving state: engine, bounded queue, metrics."""
-
-    name: str
-    engine: BatchedEngine
-    metrics: ModelMetrics
-    pending: deque = field(default_factory=deque)
+#: ``version`` value a rollover passes the engine provider to mean "the
+#: newest published version, re-resolved now" — distinct from ``None``,
+#: which restarts use to mean "whatever this model currently serves".
+LATEST = "latest"
 
 
 class ServerRuntime:
-    """Worker pool serving several models' micro-batch queues concurrently.
+    """Supervised per-model actors serving micro-batch traffic concurrently.
 
     Args:
-        registry: Where model names resolve to compiled engines.
-        models: Names to host (each resolved — and compiled, once —
-            at construction).
-        workers: Worker threads started by :meth:`start`.
+        registry: Where model names resolve to compiled engines (and
+            versioned artifacts, when store-backed).
+        models: Names to host.  Each is resolved — and compiled, once —
+            up front; a *failing* build does not fail construction, it
+            starts that model's actor in supervised backoff.
+        workers: Worker threads per hosted model started by
+            :meth:`start`.
         max_batch: Largest micro-batch one claim may execute.
         max_queue: Per-model pending bound for admission control.
-        clock: Seconds-valued monotonic clock used by the metrics
-            (injectable for tests).
+        clock: Seconds-valued monotonic clock used by the metrics and
+            the supervisor (injectable for tests).
         accelerator: Optional :class:`repro.hw.Accelerator` whose
             modeled silicon numbers :meth:`hw_profile` surfaces next to
             the measured metrics.
+        policy: Restart/quarantine rule (default:
+            :class:`SupervisorPolicy` defaults).
+        batch_policy: Adaptive sizing rule; defaults to
+            ``AdaptiveBatchPolicy(min_batch, max_batch, target_p99_s)``.
+        target_p99_s: SLO target for the default batch policy (``None``
+            = latency-blind greedy fill at ``max_batch``).
+        min_batch: Smallest adaptive batch for the default policy.
+        sleep: Backoff sleep used by the supervisor (injectable; tests
+            pass a fake-clock-advancing sleep).
+        engine_provider: ``provider(name, version) -> (engine, label)``
+            override for how actors obtain engines — the seam the
+            fault-injection tests use to serve crashing engines.
     """
 
     def __init__(
@@ -97,11 +136,21 @@ class ServerRuntime:
         max_queue: int = 256,
         clock: Callable[[], float] = time.monotonic,
         accelerator=None,
+        policy: Optional[SupervisorPolicy] = None,
+        batch_policy: Optional[AdaptiveBatchPolicy] = None,
+        target_p99_s: Optional[float] = None,
+        min_batch: int = 1,
+        sleep: Callable[[float], None] = time.sleep,
+        engine_provider=None,
     ):
         if workers < 1:
-            raise ValueError("need at least one worker")
-        if max_batch < 1:
-            raise ValueError("max_batch must be at least 1")
+            raise ValueError("need at least one worker per model")
+        if batch_policy is None:
+            if max_batch < 1:
+                raise ValueError("max_batch must be at least 1")
+            batch_policy = AdaptiveBatchPolicy(
+                min_batch=min_batch, max_batch=max_batch, target_p99_s=target_p99_s
+            )
         if max_queue < 1:
             raise ValueError("max_queue must be at least 1")
         names = list(models)
@@ -111,37 +160,61 @@ class ServerRuntime:
             raise ValueError(f"duplicate model names in {names}")
         self.registry = registry
         self.workers = workers
-        self.max_batch = max_batch
+        self.max_batch = batch_policy.max_batch
         self.max_queue = max_queue
         self.accelerator = accelerator
-        self._hosts: dict[str, _HostedModel] = {}
-        for name in names:  # UnknownModelError propagates from the registry
-            self._hosts[name] = _HostedModel(
-                name=name,
-                engine=registry.engine(name),
-                metrics=ModelMetrics(name, clock=clock),
-            )
-        self._order = list(self._hosts.values())
-        self._rr = 0
-        self._lock = threading.Lock()
-        self._work = threading.Condition(self._lock)
-        self._threads: list[threading.Thread] = []
+        self.batch_policy = batch_policy
+        self.policy = policy or SupervisorPolicy()
+        self._provider = engine_provider or self._default_provider
+        for name in names:
+            if name not in registry:
+                raise UnknownModelError(name, tuple(registry.names()))
+        self._actors: dict[str, ModelActor] = {
+            name: ModelActor(name, ModelMetrics(name, clock=clock), batch_policy)
+            for name in names
+        }
+        self._order = list(self._actors.values())
+        self._supervisor = Supervisor(
+            self._order,
+            self.policy,
+            self._provider,
+            workers=workers,
+            clock=clock,
+            sleep=sleep,
+        )
         self._stopping = False
+        self._started = False
+        self._supervisor.prime()
+
+    def _default_provider(self, name: str, version):
+        """Resolve an engine (+ version label) through the registry.
+
+        ``version`` is ``None`` (the model's *current* content,
+        memoized — what restarts rebuild), :data:`LATEST` (re-resolve
+        the newest published version — what a default rollover asks
+        for), or an int pinning one store version.
+        """
+        if version is None:
+            engine = self.registry.engine(name)
+        elif version is LATEST:
+            engine = self.registry.reload(name, None)
+        else:
+            engine = self.registry.reload(name, version)
+        return engine, self.registry.version_label(name)
+
+    def _actor(self, model: str) -> ModelActor:
+        actor = self._actors.get(model)
+        if actor is None:
+            raise UnknownModelError(model, tuple(self._actors))
+        return actor
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> "ServerRuntime":
-        """Spawn the worker pool (idempotent); returns ``self``."""
-        with self._lock:
-            if self._stopping:
-                raise ServerClosedError("cannot start a stopped runtime")
-            if self._threads:
-                return self
-            self._threads = [
-                threading.Thread(target=self._worker, name=f"serve-worker-{i}", daemon=True)
-                for i in range(self.workers)
-            ]
-        for thread in self._threads:
-            thread.start()
+        """Spawn the per-model worker threads (idempotent); returns ``self``."""
+        if self._stopping:
+            raise ServerClosedError("cannot start a stopped runtime")
+        self._started = True
+        self._supervisor.start()
         return self
 
     def stop(self, drain: bool = True) -> None:
@@ -154,32 +227,8 @@ class ServerRuntime:
         submits raise :class:`ServerClosedError`; ``stop`` is
         idempotent.
         """
-        with self._work:
-            self._stopping = True
-            if not drain:
-                for host in self._order:
-                    if host.pending:
-                        error = ServerClosedError(
-                            f"server stopped before serving this {host.name!r} request"
-                        )
-                        host.metrics.record_reject(len(host.pending))
-                        for request in host.pending:
-                            if request.future.set_running_or_notify_cancel():
-                                request.future.set_exception(error)
-                        host.pending.clear()
-                        host.metrics.set_queue_depth(0)
-            self._work.notify_all()
-        threads, self._threads = self._threads, []
-        for thread in threads:
-            thread.join()
-        if drain and not threads:
-            # Never started: serve the backlog on the calling thread.
-            while True:
-                with self._lock:
-                    host, requests = self._claim_locked()
-                if requests is None:
-                    break
-                self._execute(host, requests)
+        self._stopping = True
+        self._supervisor.stop(drain)
 
     def __enter__(self) -> "ServerRuntime":
         return self.start()
@@ -190,103 +239,112 @@ class ServerRuntime:
     # -- submission --------------------------------------------------------
     def models(self) -> list[str]:
         """Hosted model names, in hosting order."""
-        return [host.name for host in self._order]
+        return [actor.name for actor in self._order]
 
     def submit(self, model: str, sample: np.ndarray) -> Future:
         """Admit one sample for ``model``; resolves to its logits row.
 
         Raises :class:`UnknownModelError` for unhosted models,
-        ``ValueError`` for a shape mismatch, :class:`QueueFullError`
-        when the model's queue is at bound (the request is shed, never
-        queued), and :class:`ServerClosedError` after :meth:`stop`.
+        ``ValueError`` for a shape mismatch,
+        :class:`ModelQuarantinedError` while the model is quarantined,
+        :class:`QueueFullError` when the model's mailbox is at bound
+        (the request is shed, never queued), and
+        :class:`ServerClosedError` after :meth:`stop`.  The returned
+        future gains a ``serving_version`` attribute when it resolves —
+        the version label of the engine that produced (or failed) it.
         """
-        host = self._hosts.get(model)
-        if host is None:
-            raise UnknownModelError(model, tuple(self._hosts))
+        actor = self._actor(model)
         sample = np.asarray(sample)
-        if sample.shape != host.engine.input_shape:
-            raise ValueError(
-                f"model {model!r} expects one sample of shape "
-                f"{host.engine.input_shape}, got {sample.shape}"
-            )
-        with self._work:
-            if self._stopping:
+        with actor.work:
+            if self._stopping or actor.stopping:
                 raise ServerClosedError(f"server is closed; {model!r} request refused")
-            if len(host.pending) >= self.max_queue:
-                host.metrics.record_reject()
-                raise QueueFullError(model, len(host.pending), self.max_queue)
+            if actor.state == QUARANTINED:
+                actor.metrics.record_reject()
+                raise actor.quarantine_error()
+            if actor.input_shape is not None and sample.shape != actor.input_shape:
+                raise ValueError(
+                    f"model {model!r} expects one sample of shape "
+                    f"{actor.input_shape}, got {sample.shape}"
+                )
+            if len(actor.pending) >= self.max_queue:
+                actor.metrics.record_reject()
+                raise QueueFullError(model, len(actor.pending), self.max_queue)
             future: Future = Future()
-            submitted_at = host.metrics.record_submit()
-            host.pending.append(_Request(sample, future, submitted_at))
-            host.metrics.set_queue_depth(len(host.pending))
-            self._work.notify()  # each admitted request can employ one more worker
+            submitted_at = actor.metrics.record_submit()
+            actor.pending.append(Request(sample, future, submitted_at))
+            actor.work.notify()  # each admitted request can employ one more worker
         return future
 
     def queue_depth(self, model: str) -> int:
-        """Pending (admitted, not yet executed) requests for ``model``."""
-        host = self._hosts.get(model)
-        if host is None:
-            raise UnknownModelError(model, tuple(self._hosts))
-        with self._lock:
-            return len(host.pending)
+        """Pending (admitted, not yet claimed) requests for ``model``."""
+        actor = self._actor(model)
+        with actor.lock:
+            return len(actor.pending)
 
-    # -- worker pool -------------------------------------------------------
-    def _claim_locked(self):
-        """Pop ≤ ``max_batch`` requests from the next non-empty queue.
+    # -- rollover ----------------------------------------------------------
+    def rollover(self, model: str, version: Optional[int] = None) -> Optional[str]:
+        """Atomically swap ``model`` to a new version; returns its label.
 
-        Round-robin over hosts for cross-model fairness; a claim never
-        mixes models.  Caller holds the lock.  Returns ``(None, None)``
-        when every queue is empty.
+        The new engine is resolved *before* the swap — through the
+        registry (``version`` pins a store version; ``None`` re-resolves
+        the newest content) or the injected provider — so the old engine
+        serves every request claimed in the meantime.  The swap itself
+        happens under the actor lock: no request is dropped, each is
+        served bit-identically by whichever version claimed it (recorded
+        on the future's ``serving_version``).  A resolution failure
+        raises to the caller and leaves the old version serving —
+        rollover is never a supervision event.  Success resets the
+        failure budget and reinstates a quarantined model.
         """
-        n = len(self._order)
-        for i in range(n):
-            host = self._order[(self._rr + i) % n]
-            if host.pending:
-                self._rr = (self._rr + i + 1) % n
-                take = min(self.max_batch, len(host.pending))
-                requests = [host.pending.popleft() for _ in range(take)]
-                host.metrics.set_queue_depth(len(host.pending))
-                return host, requests
-        return None, None
-
-    def _execute(self, host: _HostedModel, requests: list[_Request]) -> None:
-        """Run one single-model micro-batch and resolve its futures."""
-        live = [r for r in requests if r.future.set_running_or_notify_cancel()]
-        host.metrics.record_batch(len(live))
-        if not live:
-            return
-        try:
-            logits = host.engine.run(np.stack([r.sample for r in live]))
-        except BaseException as error:  # surface engine failures per-future
-            for request in live:
-                request.future.set_exception(error)
-            return
-        for request, row in zip(live, logits):
-            request.future.set_result(row.copy())  # private row: no aliasing
-            host.metrics.record_done(request.submitted_at)
-
-    def _worker(self) -> None:
-        while True:
-            with self._work:
-                host, requests = self._claim_locked()
-                while requests is None:
-                    if self._stopping:
-                        return
-                    self._work.wait()
-                    host, requests = self._claim_locked()
-            self._execute(host, requests)
+        actor = self._actor(model)
+        if self._stopping:
+            raise ServerClosedError("cannot roll over a stopped runtime")
+        engine, label = self._provider(model, LATEST if version is None else version)
+        with actor.work:
+            actor.consecutive_failures = 0
+            actor.install_engine_locked(engine, label)
+        return label
 
     # -- readout -----------------------------------------------------------
     def metrics(self, model: str) -> ModelMetrics:
         """The live :class:`ModelMetrics` for one hosted model."""
-        host = self._hosts.get(model)
-        if host is None:
-            raise UnknownModelError(model, tuple(self._hosts))
-        return host.metrics
+        return self._actor(model).metrics
 
     def metrics_summary(self) -> dict[str, dict]:
         """``{model: metrics snapshot}`` for every hosted model."""
-        return {host.name: host.metrics.snapshot() for host in self._order}
+        return {actor.name: actor.metrics.snapshot() for actor in self._order}
+
+    def health(self) -> dict:
+        """The structured admin surface: supervision + metrics per model.
+
+        JSON-serializable (modulo NaN percentiles before any traffic):
+        per model the full metrics snapshot plus ``state`` /
+        ``active_version`` / ``restarts`` / ``consecutive_failures`` /
+        ``restart_budget_remaining`` / ``crashes`` / ``last_error`` /
+        ``current_batch`` (and an ``slo`` block when a p99 target is
+        set), alongside runtime-level configuration.  Exposed on the
+        command line as ``python -m repro serve --health``.
+        """
+        return {
+            "models": {
+                actor.name: self._supervisor.health_locked_snapshot(actor)
+                for actor in self._order
+            },
+            "workers_per_model": self.workers,
+            "max_queue": self.max_queue,
+            "stopping": self._stopping,
+            "policy": {
+                "max_failures": self.policy.max_failures,
+                "backoff_initial_s": self.policy.backoff_initial_s,
+                "backoff_factor": self.policy.backoff_factor,
+                "backoff_cap_s": self.policy.backoff_cap_s,
+            },
+            "batch_policy": {
+                "min_batch": self.batch_policy.min_batch,
+                "max_batch": self.batch_policy.max_batch,
+                "target_p99_s": self.batch_policy.target_p99_s,
+            },
+        }
 
     def hw_profile(self, model: str, batch_size: Optional[int] = None) -> Optional[dict]:
         """Modeled silicon profile for one hosted model, if available.
@@ -294,13 +352,15 @@ class ServerRuntime:
         Returns :meth:`repro.hw.Accelerator.batch_profile` for the
         model's deployed artifact at ``batch_size`` (default: the
         runtime's ``max_batch``), or ``None`` when the runtime was built
-        without an accelerator.
+        without an accelerator or the model has no live engine (crashed
+        or quarantined).
         """
         if self.accelerator is None:
             return None
-        host = self._hosts.get(model)
-        if host is None:
-            raise UnknownModelError(model, tuple(self._hosts))
-        return self.accelerator.batch_profile(
-            host.engine.deployed, batch_size or self.max_batch
-        )
+        actor = self._actor(model)
+        with actor.lock:
+            engine = actor.engine
+        deployed = getattr(engine, "deployed", None)
+        if deployed is None:
+            return None
+        return self.accelerator.batch_profile(deployed, batch_size or self.max_batch)

@@ -97,3 +97,134 @@ class TestSaturationBehaviour:
         x = rng.normal(scale=scale, size=(4, 3, 8, 8))
         codes = execute_deployed(dep, x, check_widths=True)
         assert np.abs(codes).max() <= 127
+
+
+def build_tiny_deployed(seed, in_features, out_features, name):
+    """Millisecond-scale deployed MLP for the serving property test."""
+    from repro.core import deploy_calibrated
+
+    rng = np.random.default_rng(seed)
+    net = Network(
+        [
+            Dense(in_features, 12, rng=rng, name="d1"),
+            ReLU(name="r"),
+            Dense(12, out_features, rng=rng, name="d2"),
+        ],
+        input_shape=(in_features,),
+        name=name,
+    )
+    calib = rng.normal(scale=0.5, size=(64, in_features)).astype(np.float32)
+    return deploy_calibrated(net, calib)
+
+
+@st.composite
+def serve_specs(draw):
+    seed = draw(st.integers(0, 2**16))
+    n_requests = draw(st.integers(1, 40))
+    workers = draw(st.integers(1, 3))
+    max_batch = draw(st.sampled_from([1, 2, 4, 8]))
+    n_crashes = draw(st.integers(0, 4))
+    return seed, n_requests, workers, max_batch, n_crashes
+
+
+class TestSupervisedServingEquivalence:
+    """Random request mixes, worker counts and injected crashes: every
+    successful response is bit-identical to serial eager evaluation, and
+    no request is dropped or double-served (the per-model accounting
+    ``submitted == completed + crashed + rejected`` closes exactly)."""
+
+    @pytest.fixture(scope="class")
+    def serving_models(self):
+        from repro.core.engine import BatchedEngine
+
+        deployed = {
+            "prop_a": build_tiny_deployed(41, 6, 3, "prop_a"),
+            "prop_b": build_tiny_deployed(42, 5, 4, "prop_b"),
+        }
+        engines = {name: BatchedEngine(dep) for name, dep in deployed.items()}
+        shapes = {"prop_a": (6,), "prop_b": (5,)}
+        return deployed, engines, shapes
+
+    @given(spec=serve_specs())
+    @settings(max_examples=15, deadline=None)
+    def test_random_traffic_with_crashes_matches_serial_eager(
+        self, spec, serving_models
+    ):
+        from repro.serve import (
+            CrashError,
+            CrashingEngine,
+            ModelQuarantinedError,
+            ModelRegistry,
+            ServerRuntime,
+            SupervisorPolicy,
+            crash_schedule,
+        )
+
+        seed, n_requests, workers, max_batch, n_crashes = spec
+        deployed, engines, shapes = serving_models
+        rng = np.random.default_rng(seed)
+        names = list(deployed)
+
+        # One shared CrashingEngine per model: the call counter spans
+        # restarts, so the seeded schedule injects crashes mid-stream.
+        crashers = {
+            name: CrashingEngine(
+                engines[name],
+                crash_on=crash_schedule(seed + i, n_calls=80, n_crashes=n_crashes),
+                label=name,
+            )
+            for i, name in enumerate(names)
+        }
+
+        def provider(name, version):
+            return crashers[name], "v-prop"
+
+        registry = ModelRegistry()
+        for name, dep in deployed.items():
+            registry.register(name, (lambda d: (lambda: d))(dep))
+        runtime = ServerRuntime(
+            registry,
+            names,
+            workers=workers,
+            max_batch=max_batch,
+            max_queue=4096,
+            engine_provider=provider,
+            policy=SupervisorPolicy(
+                max_failures=3, backoff_initial_s=0.001, backoff_cap_s=0.005
+            ),
+        ).start()
+
+        plan = []  # (name, sample, future)
+        for _ in range(n_requests):
+            name = names[int(rng.integers(len(names)))]
+            sample = rng.normal(scale=0.5, size=shapes[name]).astype(np.float32)
+            plan.append((name, sample, runtime.submit(name, sample)))
+        runtime.stop(drain=True)
+
+        outcomes = {name: {"ok": 0, "crash": 0, "quarantine": 0} for name in names}
+        for name, sample, future in plan:
+            assert future.done()  # nothing dropped
+            error = future.exception(timeout=0)
+            if error is None:
+                # Bit-identical to serial eager evaluation of the same
+                # sample alone on the real engine.
+                expected = engines[name].run(sample[None])[0]
+                assert np.array_equal(future.result(timeout=0), expected)
+                outcomes[name]["ok"] += 1
+            elif isinstance(error, CrashError):
+                outcomes[name]["crash"] += 1
+            else:
+                assert isinstance(error, ModelQuarantinedError)
+                outcomes[name]["quarantine"] += 1
+
+        for name in names:
+            metrics = runtime.metrics(name)
+            got = outcomes[name]
+            total = got["ok"] + got["crash"] + got["quarantine"]
+            # Exactly-once accounting: every admitted request resolved
+            # through exactly one of the three paths.
+            assert metrics.submitted == total
+            assert metrics.completed == got["ok"]
+            assert metrics.crashed == got["crash"]
+            assert metrics.rejected == got["quarantine"]
+            assert metrics.queue_depth == 0

@@ -1,12 +1,21 @@
-"""Serve-suite fixtures: a deterministic fake clock and tiny models.
+"""Serve-suite fixtures: fake clock, tiny models, fault injection, watchdog.
 
 Everything the serving tests need to run fast (< 10 s for the whole
-suite): millisecond-scale MLP artifacts instead of conv networks, a
-manually-advanced clock so latency/throughput assertions are exact, and
-a fresh registry per test with builder-call counting.
+suite) and deterministically: millisecond-scale MLP artifacts instead of
+conv networks, a manually-advanced clock so latency/throughput
+assertions are exact, a fake backoff sleep that *advances* that clock
+(so restart-with-backoff sequences replay without wall-clock waits or
+``time.sleep`` races), the scheduled-crash doubles from
+:mod:`repro.serve.faults`, a fresh registry per test with builder-call
+counting, and a per-test ``faulthandler`` watchdog that dumps all stacks
+and kills the run if any single test hangs — a deadlocked supervisor
+fails loudly instead of wedging CI.
 """
 
 from __future__ import annotations
+
+import faulthandler
+import os
 
 import numpy as np
 import pytest
@@ -15,7 +24,28 @@ from repro.core import deploy_calibrated
 from repro.core.engine import BatchedEngine
 from repro.nn.layers import Dense, ReLU
 from repro.nn.network import Network
-from repro.serve import ModelRegistry
+from repro.serve import CrashingEngine, FlakyBuilder, ModelRegistry
+
+#: Hard per-test deadline for tests/serve — generous next to the <1 s a
+#: healthy test takes, tiny next to a wedged condition-variable wait.
+WATCHDOG_TIMEOUT_S = float(os.environ.get("REPRO_SERVE_TEST_TIMEOUT", "60"))
+
+
+@pytest.fixture(autouse=True)
+def serve_watchdog():
+    """Per-test hang watchdog: dump every thread's stack, then exit hard.
+
+    ``faulthandler.dump_traceback_later`` fires from a C thread, so it
+    triggers even when all Python threads are deadlocked on locks —
+    exactly the failure mode a broken supervisor produces.  Cancelled on
+    the way out of every test, so the timer never outlives its test.
+    """
+    if WATCHDOG_TIMEOUT_S > 0:
+        faulthandler.dump_traceback_later(WATCHDOG_TIMEOUT_S, exit=True)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()
 
 
 class FakeClock:
@@ -31,10 +61,59 @@ class FakeClock:
         assert seconds >= 0, "a monotonic clock cannot go backwards"
         self._now += seconds
 
+    def sleeper(self, log: list | None = None):
+        """A ``sleep(seconds)`` that advances this clock instead of waiting.
+
+        Passing it as the runtime's ``sleep`` makes backoff waits
+        instantaneous *and* observable: each requested duration is
+        appended to ``log`` (when given), so tests assert the exact
+        capped-exponential sequence.
+        """
+
+        def sleep(seconds: float) -> None:
+            assert seconds >= 0, "cannot sleep a negative duration"
+            if log is not None:
+                log.append(seconds)
+            self.advance(seconds)
+
+        return sleep
+
 
 @pytest.fixture
 def fake_clock():
     return FakeClock()
+
+
+@pytest.fixture
+def backoff_log():
+    """Mutable list the fake sleeper appends each backoff duration to."""
+    return []
+
+
+@pytest.fixture
+def fake_sleep(fake_clock, backoff_log):
+    """A backoff sleep bound to ``fake_clock``, recording into ``backoff_log``."""
+    return fake_clock.sleeper(backoff_log)
+
+
+@pytest.fixture
+def crashing_engine(engine_a):
+    """Factory: a model-A engine double crashing on the given run() calls."""
+
+    def make(crash_on=(), label="injected"):
+        return CrashingEngine(engine_a, crash_on=crash_on, label=label)
+
+    return make
+
+
+@pytest.fixture
+def flaky_builder(deployed_a):
+    """Factory: a model-A builder double failing on the given build numbers."""
+
+    def make(fail_on, label="flaky"):
+        return FlakyBuilder(deployed_a, fail_on=fail_on, label=label)
+
+    return make
 
 
 def tiny_deployed(seed: int, in_features: int, out_features: int, name: str):

@@ -90,17 +90,35 @@ class TestCountersAndSnapshot:
         start = metrics.record_submit()
         fake_clock.advance(0.5)
         metrics.record_done(start)
+        metrics.record_claim(1)
         metrics.record_batch(1)
         metrics.record_reject(2)
-        metrics.set_queue_depth(3)
+        metrics.record_crash(1)
+        for _ in range(3):
+            metrics.record_submit()  # three admitted, unclaimed: gauge = 3
         snap = metrics.snapshot()
         assert snap["model"] == "tiny_a"
-        assert snap["submitted"] == 1 and snap["completed"] == 1
+        assert snap["submitted"] == 4 and snap["completed"] == 1
         assert snap["rejected"] == 2 and snap["queue_depth"] == 3
+        assert snap["crashed"] == 1
         assert snap["batches"] == 1 and snap["mean_fill"] == 1.0
         assert snap["latency_p50_s"] == pytest.approx(0.5)
         assert snap["latency_p99_s"] == pytest.approx(0.5)
         assert snap["throughput_rps"] == pytest.approx(2.0)
+
+
+class TestWindowedPercentiles:
+    def test_window_sees_only_recent_completions(self, metrics, fake_clock):
+        for latency in (1.0, 1.0, 1.0, 0.1, 0.1):
+            start = metrics.record_submit()
+            fake_clock.advance(latency)
+            metrics.record_done(start)
+        assert metrics.latency_percentile(99) == pytest.approx(1.0)
+        assert metrics.latency_percentile(99, window=2) == pytest.approx(0.1)
+
+    def test_invalid_window_rejected(self, metrics):
+        with pytest.raises(ValueError, match="window"):
+            metrics.latency_percentile(50, window=0)
 
 
 class TestQueueDepthGauge:
@@ -124,3 +142,66 @@ class TestQueueDepthGauge:
         runtime.stop(drain=True)
         assert metrics.queue_depth == 0
         assert metrics.completed == 10
+
+    def test_reject_never_touches_the_gauge(self, metrics):
+        """Regression: a shed request must not leak a depth increment."""
+        metrics.record_reject()
+        metrics.record_reject(5)
+        assert metrics.queue_depth == 0
+        assert metrics.rejected == 6
+
+    def test_admission_rejection_leaves_gauge_at_queue_size(self, registry, fake_clock):
+        """Regression: the old gauge was set by call sites and the reject
+        path could leave it stale; now sheds are depth-neutral by
+        construction and the gauge equals the real backlog throughout."""
+        from repro.serve import QueueFullError
+
+        runtime = ServerRuntime(
+            registry,
+            ["tiny_a"],
+            workers=1,
+            max_batch=4,
+            max_queue=3,
+            clock=fake_clock,
+        )
+        metrics = runtime.metrics("tiny_a")
+        x = np.random.default_rng(3).normal(size=(5, 6)).astype(np.float32)
+        for sample in x[:3]:
+            runtime.submit("tiny_a", sample)
+        for sample in x[3:]:  # over the bound: shed, gauge untouched
+            with pytest.raises(QueueFullError):
+                runtime.submit("tiny_a", sample)
+        assert metrics.queue_depth == 3 == runtime.queue_depth("tiny_a")
+        assert metrics.rejected == 2 and metrics.submitted == 3
+        runtime.stop(drain=True)
+        assert metrics.queue_depth == 0
+        assert metrics.completed == 3
+
+    def test_no_drain_shutdown_claims_then_rejects(self, registry, fake_clock):
+        """Post-admission rejection = claim + reject: depth returns to
+        zero and the rejects are counted, with nothing double-counted."""
+        runtime = ServerRuntime(
+            registry,
+            ["tiny_a"],
+            workers=1,
+            max_batch=4,
+            max_queue=64,
+            clock=fake_clock,
+        )
+        futures = [
+            runtime.submit("tiny_a", s)
+            for s in np.random.default_rng(4).normal(size=(4, 6)).astype(np.float32)
+        ]
+        assert runtime.metrics("tiny_a").queue_depth == 4
+        runtime.stop(drain=False)
+        metrics = runtime.metrics("tiny_a")
+        assert metrics.queue_depth == 0
+        assert metrics.rejected == 4 and metrics.completed == 0
+        for future in futures:
+            with pytest.raises(Exception, match="stopped"):
+                future.result(timeout=5)
+
+    def test_negative_gauge_is_a_loud_call_site_bug(self, metrics):
+        metrics.record_submit()
+        with pytest.raises(AssertionError, match="negative"):
+            metrics.record_claim(2)

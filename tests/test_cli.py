@@ -53,6 +53,25 @@ class TestParser:
         assert args.models is None  # resolved at run time: zoo default or store contents
         assert args.store is None
         assert args.workers == 2 and args.max_queue == 1024
+        assert args.target_p99_ms is None and args.min_batch == 1
+        assert args.quarantine_after == 3 and args.health is False
+
+    def test_serve_slo_flags(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--target-p99-ms", "5.5",
+                "--min-batch", "2",
+                "--quarantine-after", "5",
+                "--health",
+            ]
+        )
+        assert args.target_p99_ms == 5.5 and args.min_batch == 2
+        assert args.quarantine_after == 5 and args.health is True
+
+    def test_serve_rejects_nonpositive_slo_target(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--target-p99-ms", "0"])
 
     def test_serve_store_flag(self):
         args = build_parser().parse_args(["serve", "--store", "/tmp/somewhere"])
@@ -163,6 +182,18 @@ class TestFastCommands:
         assert "p50" in out and "p99" in out
         assert "engine cache: 2 compiled" in out
         assert "48 served / 0 shed" in out
+
+    def test_serve_health_prints_structured_json(self, capsys):
+        import json
+
+        main(["serve", "--models", "cifar10_full", "--workers", "1", "--health"])
+        health = json.loads(capsys.readouterr().out)
+        snap = health["models"]["cifar10_full"]
+        assert snap["state"] == "running"
+        assert snap["completed"] == 1 and snap["queue_depth"] == 0
+        assert snap["restarts"] == 0 and snap["active_version"]
+        assert health["workers_per_model"] == 1
+        assert health["policy"]["max_failures"] == 3
 
     def test_sweep_runs_fault_campaign(self, capsys):
         main(["sweep", "faults", "--epochs", "1", "--points", "2", "--jobs", "2"])
