@@ -13,25 +13,31 @@ on a labelled test batch.  This module factors that shape out:
   quantized-simulation networks run through the same chunked top-k
   evaluation the trainer uses, so sweep numbers are unchanged to the
   last bit relative to ``error_rate``.
-* :func:`parallel_map` — the fan-out primitive.  Points run on a thread
-  pool: the hot loops are BLAS GEMMs and large NumPy kernels that
-  release the GIL, so campaigns overlap on multicore hosts while
-  remaining *bit-deterministic* — every point derives its randomness and
-  its inputs independently, so the result list is identical for any
-  ``jobs``.
+* :func:`parallel_map` — the fan-out primitive, with two backends.
+  ``backend="thread"`` (default) overlaps points on a thread pool: the
+  hot loops are BLAS GEMMs and large NumPy kernels that release the
+  GIL.  ``backend="process"`` fans points out across real cores via
+  :class:`repro.parallel.ProcessPoolRunner` — tasks must then be
+  picklable (the sweep/fault task objects are); closures are not.
+  Either way campaigns stay *bit-deterministic* — every point derives
+  its randomness and its inputs independently, so the result list is
+  identical for any ``jobs``, any backend, any placement.
 * :func:`run_campaign` — the named campaigns behind
   ``python -m repro sweep`` (bit width, exponent clamp, rounding mode,
   dynamic-vs-static radix, weight-memory faults), with wall-clock and
   engine-cache accounting attached.
 
-Determinism contract: for every campaign, ``jobs=N`` returns a list
-bit-identical to ``jobs=1``.  The regression suite pins this property.
+Determinism contract: for every campaign, ``jobs=N, backend=B`` returns
+a list bit-identical to ``jobs=1, backend="thread"``.  The regression
+suite pins this property across both backends.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import CancelledError, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence, Union
 
@@ -138,22 +144,96 @@ def train_surrogate(
     return history, trainer
 
 
-def parallel_map(fns: Sequence[Callable[[], object]], jobs: Optional[int] = None) -> list:
-    """Run zero-argument point closures, preserving input order.
+#: Fan-out backends :func:`parallel_map` / :func:`run_campaign` accept.
+PARALLEL_BACKENDS = ("thread", "process")
 
-    ``jobs <= 1`` (or ``None``) runs inline — no pool, no thread hops —
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``jobs`` request: ``None`` means every core.
+
+    ``None`` resolves to ``os.cpu_count()`` explicitly; zero and
+    negative values are rejected rather than silently coerced to inline
+    execution (the pre-scale-out behavior, which hid misconfigured
+    fan-out behind correct-but-serial results).
+    """
+    if jobs is None:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be a positive integer or None (all cores), got {jobs}")
+    return int(jobs)
+
+
+class _PointCancelled(Exception):
+    """Internal marker: a queued point skipped after an earlier failure."""
+
+
+def parallel_map(
+    fns: Sequence[Callable[[], object]],
+    jobs: Optional[int] = None,
+    backend: str = "thread",
+    mp_context=None,
+) -> list:
+    """Run zero-argument point tasks, preserving input order.
+
+    ``jobs=None`` uses every core (:func:`resolve_jobs`); ``jobs=1``
+    with the thread backend runs inline — no pool, no thread hops —
     which is also the reference ordering for the determinism contract.
-    With ``jobs > 1`` the closures run on a thread pool; the BLAS GEMM
-    and large-array kernels underneath release the GIL, so independent
-    points genuinely overlap.  The first exception propagates.
+    ``backend="process"`` runs the points in a
+    :class:`repro.parallel.ProcessPoolRunner` (tasks must pickle;
+    ``mp_context`` picks the start method).
+
+    Error semantics on both backends: the first exception propagates,
+    and every point still queued at that moment is cancelled rather
+    than run to completion — side-effecting tasks never execute after
+    the batch has already failed.
     """
     fns = list(fns)
-    if jobs is None or jobs <= 1 or len(fns) <= 1:
+    jobs = resolve_jobs(jobs)
+    if backend not in PARALLEL_BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {PARALLEL_BACKENDS}")
+    if not fns:
+        return []
+    if backend == "process":
+        from repro.parallel import ProcessPoolRunner
+
+        with ProcessPoolRunner(min(jobs, len(fns)), mp_context=mp_context) as runner:
+            return runner.map(fns)
+    if jobs == 1 or len(fns) == 1:
         return [fn() for fn in fns]
-    with ThreadPoolExecutor(
-        max_workers=min(jobs, len(fns)), thread_name_prefix="campaign"
-    ) as pool:
-        return list(pool.map(lambda fn: fn(), fns))
+
+    abort = threading.Event()
+
+    def guarded(fn):
+        if abort.is_set():
+            raise _PointCancelled()
+        try:
+            return fn()
+        except BaseException:
+            abort.set()
+            raise
+
+    pool = ThreadPoolExecutor(max_workers=min(jobs, len(fns)), thread_name_prefix="campaign")
+    try:
+        futures = [pool.submit(guarded, fn) for fn in fns]
+        results = []
+        error: Optional[BaseException] = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except (CancelledError, _PointCancelled):
+                continue
+            except BaseException as exc:
+                if error is None:
+                    error = exc
+                    # Queued futures are cancelled outright; anything a
+                    # worker thread already picked up sees the abort flag
+                    # in ``guarded`` and skips itself.
+                    pool.shutdown(wait=False, cancel_futures=True)
+        if error is not None:
+            raise error
+        return results
+    finally:
+        pool.shutdown(wait=True, cancel_futures=True)
 
 
 # -- named campaigns ---------------------------------------------------------------
@@ -177,14 +257,18 @@ class CampaignResult:
         kind: Campaign name (one of :data:`CAMPAIGN_KINDS`).
         points: ``SweepPoint`` list for the design-space campaigns,
             ``(bit_error_rate, accuracy)`` pairs for ``faults``.
-        jobs: Worker threads the campaign fanned out over.
+        jobs: Workers the campaign fanned out over (resolved — never
+            ``None``).
         elapsed_s: Wall-clock seconds for the point evaluations.
         cache_hits / cache_misses: Engine-cache traffic during this
             campaign (misses == compiles), measured as before/after
             deltas on the cache the campaign used.  Exact when a private
             ``cache`` is passed; with the shared default cache,
             concurrent campaigns' traffic lands in whichever delta is
-            open at the time.
+            open at the time.  With ``backend="process"``, compiles
+            happen in the workers' own caches, so the host-side deltas
+            count only host work (typically zero).
+        backend: ``"thread"`` or ``"process"`` — how points fanned out.
     """
 
     kind: str
@@ -193,6 +277,7 @@ class CampaignResult:
     elapsed_s: float
     cache_hits: int
     cache_misses: int
+    backend: str = "thread"
 
     def rows(self) -> list[dict]:
         """Uniform ``{label, value}`` rows for printing any campaign."""
@@ -228,11 +313,13 @@ def run_campaign(
     x: Optional[np.ndarray] = None,
     y: Optional[np.ndarray] = None,
     points: Optional[int] = None,
-    jobs: int = 1,
+    jobs: Optional[int] = 1,
     rng: Optional[np.random.Generator] = None,
     cache: Optional[EngineCache] = None,
+    backend: str = "thread",
+    mp_context=None,
 ) -> CampaignResult:
-    """Run one named experiment campaign, fanned out over ``jobs`` threads.
+    """Run one named experiment campaign, fanned out over ``jobs`` workers.
 
     The design-space campaigns (``bitwidth``, ``clamp``, ``rounding``,
     ``dynamic``) need a float ``net``, a ``calibration_x`` batch, and the
@@ -244,23 +331,28 @@ def run_campaign(
 
     ``points`` selects a prefix of :data:`DEFAULT_POINTS`; ``cache``
     overrides the shared engine cache (useful for isolation in tests).
+    ``backend="process"`` evaluates points in pool workers
+    (bit-identical to the thread backend — pinned by the cross-backend
+    property tests); ``mp_context`` picks their start method.
     """
     from repro.analysis import faults as faults_mod
     from repro.analysis import sweeps
     from repro.nn.data import ArrayDataset
 
     selected = campaign_points(kind, points)
+    jobs = resolve_jobs(jobs)
     if x is None or y is None:
         raise ValueError("campaigns need labelled test arrays x and y")
     engine_cache = cache if cache is not None else _SHARED_CACHE
     hits0, misses0 = engine_cache.hits, engine_cache.misses
     start = time.perf_counter()
+    fan_out = {"jobs": jobs, "backend": backend, "mp_context": mp_context}
 
     if kind == "faults":
         if deployed is None:
             raise ValueError("the faults campaign needs a deployed network")
         result_points = faults_mod.accuracy_under_faults(
-            deployed, x, y, selected, rng=rng, jobs=jobs, cache=engine_cache
+            deployed, x, y, selected, rng=rng, cache=engine_cache, **fan_out
         )
     else:
         if net is None or calibration_x is None:
@@ -268,19 +360,19 @@ def run_campaign(
         test = ArrayDataset(x, y)
         if kind == "bitwidth":
             result_points = sweeps.bitwidth_sweep(
-                net, calibration_x, test, bit_widths=selected, jobs=jobs
+                net, calibration_x, test, bit_widths=selected, **fan_out
             )
         elif kind == "clamp":
             result_points = sweeps.exponent_clamp_sweep(
-                net, calibration_x, test, min_exps=selected, jobs=jobs
+                net, calibration_x, test, min_exps=selected, **fan_out
             )
         elif kind == "rounding":
             result_points = sweeps.stochastic_vs_deterministic(
-                net, calibration_x, test, rng=rng, jobs=jobs, modes=selected
+                net, calibration_x, test, rng=rng, modes=selected, **fan_out
             )
         else:  # dynamic
             result_points = sweeps.dynamic_vs_static(
-                net, calibration_x, test, jobs=jobs, modes=selected
+                net, calibration_x, test, modes=selected, **fan_out
             )
 
     elapsed = time.perf_counter() - start
@@ -291,4 +383,5 @@ def run_campaign(
         elapsed_s=elapsed,
         cache_hits=engine_cache.hits - hits0,
         cache_misses=engine_cache.misses - misses0,
+        backend=backend,
     )

@@ -95,6 +95,36 @@ def _point_rng(entropy: int, bit_error_rate: float) -> np.random.Generator:
     return np.random.default_rng(np.random.SeedSequence([entropy, ber_bits]))
 
 
+class _FaultPoint:
+    """A picklable zero-argument task for one fault-curve point.
+
+    Injection randomness is fully determined by ``(entropy, ber)`` via
+    :func:`_point_rng`, so the same task object produces the same point
+    in any thread, any process, any placement.  ``cache`` rides along
+    only on the thread backend (an ``EngineCache`` holds a lock and
+    cannot pickle); process workers fall back to their own shared
+    campaign cache.
+    """
+
+    def __init__(self, deployed, ber, entropy, x, y, batch_size, cache):
+        self.deployed = deployed
+        self.ber = ber
+        self.entropy = entropy
+        self.x = x
+        self.y = y
+        self.batch_size = batch_size
+        self.cache = cache
+
+    def __call__(self) -> tuple[float, float]:
+        from repro.analysis.campaign import evaluate_batched
+
+        result = inject_weight_faults(self.deployed, self.ber, _point_rng(self.entropy, self.ber))
+        acc = evaluate_batched(
+            result.faulty, self.x, self.y, cache=self.cache, batch_size=self.batch_size
+        )
+        return (float(self.ber), acc)
+
+
 def accuracy_under_faults(
     deployed: DeployedMFDFP,
     x: np.ndarray,
@@ -102,9 +132,11 @@ def accuracy_under_faults(
     bit_error_rates,
     rng: Optional[np.random.Generator] = None,
     *,
-    jobs: int = 1,
+    jobs: Optional[int] = 1,
     batch_size: int = 256,
     cache: Optional[EngineCache] = None,
+    backend: str = "thread",
+    mp_context=None,
 ) -> list[tuple[float, float]]:
     """Accuracy vs bit-error-rate curve on a labelled batch.
 
@@ -112,27 +144,26 @@ def accuracy_under_faults(
     network executes through the compiled batched engine
     (:func:`repro.analysis.campaign.evaluate_batched` — bit-identical to
     the eager reference execution), and points fan out over ``jobs``
-    threads.  Each point draws from an independent child generator keyed
-    by the BER value, so ``accuracy_under_faults(d, x, y, [b])``
-    reproduces the same point inside any longer curve and the result is
-    bit-identical for every ``jobs`` setting.  The flip side of that
-    keying: listing the *same* BER twice returns the identical point
-    twice — for independent trials at one BER, call again with a
-    different parent ``rng``.
+    workers on the chosen ``backend``.  Each point draws from an
+    independent child generator keyed by the BER value, so
+    ``accuracy_under_faults(d, x, y, [b])`` reproduces the same point
+    inside any longer curve and the result is bit-identical for every
+    ``jobs``/``backend`` setting.  The flip side of that keying: listing
+    the *same* BER twice returns the identical point twice — for
+    independent trials at one BER, call again with a different parent
+    ``rng``.
     """
-    from repro.analysis.campaign import evaluate_batched, parallel_map
+    from repro.analysis.campaign import parallel_map
 
     rng = rng or np.random.default_rng(0)
     entropy = int(rng.integers(0, 2**63))
-
-    def point(ber: float):
-        def run() -> tuple[float, float]:
-            result = inject_weight_faults(deployed, ber, _point_rng(entropy, ber))
-            acc = evaluate_batched(
-                result.faulty, x, y, cache=cache, batch_size=batch_size
-            )
-            return (float(ber), acc)
-
-        return run
-
-    return parallel_map([point(ber) for ber in bit_error_rates], jobs=jobs)
+    point_cache = None if backend == "process" else cache
+    return parallel_map(
+        [
+            _FaultPoint(deployed, ber, entropy, x, y, batch_size, point_cache)
+            for ber in bit_error_rates
+        ],
+        jobs=jobs,
+        backend=backend,
+        mp_context=mp_context,
+    )

@@ -5,9 +5,12 @@ answer to "what would N bits have cost me?" — the question Section 1 of
 the paper raises against sub-8-bit designs.
 
 Every sweep point evaluates through the shared batched-evaluation API
-(:func:`repro.analysis.campaign.evaluate_batched`) and fans out over an
-optional thread pool (``jobs``).  Point results are independent of the
-fan-out: ``jobs=N`` returns a list bit-identical to the serial sweep.
+(:func:`repro.analysis.campaign.evaluate_batched`) and fans out over
+``jobs`` workers on either fan-out backend (``"thread"`` or
+``"process"`` — point tasks are picklable objects, not closures, so
+they cross process boundaries).  Point results are independent of the
+fan-out: any ``jobs``/``backend`` returns a list bit-identical to the
+serial sweep.
 """
 
 from __future__ import annotations
@@ -53,9 +56,26 @@ def _evaluate(
     )
 
 
-def _point(net, calibration_x, test, label, **kwargs):
-    """A zero-argument closure evaluating one sweep configuration."""
-    return lambda: _evaluate(net, calibration_x, test, label, **kwargs)
+class _SweepTask:
+    """A picklable zero-argument task evaluating one sweep configuration.
+
+    Replaces the old lambda closures so sweep points can cross process
+    boundaries under ``backend="process"``.  Carries everything the
+    point needs (the float network, calibration batch, test set, and
+    quantization kwargs — a pickled stochastic ``rng`` draws the same
+    values as the live one, keeping points bit-identical across
+    backends).
+    """
+
+    def __init__(self, net, calibration_x, test, label, **kwargs):
+        self.net = net
+        self.calibration_x = calibration_x
+        self.test = test
+        self.label = label
+        self.kwargs = kwargs
+
+    def __call__(self) -> SweepPoint:
+        return _evaluate(self.net, self.calibration_x, self.test, self.label, **self.kwargs)
 
 
 def bitwidth_sweep(
@@ -63,7 +83,9 @@ def bitwidth_sweep(
     calibration_x: np.ndarray,
     test: ArrayDataset,
     bit_widths: Sequence[int] = (4, 6, 8, 10, 12, 16),
-    jobs: int = 1,
+    jobs: Optional[int] = 1,
+    backend: str = "thread",
+    mp_context=None,
 ) -> list[SweepPoint]:
     """Error rate vs activation bit width (weight clamp scales along).
 
@@ -72,10 +94,12 @@ def bitwidth_sweep(
     """
     return parallel_map(
         [
-            _point(net, calibration_x, test, f"{b}-bit", bits=b, min_exp=-(b - 1))
+            _SweepTask(net, calibration_x, test, f"{b}-bit", bits=b, min_exp=-(b - 1))
             for b in bit_widths
         ],
         jobs=jobs,
+        backend=backend,
+        mp_context=mp_context,
     )
 
 
@@ -84,7 +108,9 @@ def exponent_clamp_sweep(
     calibration_x: np.ndarray,
     test: ArrayDataset,
     min_exps: Sequence[int] = (-3, -5, -7, -9, -12, -15),
-    jobs: int = 1,
+    jobs: Optional[int] = 1,
+    backend: str = "thread",
+    mp_context=None,
 ) -> list[SweepPoint]:
     """Error rate vs the weight-exponent lower clamp.
 
@@ -92,19 +118,23 @@ def exponent_clamp_sweep(
     what that clamp costs relative to wider exponent ranges.
     """
     return parallel_map(
-        [_point(net, calibration_x, test, f"e>={e}", min_exp=e) for e in min_exps],
+        [_SweepTask(net, calibration_x, test, f"e>={e}", min_exp=e) for e in min_exps],
         jobs=jobs,
+        backend=backend,
+        mp_context=mp_context,
     )
 
 
-def _mode_points(net, calibration_x, test, modes, mode_kwargs, jobs):
+def _mode_points(net, calibration_x, test, modes, mode_kwargs, jobs, backend, mp_context):
     """Evaluate the requested subset of a fixed mode set."""
     unknown = [m for m in modes if m not in mode_kwargs]
     if unknown:
         raise ValueError(f"unknown modes {unknown}; choose from {tuple(mode_kwargs)}")
     return parallel_map(
-        [_point(net, calibration_x, test, m, **mode_kwargs[m]) for m in modes],
+        [_SweepTask(net, calibration_x, test, m, **mode_kwargs[m]) for m in modes],
         jobs=jobs,
+        backend=backend,
+        mp_context=mp_context,
     )
 
 
@@ -112,12 +142,14 @@ def dynamic_vs_static(
     net: Network,
     calibration_x: np.ndarray,
     test: ArrayDataset,
-    jobs: int = 1,
+    jobs: Optional[int] = 1,
     modes: Sequence[str] = ("dynamic", "static"),
+    backend: str = "thread",
+    mp_context=None,
 ) -> list[SweepPoint]:
     """Per-layer (dynamic) vs global (static) fixed-point radix."""
     mode_kwargs = {"dynamic": {"dynamic": True}, "static": {"dynamic": False}}
-    return _mode_points(net, calibration_x, test, modes, mode_kwargs, jobs)
+    return _mode_points(net, calibration_x, test, modes, mode_kwargs, jobs, backend, mp_context)
 
 
 def stochastic_vs_deterministic(
@@ -125,17 +157,21 @@ def stochastic_vs_deterministic(
     calibration_x: np.ndarray,
     test: ArrayDataset,
     rng: Optional[np.random.Generator] = None,
-    jobs: int = 1,
+    jobs: Optional[int] = 1,
     modes: Sequence[str] = ("deterministic", "stochastic"),
+    backend: str = "thread",
+    mp_context=None,
 ) -> list[SweepPoint]:
     """The weight-rounding-mode comparison of Section 4.1.
 
     The stochastic point owns the ``rng`` exclusively (the deterministic
-    point draws nothing), so the pair can safely run in parallel.
+    point draws nothing), so the pair can safely run in parallel — and a
+    pickled generator replays the same draws, so the process backend
+    returns the same point.
     """
     rng = rng or np.random.default_rng(0)
     mode_kwargs = {
         "deterministic": {"weight_mode": "deterministic"},
         "stochastic": {"weight_mode": "stochastic", "rng": rng},
     }
-    return _mode_points(net, calibration_x, test, modes, mode_kwargs, jobs)
+    return _mode_points(net, calibration_x, test, modes, mode_kwargs, jobs, backend, mp_context)

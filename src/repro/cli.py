@@ -12,9 +12,10 @@ Usage::
     python -m repro serve [--models a,b] [--workers N] [--batch N] \
         [--max-queue N] [--requests N] [--store DIR] \
         [--target-p99-ms MS] [--min-batch N] [--quarantine-after N] \
-        [--health]
+        [--backend thread|process] [--pool-workers N] [--health]
                                       # supervised multi-model serving
-    python -m repro sweep CAMPAIGN [--jobs N] [--points N] [--epochs N]
+    python -m repro sweep CAMPAIGN [--jobs N] [--backend thread|process] \
+        [--points N] [--epochs N]
                                       # parallel ablation/fault campaigns
     python -m repro export --store DIR [--models a,b]
                                       # publish zoo deployables to a store
@@ -42,8 +43,11 @@ instead of running the demo traffic.
 
 ``sweep`` trains a small surrogate network once, then fans one of the
 design-space ablation campaigns (``bitwidth``/``clamp``/``rounding``/
-``dynamic``) or the weight-memory fault study (``faults``) out across a
-thread pool.  Every evaluation runs through the shared
+``dynamic``) or the weight-memory fault study (``faults``) out across
+``--jobs`` workers — a thread pool by default, or real process workers
+with ``--backend process`` (bit-identical results either way).
+``serve --backend process`` likewise executes micro-batches in a pool
+of ``--pool-workers`` processes against shared-memory engine weights.  Every evaluation runs through the shared
 batched-evaluation API of :mod:`repro.analysis.campaign`: the fault
 study executes corrupted artifacts on compiled engines behind one
 content-addressed cache (the summary reports the cache traffic and the
@@ -223,6 +227,8 @@ def _cmd_serve(args) -> None:
         target_p99_s=args.target_p99_ms / 1e3 if args.target_p99_ms else None,
         min_batch=args.min_batch,
         policy=SupervisorPolicy(max_failures=args.quarantine_after),
+        backend=args.backend,
+        pool_workers=args.pool_workers,
     )
     if args.health:
         # Admin surface: one warmup request per model so the health dict
@@ -319,11 +325,15 @@ def _cmd_sweep(args) -> None:
         y=test.y,
         points=args.points,
         jobs=args.jobs,
+        backend=args.backend,
         rng=np.random.default_rng(0),
     )
 
     metric = "accuracy" if args.campaign == "faults" else "error rate"
-    print(f"\n{args.campaign} campaign ({len(result.points)} points, --jobs {args.jobs})")
+    print(
+        f"\n{args.campaign} campaign ({len(result.points)} points, "
+        f"--jobs {result.jobs}, {result.backend} backend)"
+    )
     print(f"{'point':>16} {metric:>12}")
     for row in result.rows():
         print(f"{row['label']:>16} {row['value']:>12.4f}")
@@ -521,7 +531,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="which campaign to run",
     )
     psw.add_argument(
-        "--jobs", type=_positive_int, default=4, help="campaign worker threads"
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help="campaign fan-out workers (default: every core)",
+    )
+    psw.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="fan points out on a thread pool (default) or across "
+        "process workers for real cores past the GIL",
     )
     psw.add_argument(
         "--points",
@@ -549,6 +569,20 @@ def build_parser() -> argparse.ArgumentParser:
         "models in-process",
     )
     p4.add_argument("--workers", type=_positive_int, default=2, help="worker threads per model")
+    p4.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="execute batches in-process (default) or in a shared pool "
+        "of process workers over shared-memory engine weights",
+    )
+    p4.add_argument(
+        "--pool-workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="process workers for --backend process (default: every core)",
+    )
     p4.add_argument("--batch", type=_positive_int, default=64, help="largest micro-batch")
     p4.add_argument(
         "--max-queue",

@@ -72,6 +72,76 @@ def shift_weight_ints(codes: np.ndarray) -> np.ndarray:
     return SHIFT_LUT[codes]
 
 
+# -- decoded weight planes -------------------------------------------------------
+#
+# The compiled kernels consume weights in one canonical decoded form per
+# op kind (the *weight plane*).  Factoring the decode out lets a host
+# publish planes into ``multiprocessing.shared_memory`` once and have
+# every worker process compile engines against zero-copy views
+# (:mod:`repro.parallel`), instead of each process re-decoding — and
+# re-materializing — its own 8-bytes-per-weight copy.  The decode
+# counter makes that invariant testable: a worker serving from shared
+# planes performs zero decodes.
+_plane_decode_lock = threading.Lock()
+_plane_decodes = 0
+
+
+def plane_decode_count() -> int:
+    """Process-wide count of :func:`decode_weight_plane` calls.
+
+    Shared-memory accounting: a worker process whose engines attach
+    every weight plane from a :class:`repro.parallel.SharedWeightArena`
+    never decodes, so this counter staying flat *is* the
+    decoded-planes-mapped-once-per-host invariant.
+    """
+    return _plane_decodes
+
+
+def decode_weight_plane(op: DeployedLayer) -> Optional[np.ndarray]:
+    """The canonical LUT-decoded float64 weight plane of one compute op.
+
+    ``conv`` ops decode to ``(groups, out_channels/groups, syn)`` with
+    ``syn = (in_channels/groups) * k * k`` — the grouped-GEMM operand of
+    the compiled kernel.  ``dense`` ops decode to the transposed
+    contiguous ``(in_features, out_features)`` operand.  Ops without
+    weights return ``None``.  The returned array is frozen
+    (non-writeable): planes are shared between kernels, caches, and —
+    via the shared-memory arena — whole processes.
+    """
+    if op.weight_codes is None or op.kind not in ("conv", "dense"):
+        return None
+    global _plane_decodes
+    with _plane_decode_lock:
+        _plane_decodes += 1
+    if op.kind == "conv":
+        g = op.groups or 1
+        syn = (op.in_channels // g) * op.kernel_size * op.kernel_size
+        plane = (
+            shift_weight_ints(op.weight_codes)
+            .reshape(g, op.out_channels // g, syn)
+            .astype(np.float64)
+        )
+    else:
+        plane = np.ascontiguousarray(
+            shift_weight_ints(op.weight_codes)
+            .reshape(op.out_features, op.in_features)
+            .T,
+            dtype=np.float64,
+        )
+    plane.setflags(write=False)
+    return plane
+
+
+def _check_plane(op: DeployedLayer, plane: np.ndarray, shape: tuple) -> np.ndarray:
+    """Validate an externally supplied (e.g. shared-memory) weight plane."""
+    if plane.shape != shape or plane.dtype != np.float64:
+        raise ValueError(
+            f"{op.name}: weight plane has shape {plane.shape} ({plane.dtype}), "
+            f"expected {shape} (float64)"
+        )
+    return plane
+
+
 # -- gather-index precomputation -------------------------------------------------
 #
 # The gather tables depend only on layer *geometry*, not on weights, so
@@ -203,13 +273,13 @@ def _flatten_reference(op: DeployedLayer, codes: np.ndarray, check_widths: bool)
 # integers IEEE doubles represent exactly, so each partial sum is an exact
 # integer and the result is bit-identical to int64 arithmetic regardless
 # of summation order.  ``astype(np.int64)`` afterwards is lossless.
-def _conv_compile(op: DeployedLayer, in_shape: tuple):
+def _conv_compile(op: DeployedLayer, in_shape: tuple, plane: Optional[np.ndarray] = None):
     c, h, w = in_shape
     k, g = op.kernel_size, op.groups or 1
     syn = (c // g) * k * k
     chw = c * h * w
-    w_f = shift_weight_ints(op.weight_codes).reshape(g, op.out_channels // g, syn)
-    w_f = w_f.astype(np.float64)
+    shape = (g, op.out_channels // g, syn)
+    w_f = decode_weight_plane(op) if plane is None else _check_plane(op, plane, shape)
     index, oh, ow = _im2col_indices(c, h, w, k, op.stride, op.pad)
     positions = oh * ow
     bias = None if op.bias_int is None else op.bias_int[None, :, None].astype(np.float64)
@@ -238,11 +308,9 @@ def _conv_compile(op: DeployedLayer, in_shape: tuple):
     return kernel, (op.out_channels, oh, ow)
 
 
-def _dense_compile(op: DeployedLayer, in_shape: tuple):
-    w_t = np.ascontiguousarray(
-        shift_weight_ints(op.weight_codes).reshape(op.out_features, op.in_features).T,
-        dtype=np.float64,
-    )
+def _dense_compile(op: DeployedLayer, in_shape: tuple, plane: Optional[np.ndarray] = None):
+    shape = (op.in_features, op.out_features)
+    w_t = decode_weight_plane(op) if plane is None else _check_plane(op, plane, shape)
     bias = None if op.bias_int is None else op.bias_int[None, :].astype(np.float64)
     acc_frac = op.in_frac + 7
 
@@ -310,6 +378,10 @@ class LayerOpHandler:
     output codes directly from the :class:`DeployedLayer`.
     ``compile(op, in_shape)`` returns ``(kernel, out_shape)`` where
     ``kernel(codes, check_widths)`` is the precomputed batched closure.
+    Weighted kinds (conv/dense) additionally accept
+    ``compile(op, in_shape, plane)`` — a pre-decoded weight plane
+    (see :func:`decode_weight_plane`), typically a zero-copy
+    shared-memory view, used instead of decoding the op's codes.
     """
 
     kind: str
@@ -476,6 +548,20 @@ class EngineCache:
                     self._engines.popitem(last=False)
             return engine
 
+    def install(self, engine: "BatchedEngine") -> None:
+        """Seed the cache with an already compiled engine.
+
+        Worker processes that compile against shared-memory weight
+        planes install the result here, so every later content-equal
+        lookup (``get``) hits without decoding a private plane copy.
+        """
+        key = (engine.fingerprint, bool(engine.check_widths))
+        with self._lock:
+            self._engines[key] = engine
+            self._engines.move_to_end(key)
+            while len(self._engines) > self.capacity:
+                self._engines.popitem(last=False)
+
     def clear(self) -> None:
         with self._lock:
             self._engines.clear()
@@ -505,19 +591,35 @@ class BatchedEngine:
         deployed: The frozen network to compile.
         check_widths: Verify accumulator wire widths on every run
             (slower; used by the verification tests).
+        weight_planes: Optional ``{op_index: decoded plane}`` mapping
+            (see :func:`decode_weight_plane`).  Ops present in the map
+            compile against the given plane — typically a read-only
+            view into a :class:`repro.parallel.SharedWeightArena`
+            segment — instead of decoding their own copy; absent ops
+            decode as usual.
     """
 
-    def __init__(self, deployed: DeployedMFDFP, check_widths: bool = False):
+    def __init__(
+        self,
+        deployed: DeployedMFDFP,
+        check_widths: bool = False,
+        weight_planes: Optional[dict] = None,
+    ):
         if not deployed.ops:
             raise ValueError("cannot compile an empty deployed network")
         self.deployed = deployed
         self.check_widths = check_widths
+        self.shared_planes = bool(weight_planes)
         self.input_shape = tuple(deployed.input_shape)
         self.input_fmt = DFPFormat(deployed.bits, deployed.input_frac)
         self.program: list[CompiledOp] = []
         shape = self.input_shape
-        for op in deployed.ops:
-            kernel, shape = _handler(op.kind).compile(op, shape)
+        for i, op in enumerate(deployed.ops):
+            plane = weight_planes.get(i) if weight_planes else None
+            if plane is not None:
+                kernel, shape = _handler(op.kind).compile(op, shape, plane)
+            else:
+                kernel, shape = _handler(op.kind).compile(op, shape)
             self.program.append(CompiledOp(op.name, op.kind, kernel, shape))
         self.output_shape = shape
         self._out_scale = 2.0 ** (-deployed.ops[-1].out_frac)

@@ -1,0 +1,49 @@
+"""Multi-process scale-out: shared-memory weights, process-pool fan-out.
+
+The package behind ``backend="process"`` everywhere the repo
+parallelizes — campaign fan-out (:func:`repro.analysis.campaign.parallel_map`)
+and the serving tier's process-worker mode
+(``ServerRuntime(backend="process")``):
+
+* :mod:`~repro.parallel.pool` — :class:`ProcessPoolRunner`, an eagerly
+  started, crash-typed, cancellation-aware worker pool.
+* :mod:`~repro.parallel.arena` — :class:`SharedWeightArena`, one
+  shared-memory segment of decoded weight planes per model fingerprint,
+  mapped at most once per process.
+* :mod:`~repro.parallel.worker` — the module-level task functions
+  workers execute, and the per-process engine table they serve from.
+* :mod:`~repro.parallel.proxy` — :class:`SharedEngineProxy`, the
+  engine facade the serving tier drives.
+"""
+
+from repro.parallel.arena import (
+    ArenaSpec,
+    PlaneSpec,
+    SharedWeightArena,
+    attach_planes,
+    attached_segment_count,
+)
+from repro.parallel.pool import (
+    PoolClosedError,
+    PoolError,
+    ProcessPoolRunner,
+    WorkerCrashedError,
+    default_context,
+)
+from repro.parallel.proxy import SharedEngineProxy
+from repro.parallel.worker import ModelNotLoadedError
+
+__all__ = [
+    "ArenaSpec",
+    "ModelNotLoadedError",
+    "PlaneSpec",
+    "PoolClosedError",
+    "PoolError",
+    "ProcessPoolRunner",
+    "SharedEngineProxy",
+    "SharedWeightArena",
+    "WorkerCrashedError",
+    "attach_planes",
+    "attached_segment_count",
+    "default_context",
+]

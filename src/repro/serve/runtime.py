@@ -58,10 +58,16 @@ Guarantees:
 
 Throughput comes from micro-batching (the engine's per-sample speedup)
 and per-model worker concurrency (the numpy/BLAS kernels release the
-GIL, so batches of *different* models genuinely overlap).
-``benchmarks/bench_serve_concurrency.py`` gates raw throughput;
-``benchmarks/bench_serve_slo.py`` gates sustained-load p99 latency,
-rollover-under-load with zero drops, and crash isolation.
+GIL, so batches of *different* models genuinely overlap).  For real
+cores past the GIL, ``backend="process"`` executes batches in a
+:class:`repro.parallel.ProcessPoolRunner` against engines built over
+shared-memory weight planes (one mapping per model per host; see
+:mod:`repro.parallel.arena`) — bit-identical outputs, identical
+metrics/health surface.  ``benchmarks/bench_serve_concurrency.py``
+gates raw throughput; ``benchmarks/bench_serve_slo.py`` gates
+sustained-load p99 latency, rollover-under-load with zero drops, and
+crash isolation; ``benchmarks/bench_scaleout.py`` gates process-worker
+scaling and cross-placement bit-identity.
 """
 
 from __future__ import annotations
@@ -125,6 +131,21 @@ class ServerRuntime:
         engine_provider: ``provider(name, version) -> (engine, label)``
             override for how actors obtain engines — the seam the
             fault-injection tests use to serve crashing engines.
+        backend: ``"thread"`` (default) executes batches on the actor
+            worker threads in-process.  ``"process"`` is the opt-in
+            scale-out mode: each model's decoded weight planes are
+            published once into a :class:`repro.parallel.SharedWeightArena`
+            segment and actors execute batches in
+            :class:`repro.parallel.ProcessPoolRunner` workers through
+            :class:`repro.parallel.SharedEngineProxy` — supervision,
+            metrics, health, and rollover behave identically (a crashed
+            pool surfaces as actor death with a typed
+            :class:`repro.parallel.WorkerCrashedError`).
+        pool_workers: Process count for ``backend="process"``
+            (default: ``os.cpu_count()``).  The pool forks eagerly in
+            the constructor, before any serving thread starts.
+        mp_context: Start method for the process pool (name or
+            :mod:`multiprocessing` context).
     """
 
     def __init__(
@@ -142,6 +163,9 @@ class ServerRuntime:
         min_batch: int = 1,
         sleep: Callable[[float], None] = time.sleep,
         engine_provider=None,
+        backend: str = "thread",
+        pool_workers: Optional[int] = None,
+        mp_context=None,
     ):
         if workers < 1:
             raise ValueError("need at least one worker per model")
@@ -165,7 +189,29 @@ class ServerRuntime:
         self.accelerator = accelerator
         self.batch_policy = batch_policy
         self.policy = policy or SupervisorPolicy()
-        self._provider = engine_provider or self._default_provider
+        if backend not in ("thread", "process"):
+            raise ValueError(f"unknown backend {backend!r}; choose 'thread' or 'process'")
+        self.backend = backend
+        self._runner = None
+        self._arena = None
+        base_provider = engine_provider or self._default_provider
+        if backend == "process":
+            import os as _os
+
+            from repro.parallel import ProcessPoolRunner, SharedWeightArena
+            from repro.parallel import worker as _worker
+
+            self._arena = SharedWeightArena()
+            # Eager fork: no serving threads exist yet, so the pool's
+            # workers never inherit a mid-critical-section lock.
+            self._runner = ProcessPoolRunner(
+                pool_workers or (_os.cpu_count() or 1),
+                mp_context=mp_context,
+                initializer=_worker.mark_decode_baseline,
+            )
+            self._provider = self._wrap_process_provider(base_provider)
+        else:
+            self._provider = base_provider
         for name in names:
             if name not in registry:
                 raise UnknownModelError(name, tuple(registry.names()))
@@ -185,6 +231,30 @@ class ServerRuntime:
         self._stopping = False
         self._started = False
         self._supervisor.prime()
+
+    def _wrap_process_provider(self, inner):
+        """Decorate a provider so resolved engines execute in pool workers.
+
+        The inner provider still resolves/compiles the engine (registry
+        memoization, version pinning, and the fault-injection test seam
+        all keep working); its deployed artifact's weight planes are
+        published to the shared arena — once per content per host — and
+        the actor gets a :class:`~repro.parallel.SharedEngineProxy`
+        instead.  Engines without a deployed artifact (test doubles)
+        pass through and execute in-process.
+        """
+
+        def provider(name: str, version):
+            engine, label = inner(name, version)
+            deployed = getattr(engine, "deployed", None)
+            if deployed is None:
+                return engine, label
+            from repro.parallel import SharedEngineProxy
+
+            spec = self._arena.publish(deployed)
+            return SharedEngineProxy(self._runner, deployed, spec), label
+
+        return provider
 
     def _default_provider(self, name: str, version):
         """Resolve an engine (+ version label) through the registry.
@@ -229,6 +299,12 @@ class ServerRuntime:
         """
         self._stopping = True
         self._supervisor.stop(drain)
+        # Only after the drain: pool workers may still be executing the
+        # final batches, and the arena segments back their engines.
+        if self._runner is not None:
+            self._runner.close()
+        if self._arena is not None:
+            self._arena.close()
 
     def __enter__(self) -> "ServerRuntime":
         return self.start()

@@ -1,0 +1,96 @@
+"""ProcessPoolRunner: ordering, typed failure, crash detection, lifecycle."""
+
+import functools
+import time
+
+import pytest
+
+from repro.parallel import PoolClosedError, ProcessPoolRunner, WorkerCrashedError
+from repro.parallel import worker as worker_mod
+
+
+@pytest.fixture
+def pool():
+    runner = ProcessPoolRunner(2)
+    yield runner
+    runner.close()
+
+
+class TestBasics:
+    def test_eager_start(self, pool):
+        # Workers exist before any task: forking happened in the
+        # constructor, not lazily from some serving thread later.
+        assert pool.alive_workers() == 2
+
+    def test_call_roundtrip(self, pool):
+        assert pool.call(worker_mod.echo, {"answer": 42}) == {"answer": 42}
+
+    def test_map_preserves_input_order(self, pool):
+        fns = [functools.partial(worker_mod.echo, i) for i in range(20)]
+        assert pool.map(fns) == list(range(20))
+
+    def test_task_error_is_the_original_type(self, pool):
+        with pytest.raises(ValueError, match="kaboom"):
+            pool.call(worker_mod.fail, "kaboom")
+        # The pool survives an ordinary task exception.
+        assert pool.call(worker_mod.echo, 1) == 1
+
+    def test_map_propagates_first_error(self, pool):
+        fns = [functools.partial(worker_mod.echo, 0), functools.partial(worker_mod.fail, "pt")]
+        with pytest.raises(ValueError, match="pt"):
+            pool.map(fns)
+
+    def test_unpicklable_argument_raises_synchronously(self, pool):
+        with pytest.raises(Exception):
+            pool.submit(worker_mod.echo, lambda: None)
+
+    def test_worker_count_validation(self):
+        with pytest.raises(ValueError):
+            ProcessPoolRunner(0)
+
+
+class TestCrash:
+    def test_killed_worker_surfaces_typed_error(self):
+        runner = ProcessPoolRunner(1)
+        try:
+            with pytest.raises(WorkerCrashedError):
+                runner.call(worker_mod.crash)
+            assert runner.broken
+        finally:
+            runner.close()
+
+    def test_sigkill_mid_task_fails_pending_futures(self):
+        runner = ProcessPoolRunner(1)
+        try:
+            victim = runner._processes[0]
+            future = runner.submit(worker_mod.hang, 60.0)
+            # Let the worker pick the task up, then kill it from outside
+            # — the OOM-killer scenario, not a Python-level exit.
+            time.sleep(0.3)
+            victim.terminate()  # SIGTERM; no result is ever reported
+            with pytest.raises(WorkerCrashedError):
+                future.result(timeout=30)
+            # A broken pool refuses new work with the same typed error.
+            with pytest.raises(WorkerCrashedError):
+                runner.submit(worker_mod.echo, 1)
+        finally:
+            runner.close()
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_rejects_submits(self):
+        runner = ProcessPoolRunner(1)
+        runner.close()
+        runner.close()
+        with pytest.raises(PoolClosedError):
+            runner.submit(worker_mod.echo, 1)
+
+    def test_context_manager_closes(self):
+        with ProcessPoolRunner(1) as runner:
+            assert runner.call(worker_mod.echo, "x") == "x"
+        with pytest.raises(PoolClosedError):
+            runner.submit(worker_mod.echo, 1)
+
+    def test_spawn_context(self):
+        with ProcessPoolRunner(1, mp_context="spawn") as runner:
+            assert runner.call(worker_mod.echo, [1, 2]) == [1, 2]

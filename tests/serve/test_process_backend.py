@@ -1,0 +1,151 @@
+"""ServerRuntime process-worker mode: identity, metrics, health, pool death."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.parallel import PoolClosedError, SharedEngineProxy, WorkerCrashedError
+from repro.parallel import worker as worker_mod
+from repro.serve import ModelQuarantinedError, ServerRuntime, SupervisorPolicy
+
+
+def _requests(n, features, seed=5):
+    return np.random.default_rng(seed).normal(scale=0.5, size=(n, features)).astype(np.float32)
+
+
+class TestProcessServing:
+    def test_bit_identical_with_unchanged_metrics_and_health(
+        self, registry, engine_a, engine_b
+    ):
+        """Process placement is invisible except for where the FLOPs run."""
+        xa, xb = _requests(17, 6, seed=7), _requests(13, 5, seed=8)
+        rt = ServerRuntime(
+            registry,
+            ["tiny_a", "tiny_b"],
+            workers=2,
+            max_batch=4,
+            max_queue=64,
+            backend="process",
+            pool_workers=2,
+        )
+        rt.start()
+        fa = [rt.submit("tiny_a", s) for s in xa]
+        fb = [rt.submit("tiny_b", s) for s in xb]
+        assert np.array_equal(np.stack([f.result(30) for f in fa]), engine_a.run(xa))
+        assert np.array_equal(np.stack([f.result(30) for f in fb]), engine_b.run(xb))
+
+        # Metrics and health keep their thread-backend shape and meaning.
+        ma, mb = rt.metrics("tiny_a"), rt.metrics("tiny_b")
+        assert ma.completed == 17 and mb.completed == 13
+        health = rt.health()
+        assert set(health["models"]) == {"tiny_a", "tiny_b"}
+        assert all(m["state"] == "running" for m in health["models"].values())
+
+        # Each hosted model was published exactly once into the arena,
+        # and the serving workers decoded nothing themselves.
+        assert len(rt._arena) == 2 and rt._arena.created == 2
+        stats = rt._runner.call(worker_mod.worker_stats)
+        assert stats["plane_decodes"] == 0
+        assert stats["attached_segments"] <= 2
+        rt.stop()
+
+    def test_actors_hold_shared_engine_proxies(self, registry):
+        rt = ServerRuntime(
+            registry, ["tiny_a"], workers=1, backend="process", pool_workers=1
+        )
+        try:
+            actor = rt._actors["tiny_a"]
+            assert isinstance(actor.engine, SharedEngineProxy)
+        finally:
+            rt.stop(drain=False)
+
+    def test_stop_closes_pool_and_unlinks_segments(self, registry, engine_a):
+        from multiprocessing import shared_memory
+
+        x = _requests(4, 6)
+        rt = ServerRuntime(
+            registry, ["tiny_a"], workers=1, backend="process", pool_workers=1
+        ).start()
+        futures = [rt.submit("tiny_a", s) for s in x]
+        assert np.array_equal(np.stack([f.result(30) for f in futures]), engine_a.run(x))
+        segment = next(iter(rt._arena._segments.values()))[1].segment
+        rt.stop()
+        with pytest.raises(PoolClosedError):
+            rt._runner.submit(worker_mod.echo, 1)
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=segment)
+
+    def test_engines_without_artifacts_pass_through(self, registry, engine_a):
+        """Test doubles lacking ``.deployed`` keep executing in-process."""
+
+        class BareEngine:
+            input_shape = engine_a.input_shape
+
+            def run(self, x):
+                return engine_a.run(x)
+
+        bare = BareEngine()
+
+        def provider(name, version):
+            return bare, "v-test"
+
+        x = _requests(3, 6)
+        rt = ServerRuntime(
+            registry,
+            ["tiny_a"],
+            workers=1,
+            backend="process",
+            pool_workers=1,
+            engine_provider=provider,
+        ).start()
+        try:
+            futures = [rt.submit("tiny_a", s) for s in x]
+            assert np.array_equal(
+                np.stack([f.result(30) for f in futures]), engine_a.run(x)
+            )
+            assert rt._actors["tiny_a"].engine is bare
+            assert len(rt._arena) == 0  # nothing published for the double
+        finally:
+            rt.stop(drain=False)
+
+    def test_backend_validation(self, registry):
+        with pytest.raises(ValueError, match="unknown backend"):
+            ServerRuntime(registry, ["tiny_a"], backend="fiber")
+
+
+class TestPoolDeath:
+    def test_dead_pool_fails_typed_and_quarantines(self, registry, engine_a):
+        """Killed workers surface WorkerCrashedError, then quarantine — no hang."""
+        x = _requests(3, 6)
+        rt = ServerRuntime(
+            registry,
+            ["tiny_a"],
+            workers=1,
+            max_queue=16,
+            backend="process",
+            pool_workers=1,
+            policy=SupervisorPolicy(max_failures=1),
+        ).start()
+        try:
+            assert rt.submit("tiny_a", x[0]).result(30) is not None
+
+            # Kill the worker out from under the runtime (OOM-killer stand-in).
+            with pytest.raises(WorkerCrashedError):
+                rt._runner.submit(worker_mod.crash).result(30)
+            assert rt._runner.broken
+
+            with pytest.raises(WorkerCrashedError):
+                rt.submit("tiny_a", x[1]).result(30)
+
+            # max_failures=1: the actor quarantines rather than crash-looping.
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                if rt.health()["models"]["tiny_a"]["state"] == "quarantined":
+                    break
+                time.sleep(0.02)
+            assert rt.health()["models"]["tiny_a"]["state"] == "quarantined"
+            with pytest.raises(ModelQuarantinedError):
+                rt.submit("tiny_a", x[2])
+        finally:
+            rt.stop(drain=False)

@@ -126,7 +126,23 @@ class TestParser:
     def test_sweep_defaults(self):
         args = build_parser().parse_args(["sweep", "bitwidth"])
         assert args.campaign == "bitwidth"
-        assert args.jobs == 4 and args.points is None and args.epochs == 3
+        # --jobs None = "every core", resolved by run_campaign/resolve_jobs
+        assert args.jobs is None and args.points is None and args.epochs == 3
+        assert args.backend == "thread"
+
+    def test_sweep_backend_flag(self):
+        args = build_parser().parse_args(["sweep", "faults", "--backend", "process"])
+        assert args.backend == "process"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "faults", "--backend", "coroutine"])
+
+    def test_serve_backend_flags(self):
+        args = build_parser().parse_args(["serve", "--backend", "process", "--pool-workers", "2"])
+        assert args.backend == "process" and args.pool_workers == 2
+        defaults = build_parser().parse_args(["serve"])
+        assert defaults.backend == "thread" and defaults.pool_workers is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--pool-workers", "0"])
 
     def test_sweep_rejects_unknown_campaign(self):
         with pytest.raises(SystemExit):
@@ -198,7 +214,7 @@ class TestFastCommands:
     def test_sweep_runs_fault_campaign(self, capsys):
         main(["sweep", "faults", "--epochs", "1", "--points", "2", "--jobs", "2"])
         out = capsys.readouterr().out
-        assert "faults campaign (2 points, --jobs 2)" in out
+        assert "faults campaign (2 points, --jobs 2, thread backend)" in out
         assert "ber=0e+00" in out and "ber=1e-04" in out
         assert "engine cache:" in out
         assert "modeled NPU" in out
