@@ -50,7 +50,7 @@ def inject_weight_faults(
     """
     if not 0.0 <= bit_error_rate <= 1.0:
         raise ValueError("bit_error_rate must be in [0, 1]")
-    rng = rng or np.random.default_rng(0)
+    rng = rng or np.random.default_rng(0)  # repro-lint: disable=rng-discipline (deterministic fallback; fault campaigns derive per-point streams from this parent)
     flipped = 0
     total_bits = 0
     ops = []
@@ -155,7 +155,7 @@ def accuracy_under_faults(
     """
     from repro.analysis.campaign import parallel_map
 
-    rng = rng or np.random.default_rng(0)
+    rng = rng or np.random.default_rng(0)  # repro-lint: disable=rng-discipline (deterministic fallback; fault campaigns derive per-point streams from this parent)
     entropy = int(rng.integers(0, 2**63))
     point_cache = None if backend == "process" else cache
     return parallel_map(

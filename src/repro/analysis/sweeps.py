@@ -169,7 +169,7 @@ def stochastic_vs_deterministic(
     pickled generator replays the same draws, so the process backend
     returns the same point.
     """
-    rng = rng or np.random.default_rng(0)
+    rng = rng or np.random.default_rng(0)  # repro-lint: disable=rng-discipline (deterministic fallback; sweep points derive child streams from this parent)
     mode_kwargs = {
         "deterministic": {"weight_mode": "deterministic"},
         "stochastic": {"weight_mode": "stochastic", "rng": rng},

@@ -461,6 +461,14 @@ def _cmd_fig3(args) -> None:
         print(f"{i:>5}  {a:>12.4f}  {b:>16.4f}")
 
 
+def _cmd_lint(args) -> None:
+    from repro.lint.cli import run_from_args
+
+    code = run_from_args(args)
+    if code:
+        raise SystemExit(code)
+
+
 def _positive_int(value: str) -> int:
     n = int(value)
     if n < 1:
@@ -658,6 +666,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_training_flags(pre, checkpointing=False)
     pre.set_defaults(fn=_cmd_resume)
+    pli = sub.add_parser(
+        "lint", help="AST-based invariant checks over the codebase contracts"
+    )
+    from repro.lint.cli import add_arguments as _add_lint_arguments
+
+    _add_lint_arguments(pli)
+    pli.set_defaults(fn=_cmd_lint)
     return parser
 
 

@@ -520,8 +520,8 @@ class EngineCache:
         with self._lock:
             return len(self._engines)
 
-    def _lookup(self, key: tuple) -> Optional[BatchedEngine]:
-        """Return and LRU-touch the cached engine for ``key``, if any."""
+    def _lookup_locked(self, key: tuple) -> Optional[BatchedEngine]:
+        """Return and LRU-touch the cached engine for ``key``; caller holds ``_lock``."""
         engine = self._engines.get(key)
         if engine is not None:
             self._engines.move_to_end(key)
@@ -532,12 +532,12 @@ class EngineCache:
         """The cached engine for ``deployed``, compiling on first use."""
         key = (engine_fingerprint(deployed), bool(check_widths))
         with self._lock:
-            engine = self._lookup(key)
+            engine = self._lookup_locked(key)
         if engine is not None:
             return engine
         with self._compile_lock:
             with self._lock:
-                engine = self._lookup(key)
+                engine = self._lookup_locked(key)
             if engine is not None:
                 return engine
             engine = BatchedEngine(deployed, check_widths=check_widths)

@@ -170,13 +170,19 @@ class NetworkQuantizer:
         input_max, ranges = profile_activation_ranges(net, calibration_x)
         if self.dynamic:
             fracs = {
-                name: choose_fraction_length(np.array([m]), self.bits, self.margin)
+                name: choose_fraction_length(
+                    np.array([m], dtype=np.float64), self.bits, self.margin
+                )
                 for name, m in ranges.items()
             }
-            input_frac = choose_fraction_length(np.array([input_max]), self.bits, self.margin)
+            input_frac = choose_fraction_length(
+                np.array([input_max], dtype=np.float64), self.bits, self.margin
+            )
         else:
             global_max = max([input_max] + list(ranges.values()))
-            f = choose_fraction_length(np.array([global_max]), self.bits, self.margin)
+            f = choose_fraction_length(
+                np.array([global_max], dtype=np.float64), self.bits, self.margin
+            )
             fracs = {name: f for name in ranges}
             input_frac = f
 

@@ -38,7 +38,12 @@ from repro.io.artifacts import (
     save_optimizer,
     write_container,
 )
-from repro.io.checkpoint import Checkpointer, PipelineCheckpointer, resume_algorithm1
+from repro.io.checkpoint import (
+    Checkpointer,
+    CheckpointStateError,
+    PipelineCheckpointer,
+    resume_algorithm1,
+)
 from repro.io.store import ArtifactStore
 
 __all__ = [

@@ -98,7 +98,7 @@ def write_container(path, kind: str, meta: dict, arrays: dict[str, np.ndarray]) 
     """
     for key in arrays:
         if key.startswith("__"):
-            raise ValueError(f"array name {key!r} collides with the reserved header slot")
+            raise ArtifactError(f"array name {key!r} collides with the reserved header slot")
     header = {"magic": MAGIC, "format_version": FORMAT_VERSION, "kind": kind, "meta": meta}
     final = Path(path)
     if final.suffix != ".npz":  # np.savez would silently append .npz

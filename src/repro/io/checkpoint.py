@@ -48,6 +48,17 @@ from repro.io.artifacts import (
 )
 
 
+class CheckpointStateError(ArtifactError):
+    """A checkpointer method was called out of lifecycle order.
+
+    Raised when :class:`PipelineCheckpointer` is asked to save before
+    :meth:`~PipelineCheckpointer.begin` established the run context —
+    programmer error at the call site, not a corrupt artifact, but still
+    part of the :class:`~repro.io.artifacts.ArtifactError` taxonomy so
+    resume drivers can catch the whole io tier by meaning.
+    """
+
+
 def _epoch_of(path: Path) -> int:
     try:
         return int(path.stem.rsplit("_", 1)[-1])
@@ -176,7 +187,7 @@ class PipelineCheckpointer:
     # -- persistence -------------------------------------------------------
     def _save(self, phase: str, trainer, seq: int) -> Path:
         if self._ctx is None:
-            raise ValueError("PipelineCheckpointer.begin was never called")
+            raise CheckpointStateError("PipelineCheckpointer.begin was never called")
         self.directory.mkdir(parents=True, exist_ok=True)
         meta, arrays = _trainer_state_split(trainer.state_dict())
         snapshots = self._ctx["snapshots"]
@@ -280,7 +291,7 @@ def resume_algorithm1(
     plan = plan_from_meta(data["plan_meta"], str(directory))
     # The seed below is irrelevant: every consumer of this generator has
     # its state restored from the checkpoint before the first draw.
-    rng = rng or np.random.default_rng(0)
+    rng = rng or np.random.default_rng(0)  # repro-lint: disable=rng-discipline (resume must re-derive the identical pre-kill stream; default mirrors the pipeline's)
 
     teacher = float_net.clone()
     teacher.set_weights(data["teacher"])

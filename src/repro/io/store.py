@@ -72,7 +72,7 @@ class ArtifactStore:
     # -- deployed models ---------------------------------------------------
     def _model_dir(self, name: str, create: bool = False) -> Path:
         if not _NAME_RE.fullmatch(name or ""):
-            raise ValueError(f"invalid model name {name!r}")
+            raise ArtifactError(f"invalid model name {name!r}")
         path = self.root / "models" / name
         if create:
             path.mkdir(parents=True, exist_ok=True)
@@ -145,7 +145,7 @@ class ArtifactStore:
     # -- training runs -----------------------------------------------------
     def checkpoint_dir(self, run: str) -> Path:
         if not _NAME_RE.fullmatch(run or ""):
-            raise ValueError(f"invalid run name {run!r}")
+            raise ArtifactError(f"invalid run name {run!r}")
         return self.root / "checkpoints" / run
 
     def runs(self) -> list[str]:

@@ -1,0 +1,51 @@
+"""``repro lint`` — AST-based invariant checks for this codebase's contracts.
+
+Every hard bug shipped so far violated an *unwritten* project invariant:
+the fault-curve RNG derivation bug (randomness not derived from a seeded
+parent generator), the dropout float32→float64 upcast (an implicit-dtype
+array creation in the training hot loop), the unpicklable sweep lambdas
+and the shared-memory unlink hazards of the process scale-out.  This
+package turns those invariants into machine-checked rules that run over
+the tree on every change (``python -m repro lint``; the tier-1 test
+``tests/lint/test_tree_clean.py`` keeps the tree clean forever).
+
+Architecture:
+
+* :mod:`repro.lint.findings` — the :class:`Finding` record every rule
+  emits (rule, file:line:col, message, rationale) and its JSON form.
+* :mod:`repro.lint.suppress` — inline suppression parsing.  A finding
+  line may carry ``# repro-lint: disable=<rule>[,<rule>] (<reason>)``;
+  the reason is *required* — a reasonless directive is itself a finding.
+* :mod:`repro.lint.visitor` — the single-pass AST walk shared by every
+  rule: one traversal per file, maintaining class/function/lock-context
+  stacks that rules read instead of re-walking.
+* :mod:`repro.lint.registry` — the rule registry; rules declare a name,
+  a rationale, and a path scope, and register with :func:`register`.
+* :mod:`repro.lint.rules` — the shipped rules, one module per contract:
+  ``rng-discipline``, ``dtype-discipline``, ``lock-discipline``,
+  ``process-picklability``, ``resource-lifecycle``, ``error-taxonomy``.
+* :mod:`repro.lint.runner` — file discovery and per-file execution;
+  :func:`run_lint` is the library entry point.
+* :mod:`repro.lint.cli` — ``python -m repro lint`` argument handling,
+  text/JSON output and exit codes (0 clean, 1 findings, 2 usage error).
+
+See ``docs/static-analysis.md`` for each rule's contract, the shipped
+bug that motivated it, and the suppression syntax.
+"""
+
+from __future__ import annotations
+
+from repro.lint.findings import Finding, LintResult
+from repro.lint.registry import all_rules, get_rules, register
+from repro.lint.runner import lint_file, lint_source, run_lint
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "all_rules",
+    "get_rules",
+    "register",
+    "lint_file",
+    "lint_source",
+    "run_lint",
+]

@@ -1,0 +1,124 @@
+"""Command-line front end for ``python -m repro lint``.
+
+Exit codes: 0 — clean (no unsuppressed findings); 1 — unsuppressed
+findings; 2 — usage error (unknown rule, missing path).  Suppressed
+findings never affect the exit code; ``--show-suppressed`` displays the
+allow-list, and the JSON report always includes it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.lint.findings import LintResult
+from repro.lint.registry import all_rules
+from repro.lint.runner import run_lint
+
+#: Exit code for CLI usage errors (unknown rules, missing paths).
+USAGE_ERROR = 2
+
+
+def default_paths() -> list[Path]:
+    """The installed ``repro`` package tree — lintable from any cwd."""
+    import repro
+
+    return [Path(repro.__file__).parent]
+
+
+def build_parser(prog: str = "repro lint") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="AST-based invariant checks for the repro codebase contracts.",
+    )
+    add_arguments(parser)
+    return parser
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser`` (shared with the repro CLI)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the repro package tree)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print suppressed findings with their reasons (text format)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules with their contracts and exit",
+    )
+
+
+def _render_text(result: LintResult, show_suppressed: bool, out) -> None:
+    for finding in result.findings:
+        if finding.suppressed and not show_suppressed:
+            continue
+        print(finding.render(), file=out)
+    counts = result.as_dict()["counts"]
+    print(
+        f"{result.files_checked} files checked: "
+        f"{counts['unsuppressed']} finding(s), "
+        f"{counts['suppressed']} suppressed",
+        file=out,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    parser = build_parser()
+    return run_from_args(parser.parse_args(argv), out=out)
+
+
+def run_from_args(args, out=None) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+
+    if args.list_rules:
+        for name, cls in all_rules().items():
+            print(f"{name}: {cls.summary}", file=out)
+        return 0
+
+    rule_names = None
+    if args.rules:
+        rule_names = [r.strip() for r in args.rules.split(",") if r.strip()]
+
+    paths = args.paths or default_paths()
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {missing[0]}", file=sys.stderr)
+        return USAGE_ERROR
+
+    try:
+        result = run_lint(paths, rule_names)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return USAGE_ERROR
+
+    if args.format == "json":
+        print(json.dumps(result.as_dict(), indent=2), file=out)
+    else:
+        _render_text(result, args.show_suppressed, out)
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,86 @@
+"""The :class:`Finding` record emitted by every lint rule.
+
+A finding pins a rule violation to a file:line:col, explains *what* is
+wrong (``message``) and *why the contract exists* (``rationale`` — which
+shipped bug this class of defect caused).  Suppressed findings are kept,
+flagged, so ``--show-suppressed`` and the JSON report can audit the
+allow-list; only unsuppressed findings affect exit codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    rationale: str = ""
+    suppressed: bool = False
+    suppress_reason: Optional[str] = None
+
+    def suppress(self, reason: str) -> "Finding":
+        """Return a copy marked suppressed with the directive's reason."""
+        return replace(self, suppressed=True, suppress_reason=reason)
+
+    def as_dict(self) -> dict:
+        """JSON-ready mapping (stable key order; schema version lives in the report)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "rationale": self.rationale,
+            "suppressed": self.suppressed,
+            "suppress_reason": self.suppress_reason,
+        }
+
+    def render(self) -> str:
+        """One-line human form: ``path:line:col: rule: message``."""
+        tail = f"  [suppressed: {self.suppress_reason}]" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}{tail}"
+
+
+@dataclass
+class LintResult:
+    """Aggregate outcome of a lint run over one or more files."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        self.findings.extend(findings)
+
+    @property
+    def unsuppressed(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def exit_code(self) -> int:
+        """0 when no unsuppressed finding remains, else 1."""
+        return 1 if self.unsuppressed else 0
+
+    def as_dict(self) -> dict:
+        """JSON report: schema version, counts, and every finding (suppressed included)."""
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "counts": {
+                "total": len(self.findings),
+                "suppressed": len(self.suppressed),
+                "unsuppressed": len(self.unsuppressed),
+            },
+            "findings": [f.as_dict() for f in self.findings],
+        }

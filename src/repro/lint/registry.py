@@ -1,0 +1,106 @@
+"""Rule base class and the process-wide rule registry.
+
+A rule declares a ``name`` (what appears in findings and suppression
+directives), a ``rationale`` (the shipped bug its contract prevents),
+and a ``scope`` — fnmatch patterns over package-relative posix paths
+(``repro/serve/runtime.py``) restricting where it runs.  Rules register
+at import time via the :func:`register` decorator; the runner
+instantiates a fresh rule object per file, so rules may keep per-module
+state freely.
+"""
+
+from __future__ import annotations
+
+import ast
+from fnmatch import fnmatch
+from typing import Optional, Type
+
+from repro.lint.findings import Finding
+
+
+class Rule:
+    """Base class for lint rules; subclass, set metadata, override hooks."""
+
+    #: Identifier used in reports and ``disable=`` directives.
+    name: str = ""
+    #: One-line contract statement shown by ``--list-rules``.
+    summary: str = ""
+    #: Why the contract exists — the shipped bug this class of defect caused.
+    rationale: str = ""
+    #: fnmatch patterns over package-relative paths; ``("*",)`` = everywhere.
+    scope: tuple[str, ...] = ("*",)
+    #: Paths the rule never applies to, even inside ``scope``.
+    exclude: tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self.findings: list[Finding] = []
+
+    @classmethod
+    def applies_to(cls, relpath: Optional[str]) -> bool:
+        """Whether this rule runs on ``relpath``.
+
+        ``relpath`` is package-relative (``repro/...``); ``None`` means the
+        file lives outside any ``repro`` package (ad-hoc CLI paths, test
+        fixtures) — every rule runs there so fixtures exercise all rules.
+        """
+        if relpath is None:
+            return True
+        if any(fnmatch(relpath, pat) for pat in cls.exclude):
+            return False
+        return any(fnmatch(relpath, pat) for pat in cls.scope)
+
+    # -- hooks called by the single-pass walker ---------------------------
+    def begin_module(self, tree: ast.Module, ctx) -> None:
+        """Called once per file before the walk; ``ctx`` is the LintContext."""
+
+    def visit(self, node: ast.AST, ctx) -> None:
+        """Called for every AST node, in source order."""
+
+    def end_module(self, ctx) -> None:
+        """Called once per file after the walk; emit aggregate findings here."""
+
+    # -- helpers ----------------------------------------------------------
+    def emit(self, ctx, node: ast.AST, message: str) -> None:
+        """Record a finding anchored at ``node``."""
+        self.findings.append(
+            Finding(
+                rule=self.name,
+                path=ctx.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+                rationale=self.rationale,
+            )
+        )
+
+
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding ``cls`` to the registry (name must be unique)."""
+    if not cls.name:
+        raise ValueError(f"rule {cls.__name__} has no name")
+    if cls.name in _REGISTRY and _REGISTRY[cls.name] is not cls:
+        raise ValueError(f"duplicate rule name: {cls.name}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_rules() -> dict[str, Type[Rule]]:
+    """All registered rules by name (imports the bundled rule modules)."""
+    import repro.lint.rules  # noqa: F401  (registers on import)
+
+    return dict(sorted(_REGISTRY.items()))
+
+
+def get_rules(names: Optional[list[str]] = None) -> list[Type[Rule]]:
+    """Resolve ``names`` to rule classes; ``None``/empty selects every rule."""
+    registry = all_rules()
+    if not names:
+        return list(registry.values())
+    missing = [n for n in names if n not in registry]
+    if missing:
+        known = ", ".join(registry)
+        raise KeyError(f"unknown rule(s): {', '.join(missing)} (known: {known})")
+    return [registry[n] for n in names]

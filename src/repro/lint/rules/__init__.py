@@ -1,0 +1,12 @@
+"""Bundled lint rules — importing this package registers all of them."""
+
+from __future__ import annotations
+
+from repro.lint.rules import (  # noqa: F401  (import = register)
+    dtype,
+    errors,
+    lifecycle,
+    locks,
+    pickle,
+    rng,
+)

@@ -1,0 +1,58 @@
+"""``dtype-discipline`` — array creation in hot paths names its dtype.
+
+The PR 4 dropout bug: an implicit-dtype array creation in the training
+hot loop silently upcast float32 activations to float64, doubling memory
+traffic and breaking the compiled path's bit-identity against the eager
+path.  numpy's creation defaults (float64 for ``zeros``/``ones``/
+``empty``, value-inferred for ``array``/``full``) make the widening
+invisible at the call site, so in ``nn/`` and ``core/`` — where every
+array is either a float64 canonical plane or a float32 activation, by
+contract — creation calls must say which.
+
+``*_like``/``asarray``/``arange`` are exempt: they propagate an existing
+dtype (or take one explicitly by idiom) rather than defaulting to one.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import Rule, register
+from repro.lint.visitor import call_name
+
+#: numpy creation functions that default a dtype the caller never sees.
+CREATION_FNS = {"zeros", "ones", "empty", "full", "array", "linspace", "eye", "identity"}
+
+
+@register
+class DtypeDiscipline(Rule):
+    name = "dtype-discipline"
+    summary = "numpy array creation in nn/ and core/ hot paths requires explicit dtype="
+    rationale = (
+        "PR 4's dropout bug: an implicit-dtype np.zeros in the training loop "
+        "upcast float32 activations to float64 and broke compiled/eager "
+        "bit-identity."
+    )
+    scope = ("repro/nn/*", "repro/core/*")
+
+    def visit(self, node: ast.AST, ctx) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        name = call_name(node)
+        parts = name.split(".")
+        if len(parts) != 2 or parts[0] not in ("np", "numpy"):
+            return
+        if parts[1] not in CREATION_FNS:
+            return
+        if any(kw.arg == "dtype" for kw in node.keywords):
+            return
+        # np.array(x, np.float32) — dtype is array's second positional.
+        if parts[1] == "array" and len(node.args) >= 2:
+            return
+        self.emit(
+            ctx,
+            node,
+            f"{name}(...) without an explicit dtype= relies on numpy's default "
+            "and can silently widen float32 activations to float64; name the "
+            "dtype at the creation site",
+        )

@@ -1,0 +1,73 @@
+"""``error-taxonomy`` — packages with typed hierarchies raise them.
+
+``repro.serve`` (ServeError and friends), ``repro.io`` (ArtifactError
+and friends) and ``repro.parallel`` (PoolError and friends) each publish
+a typed exception hierarchy precisely so callers can catch by meaning —
+admission control distinguishes ``QueueFullError`` from
+``ServerClosedError``; resume logic distinguishes ``ArtifactCorruptError``
+from ``ArtifactVersionError``.  A bare ``raise ValueError(...)`` inside
+those packages silently escapes every such handler and surfaces as an
+unclassifiable failure at the API boundary.
+
+Flagged: ``raise ValueError/RuntimeError/Exception`` in the three
+packages, outside ``__init__``/``__post_init__`` (constructor argument
+validation is the documented ValueError contract, matching the stdlib).
+Deliberate boundary validations elsewhere are allow-listed inline.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import Rule, register
+from repro.lint.visitor import expr_text
+
+_BARE_TYPES = {"ValueError", "RuntimeError", "Exception"}
+
+#: package prefix -> the hierarchy a typed raise should come from.
+HIERARCHIES = {
+    "repro/serve/": "repro.serve.errors (ServeError and subclasses)",
+    "repro/io/": "repro.io.artifacts (ArtifactError and subclasses)",
+    "repro/parallel/": "repro.parallel (PoolError and subclasses)",
+}
+
+
+@register
+class ErrorTaxonomy(Rule):
+    name = "error-taxonomy"
+    summary = (
+        "no bare ValueError/RuntimeError raises in serve/, io/, parallel/ "
+        "outside constructors — use the package's typed hierarchy"
+    )
+    rationale = (
+        "Typed hierarchies exist so callers catch by meaning; a bare "
+        "ValueError in serve/io/parallel escapes every ServeError/"
+        "ArtifactError/PoolError handler and surfaces unclassified."
+    )
+    scope = ("repro/serve/*", "repro/io/*", "repro/parallel/*")
+
+    def visit(self, node: ast.AST, ctx) -> None:
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            return
+        if any(f.name in ("__init__", "__post_init__", "__new__") for f in ctx.func_stack):
+            return
+        exc = node.exc
+        name = ""
+        if isinstance(exc, ast.Call):
+            name = expr_text(exc.func)
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name not in _BARE_TYPES:
+            return
+        hierarchy = next(
+            (h for prefix, h in HIERARCHIES.items()
+             if ctx.relpath is not None and ctx.relpath.startswith(prefix)),
+            "the package's typed exception hierarchy",
+        )
+        self.emit(
+            ctx,
+            node,
+            f"bare raise {name} in a package with a typed hierarchy; it "
+            f"escapes every typed handler — raise from {hierarchy} (or "
+            "subclass it) so callers can catch by meaning",
+        )

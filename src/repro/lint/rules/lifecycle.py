@@ -1,0 +1,73 @@
+"""``resource-lifecycle`` — OS-backed resources have a single owner.
+
+PR 7's shared-memory hazards: a :class:`multiprocessing.shared_memory.
+SharedMemory` segment created outside the arena left dangling ``/dev/shm``
+mappings (and resource-tracker unlink races) when its creator died.  The
+repo's answer is a single owner — ``repro.parallel.arena`` — whose
+:class:`SharedWeightArena` pairs every create with registered close+unlink
+and whose ``attach_planes`` memoizes attachments.  This rule enforces the
+ownership boundary:
+
+* ``SharedMemory(...)`` constructed anywhere outside the arena module is
+  flagged — route segment creation through ``SharedWeightArena`` /
+  ``attach_planes`` instead;
+* in ``repro.io`` (the artifact/checkpoint tier, where a leaked handle
+  means a torn container on crash), ``open(...)`` must be the context
+  expression of a ``with`` — bare opens that rely on garbage collection
+  to flush are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import Rule, register
+from repro.lint.visitor import expr_text
+
+#: Modules allowed to construct SharedMemory (the owning arena).
+SHM_OWNERS = ("repro/parallel/arena.py",)
+
+
+@register
+class ResourceLifecycle(Rule):
+    name = "resource-lifecycle"
+    summary = (
+        "SharedMemory only inside the owning arena module; open() in repro.io "
+        "only as a with-statement context manager"
+    )
+    rationale = (
+        "PR 7's shared-memory hazards: segments created outside the arena "
+        "leaked /dev/shm mappings on crash; file handles outside `with` in "
+        "the artifact tier risk torn containers."
+    )
+    scope = ("repro/*",)
+    exclude = ("repro/lint/*",)
+
+    def visit(self, node: ast.AST, ctx) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        name = expr_text(node.func)
+        if name.split(".")[-1] == "SharedMemory":
+            if ctx.relpath is None or ctx.relpath not in SHM_OWNERS:
+                self.emit(
+                    ctx,
+                    node,
+                    f"{name}(...) constructed outside the owning arena module; "
+                    "segments need paired close/unlink registration — create "
+                    "and attach through repro.parallel.arena "
+                    "(SharedWeightArena / attach_planes) instead",
+                )
+            return
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "open"
+            and (ctx.relpath is None or ctx.relpath.startswith("repro/io/"))
+            and id(node) not in ctx.with_context_ids
+        ):
+            self.emit(
+                ctx,
+                node,
+                "open(...) outside a with-statement in the artifact tier; a "
+                "handle that relies on garbage collection to flush can tear a "
+                "container on crash — use `with open(...) as f:`",
+            )

@@ -1,0 +1,166 @@
+"""``lock-discipline`` — shared mutable state is guarded consistently.
+
+The serving tier, the process pool, and the engine cache are heavily
+concurrent; their correctness argument is "every shared attribute is
+written under its owner's lock".  Two defect shapes have slipped through
+review in that argument:
+
+* **mixed-lock writes** — an attribute written both under ``with
+  self._lock`` and outside it.  One guarded site creates the *appearance*
+  of thread-safety while the unguarded one races.  Detected per module by
+  aggregating every attribute write with its lock context.
+* **unguarded counters** — ``self.x += 1`` (read-modify-write, never
+  atomic under free threading) outside any lock, inside a class that
+  owns a lock or documents itself as thread-shared.
+* **blocking under a lock** — ``future.result()``, ``queue.put/get()``,
+  ``thread.join()``, ``time.sleep()``, ``subprocess.*`` while holding a
+  lock serializes every other thread behind an unbounded wait (and can
+  deadlock against a worker that needs the same lock).
+
+Repo conventions honored: ``__init__``/``__post_init__`` writes are
+construction-time (pre-sharing) and exempt; methods with ``_locked`` in
+the name assert "caller holds the lock" and are treated as guarded;
+``Condition.wait()``/``notify*()`` release the lock by contract and are
+never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+from repro.lint.registry import Rule, register
+from repro.lint.visitor import expr_text
+
+#: Blocking method names flagged while any lock is held.
+_BLOCKING_ATTRS = {"result", "join"}
+#: put/get block only on queue-like receivers; dict.get is everywhere.
+_QUEUEISH = re.compile(r"queue|task|result|mailbox|inbox|outbox|\bq\b", re.IGNORECASE)
+_CONCURRENT_DOC = re.compile(r"thread|concurren|race", re.IGNORECASE)
+
+
+@dataclass
+class _Write:
+    node: ast.AST
+    under_lock: bool
+    exempt: bool
+    augmented: bool
+    class_owns_lock: bool
+    class_doc_concurrent: bool
+
+
+@register
+class LockDiscipline(Rule):
+    name = "lock-discipline"
+    summary = (
+        "no mixed locked/unlocked writes, unguarded += counters, or blocking "
+        "calls while holding a lock in the concurrent tiers"
+    )
+    rationale = (
+        "The serving/parallel tiers' correctness rests on every shared "
+        "attribute being written under its owner's lock; one unguarded "
+        "write or one blocking call under a lock silently breaks that."
+    )
+    scope = ("repro/serve/*", "repro/parallel/*", "repro/core/engine.py")
+
+    def __init__(self) -> None:
+        super().__init__()
+        # (owner, attr) -> writes; owner is the class name for self-attrs,
+        # else the receiver expression text.
+        self._writes: dict[tuple[str, str], list[_Write]] = {}
+
+    # -- collection -------------------------------------------------------
+    def visit(self, node: ast.AST, ctx) -> None:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                self._record_write(target, ctx, augmented=False)
+        elif isinstance(node, (ast.AugAssign,)):
+            self._record_write(node.target, ctx, augmented=True)
+        elif isinstance(node, ast.Call):
+            self._check_blocking(node, ctx)
+
+    def _record_write(self, target: ast.AST, ctx, augmented: bool) -> None:
+        if not isinstance(target, ast.Attribute):
+            return
+        recv = expr_text(target.value)
+        cls = ctx.current_class
+        if recv == "self":
+            if cls is None:
+                return
+            owner = cls.name
+            if target.attr in cls.lock_attrs:
+                return  # assigning the lock itself
+        else:
+            owner = recv
+        self._writes.setdefault((owner, target.attr), []).append(
+            _Write(
+                node=target,
+                under_lock=ctx.holds_lock,
+                exempt=ctx.in_exempt_function or ctx.current_function is None,
+                augmented=augmented,
+                class_owns_lock=bool(cls and cls.owns_lock and recv == "self"),
+                class_doc_concurrent=bool(
+                    cls and recv == "self" and _CONCURRENT_DOC.search(cls.docstring)
+                ),
+            )
+        )
+
+    def _check_blocking(self, node: ast.Call, ctx) -> None:
+        if not ctx.holds_lock:
+            return
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            recv = expr_text(func.value)
+            attr = func.attr
+            if recv in ("time",) and attr == "sleep":
+                self._emit_blocking(ctx, node, f"{recv}.{attr}")
+                return
+            if recv == "subprocess" or recv.startswith("subprocess."):
+                self._emit_blocking(ctx, node, f"{recv}.{attr}")
+                return
+            if attr in _BLOCKING_ATTRS:
+                self._emit_blocking(ctx, node, f"{recv}.{attr}")
+                return
+            if attr in ("put", "get") and _QUEUEISH.search(recv):
+                self._emit_blocking(ctx, node, f"{recv}.{attr}")
+
+    def _emit_blocking(self, ctx, node: ast.Call, what: str) -> None:
+        held = ", ".join(sorted({h.text for h in ctx.lock_stack}))
+        self.emit(
+            ctx,
+            node,
+            f"blocking call {what}(...) while holding {held}; every other "
+            "thread serializes behind this wait (and it can deadlock against "
+            "a worker needing the same lock) — move the wait outside the "
+            "critical section",
+        )
+
+    # -- aggregation ------------------------------------------------------
+    def end_module(self, ctx) -> None:
+        for (owner, attr), writes in sorted(self._writes.items()):
+            unlocked = [w for w in writes if not w.under_lock and not w.exempt]
+            any_locked = any(w.under_lock for w in writes)
+            if any_locked and unlocked:
+                for w in unlocked:
+                    self.emit(
+                        ctx,
+                        w.node,
+                        f"{owner}.{attr} is written under a lock elsewhere in "
+                        "this module but unguarded here; either every write "
+                        "holds the lock or none does (rename the method with a "
+                        "_locked suffix if the caller already holds it)",
+                    )
+                continue
+            # Unguarded read-modify-write counters in concurrency-marked classes.
+            for w in unlocked:
+                if w.augmented and (w.class_owns_lock or w.class_doc_concurrent):
+                    self.emit(
+                        ctx,
+                        w.node,
+                        f"unguarded {owner}.{attr} += ... in a thread-shared "
+                        "class; augmented assignment is a read-modify-write "
+                        "race under concurrency — guard it with the owner's "
+                        "lock",
+                    )
+        self._writes.clear()

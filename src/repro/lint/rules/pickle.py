@@ -1,0 +1,123 @@
+"""``process-picklability`` — only importable callables cross process edges.
+
+The PR 7 bug: sweep points were dispatched as lambda closures, which
+pickle by *reference to a module-level name* — lambdas and locally
+defined functions have none, so the process backend died with
+``PicklingError`` the first time it was actually selected (the thread
+backend masked it).  The fix made every cross-process task a module-level
+function or a picklable callable object; this rule keeps new call sites
+honest without importing or executing anything:
+
+* lambdas / nested (locally defined) functions passed to ``submit``/
+  ``call``/``map`` on a :class:`ProcessPoolRunner` (recognized through
+  direct construction, ``with ProcessPoolRunner(...) as r:`` bindings,
+  and receivers named like ``*runner*``), and
+* lambdas / nested functions in the task list of
+  ``parallel_map(..., backend="process")`` when the backend is literal.
+
+Thread-pool call sites are deliberately out of scope — closures are fine
+there, and the executor idiom (``pool.submit``) stays unflagged.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.lint.registry import Rule, register
+from repro.lint.visitor import expr_text
+
+_POOL_METHODS = {"submit", "call", "map"}
+_RUNNERISH = re.compile(r"runner", re.IGNORECASE)
+
+
+@register
+class ProcessPicklability(Rule):
+    name = "process-picklability"
+    summary = (
+        "no lambdas or locally-defined callables into ProcessPoolRunner "
+        "or parallel_map(backend='process')"
+    )
+    rationale = (
+        "PR 7's sweep bug: lambda closures pickle by module-level name — "
+        "which they lack — so the process backend crashed the moment it "
+        "was selected; cross-process tasks must be importable callables."
+    )
+    scope = ("repro/*",)
+    exclude = ("repro/lint/*",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Local names bound to a ProcessPoolRunner in the current module.
+        self._runner_names: set[str] = set()
+        #: Function names defined *inside* an enclosing function (unpicklable).
+        self._nested_defs: set[str] = set()
+
+    def begin_module(self, tree: ast.Module, ctx) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and self._is_runner_ctor(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        self._runner_names.add(target.id)
+            elif isinstance(node, ast.With):
+                for item in node.items:
+                    if self._is_runner_ctor(item.context_expr) and isinstance(
+                        item.optional_vars, ast.Name
+                    ):
+                        self._runner_names.add(item.optional_vars.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for inner in ast.walk(node):
+                    if inner is node:
+                        continue
+                    if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._nested_defs.add(inner.name)
+
+    @staticmethod
+    def _is_runner_ctor(value: ast.AST) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        return expr_text(value.func).split(".")[-1] == "ProcessPoolRunner"
+
+    def visit(self, node: ast.AST, ctx) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _POOL_METHODS:
+            recv = expr_text(func.value)
+            recv_tail = recv.split(".")[-1]
+            if recv_tail in self._runner_names or _RUNNERISH.search(recv_tail):
+                self._check_args(node, ctx, f"{recv}.{func.attr}")
+        elif isinstance(func, ast.Name) and func.id == "parallel_map":
+            backend = next(
+                (kw.value for kw in node.keywords if kw.arg == "backend"), None
+            )
+            if (
+                isinstance(backend, ast.Constant)
+                and backend.value == "process"
+            ):
+                self._check_args(node, ctx, "parallel_map(backend='process')")
+
+    def _check_args(self, call: ast.Call, ctx, where: str) -> None:
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            for bad in self._unpicklable_exprs(arg):
+                what = (
+                    "lambda"
+                    if isinstance(bad, ast.Lambda)
+                    else f"locally-defined function {bad.id!r}"
+                )
+                self.emit(
+                    ctx,
+                    bad,
+                    f"{what} flows into {where}; it pickles by module-level "
+                    "name (which it lacks) and crashes the process backend — "
+                    "use a module-level function or a picklable callable "
+                    "object",
+                )
+
+    def _unpicklable_exprs(self, arg: ast.AST):
+        """Lambdas / nested-def names inside ``arg`` (itself, containers, comprehensions)."""
+        for node in ast.walk(arg):
+            if isinstance(node, ast.Lambda):
+                yield node
+            elif isinstance(node, ast.Name) and node.id in self._nested_defs:
+                yield node

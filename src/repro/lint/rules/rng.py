@@ -1,0 +1,86 @@
+"""``rng-discipline`` — randomness must flow from a caller-provided parent.
+
+The PR 3 fault-curve bug: campaign points drew from module-global numpy
+state (or freshly literal-seeded generators), so results changed with
+thread scheduling and could not be reproduced point-by-point.  The fix
+made every random consumer accept a :class:`numpy.random.Generator` (or
+derive one from a parent via ``SeedSequence``).  This rule keeps it that
+way in library code:
+
+* any ``np.random.<fn>()`` *module-state* call (``np.random.seed``,
+  ``np.random.normal``, ...) is flagged — module state is process-global
+  and unseedable per-call-site;
+* ``default_rng(<integer literal>)`` is flagged — a hard-coded seed in
+  library code silently decouples the site from the experiment's seed
+  plumbing.  ``default_rng(seed_param)`` and ``default_rng(SeedSequence
+  (...))`` derivations are fine.
+
+Deliberate layer defaults (``rng or default_rng(0)``) are allow-listed
+inline with reasons; the CLI entry point (``repro/cli.py``) owns the
+user-facing seeds and is excluded wholesale.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.registry import Rule, register
+from repro.lint.visitor import call_name
+
+#: numpy.random module-state functions (operate on the hidden global RandomState).
+MODULE_STATE_FNS = {
+    "seed", "random", "rand", "randn", "randint", "random_integers",
+    "random_sample", "ranf", "sample", "choice", "bytes", "shuffle",
+    "permutation", "beta", "binomial", "chisquare", "dirichlet",
+    "exponential", "gamma", "geometric", "gumbel", "hypergeometric",
+    "laplace", "logistic", "lognormal", "logseries", "multinomial",
+    "multivariate_normal", "negative_binomial", "noncentral_chisquare",
+    "noncentral_f", "normal", "pareto", "poisson", "power", "rayleigh",
+    "standard_cauchy", "standard_exponential", "standard_gamma",
+    "standard_normal", "standard_t", "triangular", "uniform", "vonmises",
+    "wald", "weibull", "zipf", "get_state", "set_state",
+}
+
+
+@register
+class RngDiscipline(Rule):
+    name = "rng-discipline"
+    summary = (
+        "no numpy module-state randomness or literal-seeded default_rng in library code"
+    )
+    rationale = (
+        "PR 3's fault-curve bug: randomness not derived from a seeded parent "
+        "generator made campaign points irreproducible under parallelism."
+    )
+    scope = ("repro/*",)
+    # The CLI entry point owns the user-facing seeds (--seed flags and the
+    # paper's published table seeds); everything it calls takes an rng.
+    exclude = ("repro/cli.py", "repro/lint/*")
+
+    def visit(self, node: ast.AST, ctx) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        name = call_name(node)
+        parts = name.split(".")
+        if len(parts) >= 3 and parts[-3:-1] == ["np", "random"] or (
+            len(parts) == 3 and parts[0] in ("np", "numpy") and parts[1] == "random"
+        ):
+            if parts[-1] in MODULE_STATE_FNS:
+                self.emit(
+                    ctx,
+                    node,
+                    f"module-state call {name}() draws from process-global RNG "
+                    "state; accept a numpy Generator or derive one from a parent "
+                    "SeedSequence instead",
+                )
+                return
+        if parts[-1] == "default_rng" and node.args:
+            seed = node.args[0]
+            if isinstance(seed, ast.Constant) and isinstance(seed.value, int):
+                self.emit(
+                    ctx,
+                    node,
+                    f"literal-seeded {name}({seed.value!r}) in library code "
+                    "hard-wires a seed outside the experiment's seed plumbing; "
+                    "take an rng parameter or derive from the caller's generator",
+                )

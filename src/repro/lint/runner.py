@@ -1,0 +1,110 @@
+"""File discovery and per-file rule execution for ``repro lint``.
+
+:func:`run_lint` is the library entry point: resolve paths to ``*.py``
+files, lint each in one AST pass shared by all selected rules, apply
+inline suppressions, and return a :class:`LintResult`.
+
+Path scoping: rules declare fnmatch patterns over *package-relative*
+posix paths (``repro/serve/runtime.py``).  :func:`package_relpath`
+derives that from any on-disk location by anchoring at the last ``repro``
+directory in the path; files outside any ``repro`` package (ad-hoc CLI
+arguments, test fixtures in tmp dirs) get ``None``, which every rule
+treats as in-scope — so fixtures exercise rules without faking paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Type
+
+from repro.lint.findings import Finding, LintResult
+from repro.lint.registry import Rule, get_rules
+from repro.lint.suppress import apply_suppressions, parse_suppressions
+from repro.lint.visitor import LintContext, Walker
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+def package_relpath(path: Path) -> Optional[str]:
+    """Posix path relative to the innermost ``repro`` package, or ``None``."""
+    parts = list(path.parts)
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return None
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    """Expand files/directories to sorted ``*.py`` files, skipping caches."""
+    for path in paths:
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    yield sub
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Sequence[Type[Rule]]] = None,
+    relpath: Optional[str] = "__auto__",
+) -> list[Finding]:
+    """Lint a source string; the unit the file/tree entry points build on.
+
+    ``relpath`` scopes rules: pass a package-relative path to emulate a
+    tree location, ``None`` to run every selected rule, or leave the
+    default to derive it from ``path``.
+    """
+    if relpath == "__auto__":
+        relpath = package_relpath(Path(path))
+    rule_classes = list(rules) if rules is not None else get_rules()
+    active = [cls() for cls in rule_classes if cls.applies_to(relpath)]
+    suppressions, findings = parse_suppressions(source, path)
+    if active:
+        try:
+            tree = ast.parse(source, filename=path)
+        except (SyntaxError, ValueError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            findings.append(
+                Finding(
+                    rule="parse-error",
+                    path=path,
+                    line=line,
+                    col=getattr(exc, "offset", 0) or 0,
+                    message=f"file does not parse: {exc.msg if hasattr(exc, 'msg') else exc}",
+                    rationale="Unparseable files cannot be checked and never ship.",
+                )
+            )
+            return findings
+        ctx = LintContext(path=path, source=source, relpath=relpath)
+        Walker(active, ctx).run(tree)
+        for rule in active:
+            findings.extend(rule.findings)
+    findings = apply_suppressions(findings, suppressions)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(
+    path: Path, rules: Optional[Sequence[Type[Rule]]] = None
+) -> list[Finding]:
+    """Lint one file from disk."""
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, path=str(path), rules=rules)
+
+
+def run_lint(
+    paths: Sequence[Path],
+    rule_names: Optional[list[str]] = None,
+) -> LintResult:
+    """Lint every python file under ``paths`` with the named rules (all by default)."""
+    rules = get_rules(rule_names)
+    result = LintResult()
+    for file in iter_python_files([Path(p) for p in paths]):
+        result.extend(lint_file(file, rules))
+        result.files_checked += 1
+    return result

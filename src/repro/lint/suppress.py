@@ -1,0 +1,131 @@
+"""Inline suppression directives: ``# repro-lint: disable=<rules> (<reason>)``.
+
+A directive suppresses findings of the named rule(s) **on its own line
+only** — there is no block or file-level form, so every allow-listed
+violation stays visible next to the code it excuses.  The parenthesised
+reason is mandatory: a directive without one does not suppress anything
+and instead emits a ``suppression-syntax`` finding, which is itself
+unsuppressible.  That keeps the allow-list honest — every exception to a
+contract carries its justification in the diff that introduced it.
+
+Comments are read with :mod:`tokenize` (the AST drops them), so
+directives inside string literals are never mistaken for suppressions.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.lint.findings import Finding
+
+#: Rule name reserved for malformed directives; never suppressible.
+SYNTAX_RULE = "suppression-syntax"
+
+_DIRECTIVE = re.compile(r"#\s*repro-lint:\s*(?P<body>.*)$")
+_DISABLE = re.compile(
+    r"^disable=(?P<rules>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+    r"(?:\s+\((?P<reason>[^()]*(?:\([^()]*\)[^()]*)*)\))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``disable=`` directive attached to one source line."""
+
+    line: int
+    rules: frozenset[str]
+    reason: str
+
+    def covers(self, rule: str) -> bool:
+        return rule in self.rules or "all" in self.rules
+
+
+def parse_suppressions(
+    source: str, path: str
+) -> tuple[dict[int, Suppression], list[Finding]]:
+    """Extract directives from ``source``.
+
+    Returns ``(by_line, syntax_findings)``: valid directives keyed by the
+    line they appear on, plus one finding per malformed or reasonless
+    directive.  Tokenization errors are ignored here — the caller already
+    reports unparseable files via the ``parse-error`` pseudo-rule.
+    """
+    by_line: dict[int, Suppression] = {}
+    findings: list[Finding] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return by_line, findings
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(tok.string)
+        if match is None:
+            continue
+        line, col = tok.start
+        parsed = _parse_body(match.group("body"))
+        if parsed is None:
+            findings.append(
+                Finding(
+                    rule=SYNTAX_RULE,
+                    path=path,
+                    line=line,
+                    col=col,
+                    message=(
+                        "malformed repro-lint directive; expected "
+                        "'# repro-lint: disable=<rule>[,<rule>] (<reason>)'"
+                    ),
+                    rationale="Directives must parse so the allow-list stays auditable.",
+                )
+            )
+            continue
+        rules, reason = parsed
+        if reason is None or not reason.strip():
+            findings.append(
+                Finding(
+                    rule=SYNTAX_RULE,
+                    path=path,
+                    line=line,
+                    col=col,
+                    message=(
+                        "suppression is missing its required reason; write "
+                        f"'# repro-lint: disable={','.join(sorted(rules))} (<why>)'"
+                    ),
+                    rationale=(
+                        "Every exception to a contract must record why it is safe; "
+                        "reasonless suppressions rot into unreviewable noise."
+                    ),
+                )
+            )
+            continue
+        by_line[line] = Suppression(line=line, rules=frozenset(rules), reason=reason.strip())
+    return by_line, findings
+
+
+def _parse_body(body: str) -> Optional[tuple[set[str], Optional[str]]]:
+    """Parse the text after ``repro-lint:``; None means malformed."""
+    match = _DISABLE.match(body.strip())
+    if match is None:
+        return None
+    rules = {r.strip() for r in match.group("rules").split(",") if r.strip()}
+    if not rules or SYNTAX_RULE in rules:
+        return None
+    return rules, match.group("reason")
+
+
+def apply_suppressions(
+    findings: list[Finding], by_line: dict[int, Suppression]
+) -> list[Finding]:
+    """Mark findings whose line carries a covering directive as suppressed."""
+    out: list[Finding] = []
+    for finding in findings:
+        supp = by_line.get(finding.line)
+        if supp is not None and finding.rule != SYNTAX_RULE and supp.covers(finding.rule):
+            out.append(finding.suppress(supp.reason))
+        else:
+            out.append(finding)
+    return out

@@ -1,0 +1,211 @@
+"""The single-pass AST walk shared by every rule.
+
+One traversal per file: the walker maintains class / function / held-lock
+context stacks and dispatches every node to every applicable rule, so N
+rules cost one walk instead of N.  Rules read the :class:`LintContext`
+rather than re-deriving scope themselves.
+
+Conventions the context encodes (mirroring the codebase's own):
+
+* A ``with <recv>.<attr>:`` item whose attribute name looks lock-ish
+  (``lock``/``_lock``/``mutex``/``cond``/``work``) pushes a held lock.
+  ``self.work = threading.Condition(self.lock)`` means entering either
+  guards the same state, so both names count as the lock.
+* Methods named ``__init__``/``__post_init__``/``__new__`` or carrying a
+  ``_locked`` marker in their name are *exempt* contexts: construction
+  happens before the object is shared, and ``*_locked`` is this repo's
+  convention for "caller already holds the lock".
+* A class "owns a lock" when its body assigns ``self.<x> = Lock()`` /
+  ``RLock()`` / ``Condition(...)`` (or a class-level equivalent).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+LOCKISH_ATTR = re.compile(r"(?:^|_)(?:lock|mutex|cond|work)$|_lock$|^lock")
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
+_EXEMPT_FUNCTIONS = {"__init__", "__post_init__", "__new__"}
+
+
+def is_lockish_name(name: str) -> bool:
+    """Whether an attribute/variable name denotes a lock or condition."""
+    return bool(LOCKISH_ATTR.search(name))
+
+
+def expr_text(node: ast.AST) -> str:
+    """Source-ish text of an expression (``self._lock``, ``np.zeros`` ...)."""
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse covers all exprs we meet
+        return "<expr>"
+
+
+def call_name(node: ast.Call) -> str:
+    """Dotted name of a call target (``np.random.default_rng``) or ''."""
+    return expr_text(node.func)
+
+
+def _is_lock_factory(value: ast.AST) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if isinstance(func, ast.Name):
+        return func.id in _LOCK_FACTORIES
+    if isinstance(func, ast.Attribute):
+        return func.attr in _LOCK_FACTORIES
+    return False
+
+
+@dataclass
+class ClassInfo:
+    """Context for the class currently being visited."""
+
+    name: str
+    docstring: str = ""
+    #: Names of self-attributes assigned from Lock()/RLock()/Condition().
+    lock_attrs: set[str] = field(default_factory=set)
+
+    @property
+    def owns_lock(self) -> bool:
+        return bool(self.lock_attrs)
+
+
+@dataclass
+class FunctionInfo:
+    """Context for the function/method currently being visited."""
+
+    name: str
+    node: ast.AST
+
+    @property
+    def is_exempt(self) -> bool:
+        """Construction-time or caller-holds-lock contexts (see module doc)."""
+        return self.name in _EXEMPT_FUNCTIONS or "_locked" in self.name
+
+
+@dataclass
+class HeldLock:
+    """One active ``with <receiver>.<attr>:`` lock acquisition."""
+
+    receiver: str
+    attr: str
+    node: ast.With
+
+    @property
+    def text(self) -> str:
+        return f"{self.receiver}.{self.attr}"
+
+
+class LintContext:
+    """Per-file state every rule reads during the walk."""
+
+    def __init__(self, path: str, source: str, relpath: Optional[str]) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.class_stack: list[ClassInfo] = []
+        self.func_stack: list[FunctionInfo] = []
+        self.lock_stack: list[HeldLock] = []
+        #: ids of expressions used directly as ``with``-item context managers.
+        self.with_context_ids: set[int] = set()
+
+    @property
+    def current_class(self) -> Optional[ClassInfo]:
+        return self.class_stack[-1] if self.class_stack else None
+
+    @property
+    def current_function(self) -> Optional[FunctionInfo]:
+        return self.func_stack[-1] if self.func_stack else None
+
+    @property
+    def in_exempt_function(self) -> bool:
+        return any(f.is_exempt for f in self.func_stack)
+
+    @property
+    def holds_lock(self) -> bool:
+        return bool(self.lock_stack)
+
+    def held_lock_names(self) -> set[str]:
+        """Attribute names of locks currently held (``_lock``, ``work``...)."""
+        return {h.attr for h in self.lock_stack}
+
+
+def _scan_lock_attrs(cls: ast.ClassDef) -> set[str]:
+    """Attribute names this class assigns from lock factories, anywhere in its body."""
+    attrs: set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign) and _is_lock_factory(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Attribute):
+                    attrs.add(target.attr)
+                elif isinstance(target, ast.Name):
+                    attrs.add(target.id)
+    return attrs
+
+
+class Walker:
+    """Drives one traversal, dispatching every node to every rule."""
+
+    def __init__(self, rules, ctx: LintContext) -> None:
+        self.rules = rules
+        self.ctx = ctx
+
+    def run(self, tree: ast.Module) -> None:
+        for rule in self.rules:
+            rule.begin_module(tree, self.ctx)
+        self._visit(tree)
+        for rule in self.rules:
+            rule.end_module(self.ctx)
+
+    def _dispatch(self, node: ast.AST) -> None:
+        for rule in self.rules:
+            rule.visit(node, self.ctx)
+
+    def _visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.ClassDef):
+            info = ClassInfo(
+                name=node.name,
+                docstring=ast.get_docstring(node) or "",
+                lock_attrs=_scan_lock_attrs(node),
+            )
+            self.ctx.class_stack.append(info)
+            self._dispatch(node)
+            for child in ast.iter_child_nodes(node):
+                self._visit(child)
+            self.ctx.class_stack.pop()
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.ctx.func_stack.append(FunctionInfo(name=node.name, node=node))
+            self._dispatch(node)
+            for child in ast.iter_child_nodes(node):
+                self._visit(child)
+            self.ctx.func_stack.pop()
+        elif isinstance(node, ast.With):
+            held = []
+            for item in node.items:
+                self.ctx.with_context_ids.add(id(item.context_expr))
+                lock = self._as_lock(item.context_expr, node)
+                if lock is not None:
+                    held.append(lock)
+            self.ctx.lock_stack.extend(held)
+            self._dispatch(node)
+            for child in ast.iter_child_nodes(node):
+                self._visit(child)
+            for _ in held:
+                self.ctx.lock_stack.pop()
+        else:
+            self._dispatch(node)
+            for child in ast.iter_child_nodes(node):
+                self._visit(child)
+
+    @staticmethod
+    def _as_lock(expr: ast.AST, node: ast.With) -> Optional[HeldLock]:
+        """Recognize ``with x._lock:`` / ``with self.work:`` style items."""
+        if isinstance(expr, ast.Attribute) and is_lockish_name(expr.attr):
+            return HeldLock(receiver=expr_text(expr.value), attr=expr.attr, node=node)
+        if isinstance(expr, ast.Name) and is_lockish_name(expr.id):
+            return HeldLock(receiver="", attr=expr.id, node=node)
+        return None

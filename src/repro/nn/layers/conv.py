@@ -198,7 +198,7 @@ class Conv2D(Layer):
         name: Optional[str] = None,
     ):
         super().__init__(name=name)
-        rng = rng or np.random.default_rng(0)
+        rng = rng or np.random.default_rng(0)  # repro-lint: disable=rng-discipline (documented deterministic init default; golden weight digests depend on it)
         if groups < 1 or in_channels % groups or out_channels % groups:
             raise ValueError(
                 f"groups={groups} must divide in_channels={in_channels} "

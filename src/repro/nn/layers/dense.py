@@ -33,7 +33,7 @@ class Dense(Layer):
         name: Optional[str] = None,
     ):
         super().__init__(name=name)
-        rng = rng or np.random.default_rng(0)
+        rng = rng or np.random.default_rng(0)  # repro-lint: disable=rng-discipline (documented deterministic init default; golden weight digests depend on it)
         self.in_features = in_features
         self.out_features = out_features
         init = resolve_initializer(weight_init)

@@ -22,7 +22,7 @@ class Dropout(Layer):
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
         self.p = p
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng or np.random.default_rng(0)  # repro-lint: disable=rng-discipline (documented deterministic default; compiled/eager bit-identity depends on it)
         self._mask = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:

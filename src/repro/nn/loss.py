@@ -25,7 +25,7 @@ def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
         raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
     if labels.min() < 0 or labels.max() >= num_classes:
         raise ValueError("label out of range")
-    out = np.zeros((labels.shape[0], num_classes))
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
     out[np.arange(labels.shape[0]), labels] = 1.0
     return out
 

@@ -150,7 +150,7 @@ class Trainer:
         self.loss = loss or SoftmaxCrossEntropy()
         self.scheduler = scheduler
         self.batch_size = batch_size
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng or np.random.default_rng(0)  # repro-lint: disable=rng-discipline (documented deterministic default; golden loss curves depend on this exact stream)
         self.epoch_callback = epoch_callback
         self.augment = augment
         self.compiled = compiled

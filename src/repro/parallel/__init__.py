@@ -17,6 +17,7 @@ and the serving tier's process-worker mode
 """
 
 from repro.parallel.arena import (
+    ArenaClosedError,
     ArenaSpec,
     PlaneSpec,
     SharedWeightArena,
@@ -34,6 +35,7 @@ from repro.parallel.proxy import SharedEngineProxy
 from repro.parallel.worker import ModelNotLoadedError
 
 __all__ = [
+    "ArenaClosedError",
     "ArenaSpec",
     "ModelNotLoadedError",
     "PlaneSpec",

@@ -40,6 +40,15 @@ import numpy as np
 
 from repro.core.engine import decode_weight_plane, engine_fingerprint
 from repro.core.mfdfp import DeployedMFDFP
+from repro.parallel.pool import PoolError
+
+
+class ArenaClosedError(PoolError):
+    """Publish attempted on a :class:`SharedWeightArena` after ``close()``.
+
+    Once an arena unlinks its segments the specs it handed out are dead;
+    callers must build a fresh arena rather than race the teardown.
+    """
 
 SEGMENT_PREFIX = "repro-wa"
 
@@ -112,7 +121,7 @@ class SharedWeightArena:
         touching memory.
         """
         if self._closed:
-            raise RuntimeError("arena is closed")
+            raise ArenaClosedError("arena is closed")
         fingerprint = engine_fingerprint(deployed)
         existing = self._segments.get(fingerprint)
         if existing is not None:

@@ -130,7 +130,7 @@ def echo(value):
 
 def fail(message: str = "boom") -> None:
     """Raise ``ValueError(message)`` — the pool's error-path probe."""
-    raise ValueError(message)
+    raise ValueError(message)  # repro-lint: disable=error-taxonomy (deliberate error-path probe; tests assert a plain ValueError round-trips the pool)
 
 
 def crash(exit_code: int = 137) -> None:

@@ -131,7 +131,7 @@ def predict_many(
     preserved and the result is bit-identical to ``engine.run(x)``.
     """
     if max_batch < 1:
-        raise ValueError("max_batch must be at least 1")
+        raise ValueError("max_batch must be at least 1")  # repro-lint: disable=error-taxonomy (public-API argument validation; ValueError is the documented contract)
     x = np.asarray(x)
     out = []
     for start in range(0, x.shape[0], max_batch):
@@ -190,7 +190,7 @@ class MicroBatchQueue:
             raise ServerClosedError("queue is closed; submission refused")
         sample = np.asarray(sample)
         if sample.shape != self.engine.input_shape:
-            raise ValueError(
+            raise ValueError(  # repro-lint: disable=error-taxonomy (caller-input shape validation; ValueError is the documented submit contract)
                 f"expected one sample of shape {self.engine.input_shape}, got {sample.shape}"
             )
         ticket = self._next_ticket

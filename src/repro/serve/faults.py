@@ -30,6 +30,7 @@ behaviour under load.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Optional
 
 import numpy as np
@@ -48,7 +49,7 @@ def crash_schedule(
     generator seeded with ``seed`` — same seed, same schedule, forever.
     """
     if n_crashes > n_calls:
-        raise ValueError(f"cannot schedule {n_crashes} crashes in {n_calls} calls")
+        raise ValueError(f"cannot schedule {n_crashes} crashes in {n_calls} calls")  # repro-lint: disable=error-taxonomy (argument validation in the test-harness helper; ValueError is the documented contract)
     rng = np.random.default_rng(seed)
     picks = rng.choice(n_calls, size=n_crashes, replace=False)
     return frozenset(int(i) + 1 for i in picks)
@@ -74,6 +75,7 @@ class CrashingEngine:
         self.crash_on = frozenset(crash_on)
         self.label = label
         self.calls = 0
+        self._lock = threading.Lock()
 
     @property
     def input_shape(self):
@@ -88,9 +90,11 @@ class CrashingEngine:
         return self._engine.deployed
 
     def run(self, batch: np.ndarray) -> np.ndarray:
-        self.calls += 1
-        if self.calls in self.crash_on:
-            raise CrashError(f"{self.label}: scheduled crash on run() call {self.calls}")
+        with self._lock:
+            self.calls += 1
+            call = self.calls
+        if call in self.crash_on:
+            raise CrashError(f"{self.label}: scheduled crash on run() call {call}")
         return self._engine.run(batch)
 
 
@@ -116,11 +120,14 @@ class FlakyBuilder:
         self.fail_on = fail_on if fail_on == self.ALWAYS else frozenset(fail_on)
         self.label = label
         self.calls = 0
+        self._lock = threading.Lock()
 
     def _attempt(self):
-        self.calls += 1
-        if self.fail_on == self.ALWAYS or self.calls in self.fail_on:
-            raise CrashError(f"{self.label}: scheduled failure on build {self.calls}")
+        with self._lock:
+            self.calls += 1
+            call = self.calls
+        if self.fail_on == self.ALWAYS or call in self.fail_on:
+            raise CrashError(f"{self.label}: scheduled failure on build {call}")
 
     def __call__(self):
         self._attempt()

@@ -131,9 +131,9 @@ class ModelMetrics:
         react to *current* latency, not the whole reservoir's history.
         """
         if not 0 <= q <= 100:
-            raise ValueError(f"percentile must be in [0, 100], got {q}")
+            raise ValueError(f"percentile must be in [0, 100], got {q}")  # repro-lint: disable=error-taxonomy (public-API argument validation; ValueError is the documented contract)
         if window is not None and window < 1:
-            raise ValueError(f"window must be positive, got {window}")
+            raise ValueError(f"window must be positive, got {window}")  # repro-lint: disable=error-taxonomy (public-API argument validation; ValueError is the documented contract)
         with self._lock:
             recent = list(self._latencies)
         if window is not None:

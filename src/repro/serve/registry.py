@@ -117,10 +117,10 @@ class ModelRegistry:
         model that builds identical tensors still hits the cache).
         """
         if not name:
-            raise ValueError("model name must be non-empty")
+            raise ValueError("model name must be non-empty")  # repro-lint: disable=error-taxonomy (registration argument validation; ValueError is the documented contract)
         with self._lock:
             if name in self._builders and not replace:
-                raise ValueError(f"model {name!r} is already registered (replace=True to override)")
+                raise ValueError(f"model {name!r} is already registered (replace=True to override)")  # repro-lint: disable=error-taxonomy (registration argument validation; ValueError is the documented contract)
             self._builders[name] = builder
             self._artifacts.pop(name, None)
             self._store_names.discard(name)
@@ -181,7 +181,7 @@ class ModelRegistry:
             self._register_store_builder(name, version)
         else:
             if version is not None:
-                raise ValueError(
+                raise ValueError(  # repro-lint: disable=error-taxonomy (registration argument validation; ValueError is the documented contract)
                     f"model {name!r} is not store-backed; cannot pin version {version}"
                 )
             with self._lock:

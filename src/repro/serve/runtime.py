@@ -338,7 +338,7 @@ class ServerRuntime:
                 actor.metrics.record_reject()
                 raise actor.quarantine_error()
             if actor.input_shape is not None and sample.shape != actor.input_shape:
-                raise ValueError(
+                raise ValueError(  # repro-lint: disable=error-taxonomy (caller-input shape validation; ValueError is the documented submit contract)
                     f"model {model!r} expects one sample of shape "
                     f"{actor.input_shape}, got {sample.shape}"
                 )

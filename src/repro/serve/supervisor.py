@@ -87,7 +87,7 @@ class SupervisorPolicy:
     def backoff_s(self, consecutive_failures: int) -> float:
         """Backoff before the restart following the k-th consecutive failure."""
         if consecutive_failures < 1:
-            raise ValueError("backoff is only defined after at least one failure")
+            raise ValueError("backoff is only defined after at least one failure")  # repro-lint: disable=error-taxonomy (precondition on a diagnostics property; ValueError is the documented contract)
         raw = self.backoff_initial_s * self.backoff_factor ** (consecutive_failures - 1)
         return min(self.backoff_cap_s, raw)
 

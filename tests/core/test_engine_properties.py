@@ -180,6 +180,23 @@ class TestEngineCacheHitPath:
         assert cache.get(a) is not cache.get(b)
 
 
+def test_cache_hit_accounting_is_exact_under_threads():
+    """Regression (lock-discipline): the hit counter is bumped inside
+    the cache mutex (``_lookup_locked``), so N concurrent lookups of a
+    compiled engine record exactly N-1 hits and 1 miss — no dropped
+    increments from racing read-modify-writes."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    deployed, _ = _deployed_single_op("dense", seed=0)
+    cache = EngineCache()
+    total = 64
+    with ThreadPoolExecutor(8) as pool:
+        engines = list(pool.map(lambda _: cache.get(deployed), range(total)))
+    assert all(e is engines[0] for e in engines)
+    assert cache.misses == 1
+    assert cache.hits == total - 1
+
+
 def test_fingerprint_memo_is_not_inherited_by_mutated_copies():
     """Regression: the fault injector deep-copies then mutates; the copy
     must not reuse the original's memoized digest (stale-cache hazard)."""

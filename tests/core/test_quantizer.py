@@ -112,6 +112,21 @@ class TestPlanning:
         assert len(fracs) == 1
         assert plan.input_fmt.frac in fracs
 
+    def test_plan_fracs_independent_of_calibration_dtype(self, calib):
+        """Regression (dtype-discipline): the range wrappers force
+        float64, so a float32 calibration batch picks the same fraction
+        lengths as the same values in float64 — the plan must not shift
+        with the caller's activation dtype."""
+        net64 = build_net()
+        net32 = build_net()
+        for dynamic in (True, False):
+            plan64 = NetworkQuantizer(dynamic=dynamic).plan(net64, calib)
+            plan32 = NetworkQuantizer(dynamic=dynamic).plan(
+                net32, calib.astype(np.float32)
+            )
+            assert plan32.fraction_lengths() == plan64.fraction_lengths()
+            assert plan32.input_fmt.frac == plan64.input_fmt.frac
+
     def test_spec_lookup_missing(self, calib):
         plan = NetworkQuantizer().plan(build_net(), calib)
         with pytest.raises(KeyError):

@@ -11,7 +11,13 @@ import pytest
 from repro.core import MFDFPConfig, MFDFPNetwork, run_algorithm1
 from repro.core.pipeline import phase1_finetune
 from repro.datasets import cifar10_surrogate
-from repro.io import Checkpointer, PipelineCheckpointer, load_checkpoint, resume_algorithm1
+from repro.io import (
+    Checkpointer,
+    CheckpointStateError,
+    PipelineCheckpointer,
+    load_checkpoint,
+    resume_algorithm1,
+)
 from repro.io.artifacts import ArtifactError, ArtifactSchemaError
 from repro.nn import SGD, PlateauScheduler, Trainer
 from repro.nn.layers import Dense, Dropout, Flatten, ReLU
@@ -243,3 +249,14 @@ class TestPipelineCheckpointer:
         ck = PipelineCheckpointer(tmp_path)
         with pytest.raises(ValueError, match="begin"):
             ck._save("phase1", trainer, seq=1)
+
+    def test_save_before_begin_is_typed_lifecycle_error(self, tmp_path):
+        """Regression: out-of-order checkpointer use raises from the io
+        taxonomy (CheckpointStateError < ArtifactError < ValueError), so
+        resume drivers catching ArtifactError see it too."""
+        trainer, _, _ = _problem()
+        ck = PipelineCheckpointer(tmp_path)
+        with pytest.raises(CheckpointStateError):
+            ck._save("phase1", trainer, seq=1)
+        with pytest.raises(ArtifactError):
+            ck._save("phase2", trainer, seq=1)

@@ -69,6 +69,15 @@ class TestVersioning:
         with pytest.raises(ValueError):
             store.checkpoint_dir("../escape")
 
+    def test_invalid_names_raise_from_artifact_taxonomy(self, store):
+        """Regression: name validation raises ArtifactError (still a
+        ValueError for older callers), so store users catching the io
+        taxonomy see bad names too."""
+        with pytest.raises(ArtifactError, match="invalid model name"):
+            store.publish_deployed("../escape", tiny_deployed(0))
+        with pytest.raises(ArtifactError, match="invalid run name"):
+            store.checkpoint_dir("a/b")
+
     def test_open_missing_store_readonly(self, tmp_path):
         with pytest.raises(ArtifactError, match="not a repro artifact store"):
             ArtifactStore(tmp_path / "nope", create=False)

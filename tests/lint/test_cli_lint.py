@@ -1,0 +1,87 @@
+"""The ``python -m repro lint`` front end: selection, filtering, exit codes."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint.cli import main as lint_main
+
+VIOLATING = "import numpy as np\nrng = np.random.default_rng(0)\n"
+CLEAN = "def f(rng):\n    return rng.normal(size=2)\n"
+
+
+@pytest.fixture
+def tree(tmp_path):
+    (tmp_path / "bad.py").write_text(VIOLATING)
+    (tmp_path / "good.py").write_text(CLEAN)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_nonzero_on_findings(self, tree):
+        assert lint_main([str(tree)], out=io.StringIO()) == 1
+
+    def test_zero_on_clean_path(self, tree):
+        assert lint_main([str(tree / "good.py")], out=io.StringIO()) == 0
+
+    def test_usage_error_on_unknown_rule(self, tree):
+        assert lint_main([str(tree), "--rules", "no-such-rule"], out=io.StringIO()) == 2
+
+    def test_usage_error_on_missing_path(self, tmp_path):
+        assert lint_main([str(tmp_path / "absent")], out=io.StringIO()) == 2
+
+
+class TestRuleSelection:
+    def test_selected_rule_only(self, tree):
+        out = io.StringIO()
+        code = lint_main([str(tree), "--rules", "rng-discipline"], out=out)
+        assert code == 1
+        assert "rng-discipline" in out.getvalue()
+
+    def test_unrelated_rule_sees_nothing(self, tree):
+        assert lint_main([str(tree), "--rules", "error-taxonomy"], out=io.StringIO()) == 0
+
+    def test_list_rules(self):
+        out = io.StringIO()
+        assert lint_main(["--list-rules"], out=out) == 0
+        listing = out.getvalue()
+        for name in (
+            "rng-discipline", "dtype-discipline", "lock-discipline",
+            "process-picklability", "resource-lifecycle", "error-taxonomy",
+        ):
+            assert name in listing
+
+
+class TestPathFiltering:
+    def test_only_given_file_is_linted(self, tree):
+        out = io.StringIO()
+        lint_main([str(tree / "bad.py")], out=out)
+        assert "1 files checked" in out.getvalue()
+
+
+class TestOutput:
+    def test_text_points_at_file_and_line(self, tree):
+        out = io.StringIO()
+        lint_main([str(tree / "bad.py")], out=out)
+        assert f"{tree / 'bad.py'}:2:" in out.getvalue()
+
+    def test_json_format_parses_and_counts(self, tree):
+        out = io.StringIO()
+        code = lint_main([str(tree), "--format", "json"], out=out)
+        payload = json.loads(out.getvalue())
+        assert code == 1
+        assert payload["counts"]["unsuppressed"] == 1
+        assert payload["findings"][0]["rule"] == "rng-discipline"
+
+
+class TestReproCliIntegration:
+    def test_lint_subcommand_clean_path(self, tree, capsys):
+        repro_main(["lint", str(tree / "good.py")])
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_lint_subcommand_exits_nonzero_on_findings(self, tree, capsys):
+        with pytest.raises(SystemExit) as exc:
+            repro_main(["lint", str(tree)])
+        assert exc.value.code == 1

@@ -1,0 +1,66 @@
+"""Finding rendering and the JSON report schema."""
+
+import json
+
+from repro.lint.findings import Finding, LintResult
+from repro.lint.rules.rng import RngDiscipline
+from repro.lint.runner import lint_source
+
+
+def test_render_is_path_line_col_rule_message():
+    f = Finding(rule="r", path="a/b.py", line=7, col=3, message="boom")
+    assert f.render() == "a/b.py:7:3: r: boom"
+
+
+def test_render_shows_suppression_reason():
+    f = Finding(rule="r", path="a.py", line=1, col=0, message="m").suppress("why not")
+    assert f.render().endswith("[suppressed: why not]")
+
+
+def test_findings_sorted_by_location():
+    src = (
+        "import numpy as np\n"
+        "b = np.random.default_rng(1)\n"
+        "a = np.random.normal()\n"
+    )
+    findings = lint_source(src, rules=[RngDiscipline])
+    assert [f.line for f in findings] == [2, 3]
+
+
+class TestJsonSchema:
+    def result(self):
+        findings = lint_source(
+            "import numpy as np\n"
+            "a = np.random.default_rng(1)\n"
+            "b = np.random.default_rng(2)  # repro-lint: disable=rng-discipline (fixture)\n",
+            rules=[RngDiscipline],
+        )
+        res = LintResult(findings=findings, files_checked=1)
+        return res, res.as_dict()
+
+    def test_top_level_schema(self):
+        _, payload = self.result()
+        assert set(payload) == {"version", "files_checked", "counts", "findings"}
+        assert payload["version"] == 1
+        assert payload["files_checked"] == 1
+
+    def test_counts_are_consistent(self):
+        res, payload = self.result()
+        counts = payload["counts"]
+        assert counts == {"total": 2, "suppressed": 1, "unsuppressed": 1}
+        assert counts["total"] == len(payload["findings"])
+        assert res.exit_code == 1
+
+    def test_finding_entry_schema(self):
+        _, payload = self.result()
+        for entry in payload["findings"]:
+            assert set(entry) == {
+                "rule", "path", "line", "col", "message",
+                "rationale", "suppressed", "suppress_reason",
+            }
+        suppressed = [e for e in payload["findings"] if e["suppressed"]]
+        assert suppressed[0]["suppress_reason"] == "fixture"
+
+    def test_payload_is_json_serializable(self):
+        _, payload = self.result()
+        assert json.loads(json.dumps(payload)) == payload

@@ -1,0 +1,69 @@
+"""dtype-discipline: explicit dtype on array creation in nn/ and core/."""
+
+import textwrap
+
+from repro.lint.rules.dtype import DtypeDiscipline
+from repro.lint.runner import lint_source
+
+IN_SCOPE = "repro/nn/layers/dense.py"
+
+
+def run(src, relpath=IN_SCOPE):
+    return lint_source(textwrap.dedent(src), rules=[DtypeDiscipline], relpath=relpath)
+
+
+class TestViolating:
+    def test_zeros_without_dtype_flagged(self):
+        findings = run("import numpy as np\nout = np.zeros((4, 4))\n")
+        assert [f.rule for f in findings] == ["dtype-discipline"]
+        assert "np.zeros" in findings[0].message
+
+    def test_ones_empty_full_flagged(self):
+        findings = run(
+            """
+            import numpy as np
+            a = np.ones(3)
+            b = np.empty((2, 2))
+            c = np.full((2,), 7)
+            """
+        )
+        assert len(findings) == 3
+
+    def test_array_without_dtype_flagged(self):
+        findings = run("import numpy as np\nv = np.array([1.5])\n")
+        assert len(findings) == 1
+
+
+class TestCompliant:
+    def test_explicit_dtype_keyword_ok(self):
+        findings = run(
+            """
+            import numpy as np
+            a = np.zeros((4, 4), dtype=np.float32)
+            b = np.array([1.5], dtype=np.float64)
+            """
+        )
+        assert findings == []
+
+    def test_array_positional_dtype_ok(self):
+        assert run("import numpy as np\nv = np.array([1], np.float32)\n") == []
+
+    def test_dtype_propagating_creators_ok(self):
+        findings = run(
+            """
+            import numpy as np
+            def f(x):
+                return np.zeros_like(x), np.asarray(x), np.arange(4)
+            """
+        )
+        assert findings == []
+
+
+class TestScoping:
+    def test_outside_hot_packages_not_flagged(self):
+        findings = run("import numpy as np\nx = np.zeros(3)\n", relpath="repro/serve/metrics.py")
+        assert findings == []
+
+    def test_core_in_scope(self):
+        findings = run("import numpy as np\nx = np.zeros(3)\n", relpath="repro/core/engine.py")
+        assert len(findings) == 1

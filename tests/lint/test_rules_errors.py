@@ -1,0 +1,97 @@
+"""error-taxonomy: typed hierarchies instead of bare ValueError/RuntimeError."""
+
+import textwrap
+
+from repro.lint.rules.errors import ErrorTaxonomy
+from repro.lint.runner import lint_source
+
+IN_SCOPE = "repro/serve/runtime.py"
+
+
+def run(src, relpath=IN_SCOPE):
+    return lint_source(textwrap.dedent(src), rules=[ErrorTaxonomy], relpath=relpath)
+
+
+class TestViolating:
+    def test_bare_value_error_flagged(self):
+        findings = run(
+            """
+            def submit(self, batch):
+                if batch is None:
+                    raise ValueError("no batch")
+            """
+        )
+        assert [f.rule for f in findings] == ["error-taxonomy"]
+        assert "ServeError" in findings[0].message
+
+    def test_bare_runtime_error_flagged(self):
+        findings = run(
+            "def stop(self):\n    raise RuntimeError('already stopped')\n",
+            relpath="repro/parallel/pool.py",
+        )
+        assert len(findings) == 1
+        assert "PoolError" in findings[0].message
+
+    def test_io_names_artifact_hierarchy(self):
+        findings = run(
+            "def load(path):\n    raise ValueError('bad container')\n",
+            relpath="repro/io/artifacts.py",
+        )
+        assert len(findings) == 1
+        assert "ArtifactError" in findings[0].message
+
+
+class TestCompliant:
+    def test_typed_raise_ok(self):
+        findings = run(
+            """
+            from repro.serve.errors import QueueFullError
+
+            def submit(self, batch):
+                raise QueueFullError("queue is full")
+            """
+        )
+        assert findings == []
+
+    def test_constructor_validation_exempt(self):
+        findings = run(
+            """
+            class Policy:
+                def __init__(self, max_batch):
+                    if max_batch < 1:
+                        raise ValueError("max_batch must be >= 1")
+            """
+        )
+        assert findings == []
+
+    def test_post_init_validation_exempt(self):
+        findings = run(
+            """
+            class Policy:
+                def __post_init__(self):
+                    if self.max_batch < 1:
+                        raise ValueError("max_batch must be >= 1")
+            """
+        )
+        assert findings == []
+
+    def test_reraise_without_exc_ok(self):
+        findings = run(
+            """
+            def forward(self):
+                try:
+                    self._run()
+                except Exception:
+                    raise
+            """
+        )
+        assert findings == []
+
+
+class TestScoping:
+    def test_outside_owning_packages_not_flagged(self):
+        findings = run(
+            "def f(x):\n    raise ValueError('bad')\n",
+            relpath="repro/nn/loss.py",
+        )
+        assert findings == []

@@ -1,0 +1,61 @@
+"""resource-lifecycle: SharedMemory ownership and with-managed opens in io."""
+
+import textwrap
+
+from repro.lint.rules.lifecycle import ResourceLifecycle
+from repro.lint.runner import lint_source
+
+
+def run(src, relpath=None):
+    return lint_source(textwrap.dedent(src), rules=[ResourceLifecycle], relpath=relpath)
+
+
+class TestSharedMemory:
+    SRC = """
+    from multiprocessing import shared_memory
+
+    def grab(n):
+        return shared_memory.SharedMemory(create=True, size=n)
+    """
+
+    def test_outside_arena_flagged(self):
+        findings = run(self.SRC, relpath="repro/serve/runtime.py")
+        assert [f.rule for f in findings] == ["resource-lifecycle"]
+        assert "arena" in findings[0].message
+
+    def test_inside_owning_arena_module_ok(self):
+        assert run(self.SRC, relpath="repro/parallel/arena.py") == []
+
+
+class TestOpenInIo:
+    def test_bare_open_flagged(self):
+        findings = run(
+            """
+            def read(path):
+                f = open(path)
+                data = f.read()
+                f.close()
+                return data
+            """,
+            relpath="repro/io/store.py",
+        )
+        assert len(findings) == 1
+        assert "with open" in findings[0].message
+
+    def test_with_open_ok(self):
+        findings = run(
+            """
+            def read(path):
+                with open(path) as f:
+                    return f.read()
+            """,
+            relpath="repro/io/store.py",
+        )
+        assert findings == []
+
+    def test_bare_open_outside_io_ok(self):
+        findings = run(
+            "def read(path):\n    return open(path).read()\n",
+            relpath="repro/analysis/campaign.py",
+        )
+        assert findings == []

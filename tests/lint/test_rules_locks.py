@@ -1,0 +1,222 @@
+"""lock-discipline: mixed writes, unguarded counters, blocking under locks."""
+
+import textwrap
+
+from repro.lint.rules.locks import LockDiscipline
+from repro.lint.runner import lint_source
+
+IN_SCOPE = "repro/serve/runtime.py"
+
+
+def run(src, relpath=IN_SCOPE):
+    return lint_source(textwrap.dedent(src), rules=[LockDiscipline], relpath=relpath)
+
+
+class TestMixedWrites:
+    VIOLATING = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.total = 0
+
+        def add(self, n):
+            with self._lock:
+                self.total = self.total + n
+
+        def reset(self):
+            self.total = 0
+    """
+
+    def test_locked_elsewhere_unlocked_here_flagged(self):
+        findings = run(self.VIOLATING)
+        assert len(findings) == 1
+        assert "Counter.total" in findings[0].message
+        # Anchored at the unguarded write in reset(), not the guarded one.
+        assert findings[0].line == 14
+
+    def test_all_writes_locked_ok(self):
+        findings = run(
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0
+
+                def add(self, n):
+                    with self._lock:
+                        self.total = self.total + n
+
+                def reset(self):
+                    with self._lock:
+                        self.total = 0
+            """
+        )
+        assert findings == []
+
+    def test_locked_suffix_method_exempt(self):
+        findings = run(
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0
+
+                def add(self, n):
+                    with self._lock:
+                        self._add_locked(n)
+
+                def _add_locked(self, n):
+                    self.total = self.total + n
+            """
+        )
+        assert findings == []
+
+
+class TestUnguardedCounters:
+    def test_augassign_outside_lock_in_locked_class_flagged(self):
+        findings = run(
+            """
+            import threading
+
+            class Metrics:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.hits = 0
+
+                def record(self):
+                    self.hits += 1
+            """
+        )
+        assert len(findings) == 1
+        assert "read-modify-write" in findings[0].message
+
+    def test_augassign_under_lock_ok(self):
+        findings = run(
+            """
+            import threading
+
+            class Metrics:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.hits = 0
+
+                def record(self):
+                    with self._lock:
+                        self.hits += 1
+            """
+        )
+        assert findings == []
+
+    def test_docstring_marked_class_without_lock_flagged(self):
+        findings = run(
+            """
+            class Probe:
+                \"\"\"Call count shared across threads.\"\"\"
+
+                def __init__(self):
+                    self.calls = 0
+
+                def run(self):
+                    self.calls += 1
+            """
+        )
+        assert len(findings) == 1
+
+    def test_single_owner_class_not_flagged(self):
+        findings = run(
+            """
+            class Accumulator:
+                \"\"\"Plain sequential helper.\"\"\"
+
+                def __init__(self):
+                    self.total = 0
+
+                def add(self, n):
+                    self.total += n
+            """
+        )
+        assert findings == []
+
+
+class TestBlockingUnderLock:
+    def test_future_result_under_lock_flagged(self):
+        findings = run(
+            """
+            def drain(self, fut):
+                with self._lock:
+                    return fut.result()
+            """
+        )
+        assert len(findings) == 1
+        assert "blocking call" in findings[0].message
+
+    def test_time_sleep_under_lock_flagged(self):
+        findings = run(
+            """
+            import time
+
+            def backoff(self):
+                with self._lock:
+                    time.sleep(0.1)
+            """
+        )
+        assert len(findings) == 1
+
+    def test_queue_put_under_lock_flagged(self):
+        findings = run(
+            """
+            def enqueue(self, item):
+                with self._lock:
+                    self._task_queue.put(item)
+            """
+        )
+        assert len(findings) == 1
+
+    def test_dict_get_under_lock_ok(self):
+        findings = run(
+            """
+            def lookup(self, key):
+                with self._lock:
+                    return self._engines.get(key)
+            """
+        )
+        assert findings == []
+
+    def test_condition_wait_under_lock_ok(self):
+        # Condition.wait releases the lock by contract: the actor idiom.
+        findings = run(
+            """
+            def next_item(self):
+                with self.work:
+                    while not self._queue_nonempty():
+                        self.work.wait()
+            """
+        )
+        assert findings == []
+
+    def test_result_outside_lock_ok(self):
+        findings = run(
+            """
+            def drain(self, fut):
+                with self._lock:
+                    self.pending = None
+                return fut.result()
+            """
+        )
+        assert findings == []
+
+
+class TestScoping:
+    def test_outside_concurrent_tiers_not_flagged(self):
+        src = """
+        def drain(self, fut):
+            with self._lock:
+                return fut.result()
+        """
+        assert run(src, relpath="repro/nn/trainer.py") == []

@@ -1,0 +1,102 @@
+"""process-picklability: no lambdas/local callables across process edges."""
+
+import textwrap
+
+from repro.lint.rules.pickle import ProcessPicklability
+from repro.lint.runner import lint_source
+
+
+def run(src, relpath=None):
+    return lint_source(textwrap.dedent(src), rules=[ProcessPicklability], relpath=relpath)
+
+
+class TestViolating:
+    def test_lambda_into_runner_submit_flagged(self):
+        findings = run(
+            """
+            from repro.parallel import ProcessPoolRunner
+
+            def go():
+                runner = ProcessPoolRunner(2)
+                return runner.submit(lambda x: x + 1, 1)
+            """
+        )
+        assert [f.rule for f in findings] == ["process-picklability"]
+        assert "lambda" in findings[0].message
+
+    def test_nested_function_into_runner_flagged(self):
+        findings = run(
+            """
+            from repro.parallel import ProcessPoolRunner
+
+            def go(items):
+                def task(item):
+                    return item * 2
+
+                with ProcessPoolRunner(2) as runner:
+                    return runner.map([task for _ in items])
+            """
+        )
+        assert len(findings) == 1
+        assert "task" in findings[0].message
+
+    def test_lambda_list_into_process_parallel_map_flagged(self):
+        findings = run(
+            """
+            from repro.analysis.campaign import parallel_map
+
+            def go():
+                return parallel_map([lambda: 1, lambda: 2], backend="process")
+            """
+        )
+        assert len(findings) == 2
+
+    def test_runner_named_receiver_flagged(self):
+        findings = run(
+            """
+            def go(self):
+                return self.runner.call(lambda: 0)
+            """
+        )
+        assert len(findings) == 1
+
+
+class TestCompliant:
+    def test_module_level_function_ok(self):
+        findings = run(
+            """
+            from repro.parallel import ProcessPoolRunner
+
+            def task(x):
+                return x + 1
+
+            def go():
+                runner = ProcessPoolRunner(2)
+                return runner.submit(task, 1)
+            """
+        )
+        assert findings == []
+
+    def test_thread_backend_lambdas_ok(self):
+        findings = run(
+            """
+            from repro.analysis.campaign import parallel_map
+
+            def go():
+                return parallel_map([lambda: 1], backend="thread")
+            """
+        )
+        assert findings == []
+
+    def test_thread_pool_executor_closures_ok(self):
+        # ThreadPoolExecutor receivers named `pool` take closures freely.
+        findings = run(
+            """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def go(fn):
+                with ThreadPoolExecutor(4) as pool:
+                    return pool.submit(lambda: fn()).result()
+            """
+        )
+        assert findings == []

@@ -1,0 +1,83 @@
+"""rng-discipline: module-state numpy randomness and literal-seeded generators."""
+
+import textwrap
+
+from repro.lint.rules.rng import RngDiscipline
+from repro.lint.runner import lint_source
+
+
+def run(src, relpath=None):
+    return lint_source(textwrap.dedent(src), rules=[RngDiscipline], relpath=relpath)
+
+
+class TestViolating:
+    def test_module_state_call_flagged(self):
+        findings = run(
+            """
+            import numpy as np
+            x = np.random.normal(0.0, 1.0, size=10)
+            """
+        )
+        assert [f.rule for f in findings] == ["rng-discipline"]
+        assert "module-state" in findings[0].message
+        assert findings[0].line == 3
+
+    def test_module_state_seed_flagged(self):
+        findings = run("import numpy as np\nnp.random.seed(7)\n")
+        assert len(findings) == 1
+
+    def test_numpy_spelling_flagged(self):
+        findings = run("import numpy\nnumpy.random.shuffle([1, 2])\n")
+        assert len(findings) == 1
+
+    def test_literal_seeded_default_rng_flagged(self):
+        findings = run("import numpy as np\nrng = np.random.default_rng(0)\n")
+        assert len(findings) == 1
+        assert "literal-seeded" in findings[0].message
+
+    def test_imported_default_rng_literal_flagged(self):
+        findings = run(
+            """
+            from numpy.random import default_rng
+            rng = default_rng(42)
+            """
+        )
+        assert len(findings) == 1
+
+
+class TestCompliant:
+    def test_passed_in_generator_ok(self):
+        assert run("def f(rng):\n    return rng.normal(size=3)\n") == []
+
+    def test_default_rng_from_parameter_ok(self):
+        assert run("import numpy as np\ndef f(seed):\n    return np.random.default_rng(seed)\n") == []
+
+    def test_default_rng_from_seed_sequence_ok(self):
+        findings = run(
+            """
+            import numpy as np
+            def child(ss):
+                return np.random.default_rng(ss.spawn(1)[0])
+            """
+        )
+        assert findings == []
+
+    def test_default_rng_unseeded_ok(self):
+        # No argument = OS entropy; only *literal* seeds are the hazard.
+        assert run("import numpy as np\nrng = np.random.default_rng()\n") == []
+
+
+class TestScoping:
+    def test_cli_module_excluded(self):
+        findings = run(
+            "import numpy as np\nrng = np.random.default_rng(0)\n",
+            relpath="repro/cli.py",
+        )
+        assert findings == []
+
+    def test_library_module_in_scope(self):
+        findings = run(
+            "import numpy as np\nrng = np.random.default_rng(0)\n",
+            relpath="repro/nn/trainer.py",
+        )
+        assert len(findings) == 1

@@ -1,0 +1,144 @@
+"""Inline suppression grammar: reasons required, same-line scope, meta-findings."""
+
+import textwrap
+
+from hypothesis import given, strategies as st
+
+from repro.lint.findings import Finding, LintResult
+from repro.lint.rules.rng import RngDiscipline
+from repro.lint.runner import lint_source
+from repro.lint.suppress import SYNTAX_RULE, parse_suppressions
+
+VIOLATION = "import numpy as np\nrng = np.random.default_rng(0){comment}\n"
+
+
+def run(src):
+    return lint_source(textwrap.dedent(src), rules=[RngDiscipline])
+
+
+class TestDirectiveParsing:
+    def test_directive_with_reason_parses(self):
+        src = "x = 1  # repro-lint: disable=rng-discipline (fixed seed is the contract)\n"
+        by_line, findings = parse_suppressions(src, "<t>")
+        assert findings == []
+        assert by_line[1].rules == frozenset({"rng-discipline"})
+        assert by_line[1].reason == "fixed seed is the contract"
+
+    def test_multi_rule_directive(self):
+        src = "x = 1  # repro-lint: disable=a-rule,b-rule (shared justification)\n"
+        by_line, _ = parse_suppressions(src, "<t>")
+        assert by_line[1].rules == frozenset({"a-rule", "b-rule"})
+
+    def test_reason_may_contain_nested_parens(self):
+        src = "x = 1  # repro-lint: disable=r (default (see docs) is deliberate)\n"
+        by_line, findings = parse_suppressions(src, "<t>")
+        assert findings == []
+        assert by_line[1].reason == "default (see docs) is deliberate"
+
+    def test_directive_inside_string_ignored(self):
+        src = 's = "# repro-lint: disable=r (not a comment)"\n'
+        by_line, findings = parse_suppressions(src, "<t>")
+        assert by_line == {} and findings == []
+
+    def test_missing_reason_is_syntax_finding(self):
+        src = "x = 1  # repro-lint: disable=rng-discipline\n"
+        by_line, findings = parse_suppressions(src, "<t>")
+        assert by_line == {}
+        assert [f.rule for f in findings] == [SYNTAX_RULE]
+        assert "reason" in findings[0].message
+
+    def test_malformed_directive_is_syntax_finding(self):
+        src = "x = 1  # repro-lint: enable=rng-discipline (nope)\n"
+        by_line, findings = parse_suppressions(src, "<t>")
+        assert by_line == {}
+        assert [f.rule for f in findings] == [SYNTAX_RULE]
+
+
+class TestSuppressionSemantics:
+    def test_covering_directive_suppresses(self):
+        findings = run(
+            VIOLATION.format(
+                comment="  # repro-lint: disable=rng-discipline (test default)"
+            )
+        )
+        assert len(findings) == 1
+        assert findings[0].suppressed
+        assert findings[0].suppress_reason == "test default"
+
+    def test_suppressed_findings_do_not_affect_exit_code(self):
+        findings = run(
+            VIOLATION.format(
+                comment="  # repro-lint: disable=rng-discipline (test default)"
+            )
+        )
+        assert LintResult(findings=findings).exit_code == 0
+
+    def test_non_covering_rule_does_not_suppress(self):
+        findings = run(
+            VIOLATION.format(comment="  # repro-lint: disable=dtype-discipline (wrong rule)")
+        )
+        assert len(findings) == 1
+        assert not findings[0].suppressed
+
+    def test_directive_on_other_line_does_not_suppress(self):
+        src = (
+            "# repro-lint: disable=rng-discipline (wrong line)\n"
+            "import numpy as np\n"
+            "rng = np.random.default_rng(0)\n"
+        )
+        findings = run(src)
+        assert len(findings) == 1
+        assert not findings[0].suppressed
+
+    def test_reasonless_directive_leaves_finding_and_adds_meta(self):
+        findings = run(VIOLATION.format(comment="  # repro-lint: disable=rng-discipline"))
+        rules = sorted(f.rule for f in findings)
+        assert rules == ["rng-discipline", SYNTAX_RULE]
+        assert all(not f.suppressed for f in findings)
+
+    def test_syntax_finding_cannot_be_suppressed(self):
+        # disable=suppression-syntax is rejected as malformed outright.
+        src = "x = 1  # repro-lint: disable=suppression-syntax (gaming the meta rule)\n"
+        by_line, findings = parse_suppressions(src, "<t>")
+        assert by_line == {}
+        assert [f.rule for f in findings] == [SYNTAX_RULE]
+
+
+_reasons = st.text(
+    st.characters(min_codepoint=32, max_codepoint=126, blacklist_characters="()\\#"),
+    min_size=1,
+    max_size=40,
+).filter(lambda s: s.strip())
+
+
+class TestSuppressionProperty:
+    @given(reason=_reasons)
+    def test_any_reasoned_suppression_zeroes_exit_code(self, reason):
+        """Property: a covering suppression with *any* non-empty reason keeps
+        the finding out of the exit code, and the reason round-trips."""
+        findings = run(
+            VIOLATION.format(comment=f"  # repro-lint: disable=rng-discipline ({reason})")
+        )
+        result = LintResult(findings=findings)
+        assert len(findings) == 1 and findings[0].suppressed
+        assert result.exit_code == 0
+        assert findings[0].suppress_reason == reason.strip()
+
+    @given(
+        suppressed_flags=st.lists(st.booleans(), min_size=0, max_size=8),
+    )
+    def test_exit_code_depends_only_on_unsuppressed(self, suppressed_flags):
+        findings = [
+            Finding(
+                rule="r",
+                path="p.py",
+                line=i + 1,
+                col=0,
+                message="m",
+                suppressed=flag,
+                suppress_reason="why" if flag else None,
+            )
+            for i, flag in enumerate(suppressed_flags)
+        ]
+        result = LintResult(findings=findings)
+        assert result.exit_code == (0 if all(suppressed_flags) else 1 if suppressed_flags else 0)

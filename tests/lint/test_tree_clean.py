@@ -1,0 +1,43 @@
+"""Tier-1 gate: the shipped tree stays lint-clean, suppressions stay reasoned.
+
+This is the test that makes the contracts permanent: any new unsuppressed
+finding in ``src/repro`` — or any suppression added without a written
+reason — fails tier-1.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.lint import all_rules, run_lint
+
+PACKAGE = Path(repro.__file__).parent
+
+
+def tree_result():
+    return run_lint([PACKAGE])
+
+
+def test_tree_has_no_unsuppressed_findings():
+    result = tree_result()
+    assert result.files_checked > 50
+    offenders = result.unsuppressed
+    assert offenders == [], "unsuppressed lint findings:\n" + "\n".join(
+        f.render() for f in offenders
+    )
+
+
+def test_every_suppression_carries_a_reason():
+    for finding in tree_result().suppressed:
+        assert finding.suppress_reason and finding.suppress_reason.strip(), finding.render()
+
+
+def test_all_six_contracts_are_registered_and_exercised():
+    names = set(all_rules())
+    assert {
+        "rng-discipline",
+        "dtype-discipline",
+        "lock-discipline",
+        "process-picklability",
+        "resource-lifecycle",
+        "error-taxonomy",
+    } <= names

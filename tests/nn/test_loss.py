@@ -51,6 +51,13 @@ class TestOneHot:
         with pytest.raises(ValueError):
             one_hot(np.zeros((2, 2), dtype=int), 3)
 
+    def test_dtype_is_explicit_float64(self):
+        """Regression (dtype-discipline): the target matrix names its
+        dtype instead of riding numpy's creation default, so the loss
+        math stays float64 regardless of numpy configuration."""
+        oh = one_hot(np.array([1, 0], dtype=np.int32), 2)
+        assert oh.dtype == np.float64
+
 
 class TestSoftmaxCrossEntropy:
     def test_perfect_prediction_near_zero_loss(self):

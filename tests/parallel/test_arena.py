@@ -8,7 +8,7 @@ import pytest
 
 from repro.core.engine import BatchedEngine, engine_fingerprint
 from repro.core.mfdfp import MFDFPNetwork
-from repro.parallel import SharedWeightArena, attach_planes
+from repro.parallel import ArenaClosedError, PoolError, SharedWeightArena, attach_planes
 from repro.parallel.arena import _ATTACHED
 from repro.zoo import cifar10_small
 
@@ -52,8 +52,18 @@ class TestPublish:
     def test_closed_arena_refuses_publish(self, deployed, prefix):
         arena = SharedWeightArena(prefix=prefix)
         arena.close()
-        with pytest.raises(RuntimeError):
+        with pytest.raises(ArenaClosedError):
             arena.publish(deployed)
+
+    def test_closed_arena_error_is_typed(self, deployed, prefix):
+        """Regression: the closed-arena raise is part of the parallel
+        taxonomy (catchable as PoolError) while staying a RuntimeError
+        for pre-taxonomy callers."""
+        arena = SharedWeightArena(prefix=prefix)
+        arena.close()
+        with pytest.raises(PoolError):
+            arena.publish(deployed)
+        assert issubclass(ArenaClosedError, RuntimeError)
 
 
 class TestAttach:
