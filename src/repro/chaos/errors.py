@@ -1,0 +1,41 @@
+"""Typed errors of the chaos subsystem.
+
+The chaos harness holds the rest of the system to a typed-errors-only
+standard, so it keeps the same discipline itself: everything it raises
+is a :class:`ChaosError` subclass.  Note the *injected* faults never
+raise these — a fault raises (or provokes) an error from the owning
+layer's hierarchy (``ArtifactError``, ``PoolError``, ``CrashError``),
+exactly what production code would see.  ``ChaosError`` covers the
+harness's own failures: malformed plans, unknown sites, drills that
+hang or break an invariant.
+"""
+
+from __future__ import annotations
+
+
+class ChaosError(RuntimeError):
+    """Base class for chaos-harness failures (not injected faults)."""
+
+
+class FaultPlanError(ChaosError):
+    """A fault plan is malformed: unknown fault, bad trigger, bad JSON."""
+
+
+class UnknownSiteError(ChaosError):
+    """A plan rule names an injection site no loaded module registered."""
+
+
+class DrillError(ChaosError):
+    """A recovery drill failed — one of its invariants did not hold."""
+
+
+class DrillTimeoutError(DrillError):
+    """The drill watchdog expired: the system hung instead of recovering."""
+
+
+class InvariantViolation(DrillError):
+    """A drill observed a non-typed (raw) error escaping a layer boundary.
+
+    Carries the original exception as ``__cause__`` — the whole point of
+    the drills is that this never fires.
+    """

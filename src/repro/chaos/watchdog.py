@@ -1,0 +1,60 @@
+"""Drill watchdog: a hang is a failure, not a wait.
+
+Every recovery drill runs inside a :class:`Watchdog`.  If the budget
+expires the watchdog dumps every thread's stack (``faulthandler``, which
+fires even when all Python threads are wedged on locks) and interrupts
+the main thread; the context manager converts the interrupt into a
+typed :class:`~repro.chaos.errors.DrillTimeoutError` so "the system
+hung instead of recovering" surfaces as an assertable drill failure —
+the first of the three drill invariants.
+"""
+
+from __future__ import annotations
+
+import _thread
+import faulthandler
+import sys
+import threading
+
+from repro.chaos.errors import DrillTimeoutError
+
+
+class Watchdog:
+    """Context manager bounding a block's wall-clock time.
+
+    Args:
+        budget_s: Seconds the block may run.
+        label: Echoed in the timeout error.
+    """
+
+    def __init__(self, budget_s: float, label: str = "drill"):
+        if budget_s <= 0:
+            raise DrillTimeoutError(f"watchdog budget must be positive, got {budget_s}")
+        self.budget_s = float(budget_s)
+        self.label = label
+        self.expired = False
+        self._timer: threading.Timer | None = None
+
+    def _fire(self) -> None:
+        self.expired = True
+        faulthandler.dump_traceback(file=sys.stderr)
+        # KeyboardInterrupt in the main thread unsticks interruptible
+        # waits; __exit__ retypes it below.  A hard wedge in C code is
+        # still caught by the outer faulthandler dump for diagnosis.
+        _thread.interrupt_main()
+
+    def __enter__(self) -> "Watchdog":
+        self._timer = threading.Timer(self.budget_s, self._fire)
+        self._timer.daemon = True
+        self._timer.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._timer is not None:
+            self._timer.cancel()
+        if self.expired:
+            raise DrillTimeoutError(
+                f"{self.label}: exceeded the {self.budget_s:.0f}s watchdog budget "
+                "(stacks dumped to stderr)"
+            ) from (exc if isinstance(exc, BaseException) else None)
+        return False

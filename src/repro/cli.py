@@ -23,6 +23,8 @@ Usage::
                                       # validate + publish an artifact file
     python -m repro resume --checkpoint-dir DIR [--epochs N]
                                       # continue a checkpointed training run
+    python -m repro chaos --drill NAME|all [--seed N] [--quick] [--list]
+                                      # fault-injection recovery drills
 
 ``table2`` and ``fig3`` train on the CIFAR-10 surrogate and take a few
 minutes; the others are instantaneous.  Training runs through the
@@ -469,6 +471,38 @@ def _cmd_lint(args) -> None:
         raise SystemExit(code)
 
 
+def _cmd_chaos(args) -> None:
+    import json as _json
+
+    # Import the owning layers so the full site catalog is registered
+    # before plans validate or --list prints.
+    import repro.io.store  # noqa: F401  (registers io.* sites)
+    import repro.parallel.arena  # noqa: F401  (registers parallel.* sites)
+    import repro.serve.faults  # noqa: F401  (registers serve.* sites)
+    from repro.chaos import DRILLS, run_all_drills, run_drill, site_catalog
+
+    if args.list:
+        print("drills:")
+        for name in DRILLS:
+            print(f"  {name}")
+        print("injection sites:")
+        for site in site_catalog().values():
+            print(f"  {site.name}  [{site.layer}]  {site.description}")
+        return
+    if args.drill is None:
+        raise SystemExit("chaos: pass --drill NAME (or --drill all, or --list)")
+    if args.drill == "all":
+        reports = run_all_drills(seed=args.seed, quick=args.quick, log=print)
+    else:
+        reports = [run_drill(args.drill, seed=args.seed, quick=args.quick, log=print)]
+    for report in reports:
+        print(f"\n=== drill {report.name} (seed={report.seed}) ===")
+        print(_json.dumps(report.plan, indent=2, sort_keys=True))
+        for invariant, verdict in report.invariants.items():
+            print(f"  [ok] {invariant}: {verdict}")
+    print(f"\n{len(reports)} drill(s) passed")
+
+
 def _positive_int(value: str) -> int:
     n = int(value)
     if n < 1:
@@ -673,6 +707,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     _add_lint_arguments(pli)
     pli.set_defaults(fn=_cmd_lint)
+    pch = sub.add_parser(
+        "chaos", help="deterministic fault-injection recovery drills"
+    )
+    pch.add_argument(
+        "--drill",
+        default=None,
+        metavar="NAME",
+        help="drill to run, or 'all' (see --list for the catalog)",
+    )
+    pch.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="fault-plan seed; a drill replays bit-identically from its "
+        "printed plan plus this seed (default: 0)",
+    )
+    pch.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller problems and fewer requests (the CI smoke configuration)",
+    )
+    pch.add_argument(
+        "--list",
+        action="store_true",
+        help="print the drill catalog and every registered injection site",
+    )
+    pch.set_defaults(fn=_cmd_chaos)
     return parser
 
 

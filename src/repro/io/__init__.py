@@ -44,7 +44,11 @@ from repro.io.checkpoint import (
     PipelineCheckpointer,
     resume_algorithm1,
 )
-from repro.io.store import ArtifactStore
+from repro.io.store import (
+    ArtifactStore,
+    QuarantinedArtifactError,
+    TransientStoreError,
+)
 
 __all__ = [
     "ArtifactCorruptError",
@@ -55,6 +59,8 @@ __all__ = [
     "Checkpointer",
     "FORMAT_VERSION",
     "PipelineCheckpointer",
+    "QuarantinedArtifactError",
+    "TransientStoreError",
     "load_checkpoint",
     "load_deployed",
     "load_mfdfp_result",

@@ -47,6 +47,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.chaos.registry import inject, register_site
 from repro.core.dfp import DFPFormat
 from repro.core.engine import engine_fingerprint
 from repro.core.mfdfp import DeployedLayer, DeployedMFDFP
@@ -59,6 +60,19 @@ FORMAT_VERSION = 2
 
 #: Marker distinguishing container files from the legacy v1 layout.
 MAGIC = "repro-artifact"
+
+register_site(
+    "io.artifact.write",
+    layer="io",
+    description="after an atomic container write lands at its final path; "
+    "faults here tear or corrupt the durable bytes (storage that lied)",
+)
+register_site(
+    "io.artifact.read",
+    layer="io",
+    description="before a container file is opened; faults here corrupt the "
+    "file or raise typed read errors the load path must classify",
+)
 
 
 class ArtifactError(ValueError):
@@ -109,6 +123,7 @@ def write_container(path, kind: str, meta: dict, arrays: dict[str, np.ndarray]) 
         os.replace(tmp, final)
     finally:
         tmp.unlink(missing_ok=True)
+    inject("io.artifact.write", path=final, kind=kind)
 
 
 def _parse_header(raw: bytes, path, expect_kind: Optional[str]) -> dict:
@@ -150,6 +165,10 @@ def _parse_header(raw: bytes, path, expect_kind: Optional[str]) -> dict:
 
 def _load_entries(path, want_arrays: bool) -> tuple[bytes, dict]:
     try:
+        # Inside the try on purpose: an injected fault that raises a raw
+        # error exercises (and is converted by) the same classification
+        # the real failure modes go through.
+        inject("io.artifact.read", path=path)
         with np.load(path) as data:
             if "__header__" not in data.files:
                 raise ArtifactSchemaError(

@@ -29,6 +29,7 @@ from typing import Optional
 import numpy as np
 
 from repro.io.artifacts import (
+    ArtifactCorruptError,
     ArtifactError,
     ArtifactSchemaError,
     _field,
@@ -43,6 +44,7 @@ from repro.io.artifacts import (
     plan_from_meta,
     plan_to_meta,
     read_container,
+    read_header,
     save_checkpoint,
     write_container,
 )
@@ -76,6 +78,37 @@ def _list_checkpoints(directory: Path, prefix: str) -> list[Path]:
     )
 
 
+def _is_readable(path: Path) -> bool:
+    """Cheap validity probe: does the file's container header read?
+
+    A torn write (truncated zip) loses the central directory at the
+    file's tail, so a header read fails — which makes this probe catch
+    exactly the damage the torn-write fault model produces, without
+    decompressing any tensor data.
+    """
+    try:
+        read_header(path)
+    except ArtifactError:
+        return False
+    return True
+
+
+def _prune_verified(files: list[Path], keep: int) -> list[Path]:
+    """Delete all but the newest ``keep`` *verified* files; return deletions.
+
+    Only files that pass :func:`_is_readable` count toward (or are
+    eligible for) pruning: when the newest file on disk is torn, the
+    newest *valid* one is still within the kept window, so resume always
+    has something to fall back to.  Torn files are left in place as
+    evidence — resume skips them and they never crowd out valid state.
+    """
+    verified = [p for p in files if _is_readable(p)]
+    doomed = verified[:-keep] if keep else []
+    for old in doomed:
+        old.unlink(missing_ok=True)
+    return doomed
+
+
 class Checkpointer:
     """Writes (and restores) epoch-boundary checkpoints of one training run.
 
@@ -87,17 +120,31 @@ class Checkpointer:
             since the last checkpoint — bit-identical either way).
         phase: Label stored in each checkpoint (pipeline phases use
             ``phase1``/``phase2``).
+        keep: Retain only the newest ``keep`` *verified* checkpoints
+            (``None`` keeps everything).  Pruning never counts or
+            deletes an unreadable (torn) file: if the newest file on
+            disk is damaged, the newest valid one stays within the kept
+            window and :meth:`resume` falls back to it.
 
     An instance is callable with the trainer, matching the
     ``Trainer.fit(checkpoint=...)`` hook.
     """
 
-    def __init__(self, directory, every: int = 1, phase: str = "train"):
+    def __init__(
+        self,
+        directory,
+        every: int = 1,
+        phase: str = "train",
+        keep: Optional[int] = None,
+    ):
         if every < 1:
             raise ValueError("checkpoint interval must be >= 1")
+        if keep is not None and keep < 1:
+            raise ValueError("must keep at least one checkpoint")
         self.directory = Path(directory)
         self.every = every
         self.phase = phase
+        self.keep = keep
 
     def __call__(self, trainer) -> None:
         epoch = len(trainer.history.epochs)
@@ -112,6 +159,8 @@ class Checkpointer:
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(len(trainer.history.epochs))
         save_checkpoint(path, trainer.state_dict(), phase=self.phase)
+        if self.keep is not None:
+            _prune_verified(self.checkpoints(), self.keep)
         return path
 
     def checkpoints(self) -> list[Path]:
@@ -123,18 +172,36 @@ class Checkpointer:
         return found[-1] if found else None
 
     def resume(self, trainer) -> int:
-        """Restore the latest checkpoint into ``trainer``.
+        """Restore the newest *loadable* checkpoint into ``trainer``.
 
         Returns the number of completed epochs restored (0 when no
         checkpoint exists — the caller trains from scratch).  Continue
         with ``trainer.fit(..., resume=True, checkpoint=self)``.
+
+        A torn newest file (e.g. the process was killed mid-write and
+        the filesystem surfaced a truncated replacement) is skipped and
+        the next-newest checkpoint restored instead; resume then re-runs
+        the lost epochs, which is bit-identical by the epoch-boundary
+        contract.  If checkpoint files exist but *none* load,
+        :class:`~repro.io.artifacts.ArtifactCorruptError` is raised
+        rather than silently training from scratch.
         """
-        path = self.latest()
-        if path is None:
+        found = self.checkpoints()
+        if not found:
             return 0
-        _, state, _ = load_checkpoint(path)
-        trainer.load_state_dict(state)
-        return len(trainer.history.epochs)
+        last_error: Optional[ArtifactError] = None
+        for path in reversed(found):
+            try:
+                _, state, _ = load_checkpoint(path)
+            except ArtifactError as exc:
+                last_error = exc
+                continue
+            trainer.load_state_dict(state)
+            return len(trainer.history.epochs)
+        raise ArtifactCorruptError(
+            f"{self.directory}: all {len(found)} checkpoint file(s) failed to load; "
+            f"newest error: {last_error}"
+        ) from last_error
 
 
 class PipelineCheckpointer:
@@ -208,10 +275,11 @@ class PipelineCheckpointer:
         write_container(path, "pipeline", meta, arrays)
         # Each file is self-contained (teacher + full snapshot series),
         # so disk use would grow quadratically with epochs if every step
-        # survived; resume only ever reads the newest, so prune to the
-        # last ``keep`` (a margin of older boundaries, not a history).
-        for old in self.checkpoints()[: -self.keep]:
-            old.unlink(missing_ok=True)
+        # survived; resume reads the newest *loadable* file, so prune to
+        # the last ``keep`` verified ones (a margin of fallbacks, not a
+        # history) — a torn newest file must never evict the newest
+        # valid state resume would fall back to.
+        _prune_verified(self.checkpoints(), self.keep)
         return path
 
     def checkpoints(self) -> list[Path]:
@@ -222,10 +290,25 @@ class PipelineCheckpointer:
         return found[-1] if found else None
 
     def load_latest(self) -> dict:
-        """Load the newest pipeline checkpoint into plain restore data."""
-        path = self.latest()
-        if path is None:
+        """Load the newest *loadable* pipeline checkpoint as restore data.
+
+        A torn newest step file is skipped in favour of the next-newest
+        one (resume re-runs the lost epochs bit-identically); if step
+        files exist but none load,
+        :class:`~repro.io.artifacts.ArtifactCorruptError` is raised.
+        """
+        found = self.checkpoints()
+        if not found:
             raise ArtifactError(f"no pipeline checkpoint found under {self.directory}")
+        path = None
+        for candidate in reversed(found):
+            if _is_readable(candidate):
+                path = candidate
+                break
+        if path is None:
+            raise ArtifactCorruptError(
+                f"{self.directory}: all {len(found)} pipeline step file(s) are unreadable"
+            )
         header, arrays = read_container(path, expect_kind="pipeline")
         meta = header["meta"]
         ctx = str(path)

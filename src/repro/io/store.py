@@ -16,17 +16,31 @@ newest version by default, which is what
 :meth:`repro.serve.ModelRegistry.from_store` serves: a cold process
 start loads every model from disk in milliseconds instead of re-running
 quantization and calibration.
+
+Corruption handling is **quarantine, then fall back**: a version file
+that fails verify-on-load is moved to ``<root>/quarantine/<name>/``
+(with a ``.reason.json`` sidecar recording why), a direct load of that
+version raises :class:`QuarantinedArtifactError`, and newest-version
+resolution silently falls back to the newest version that *does*
+verify — so one rotted file degrades a cold start by one version
+instead of taking the model offline.  Reads retry transient failures
+(:class:`TransientStoreError`, e.g. injected by the chaos harness to
+model an NFS blip) through a shared :class:`repro.retry.RetryPolicy`.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import re
+import time
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Optional
 
+from repro.chaos.registry import inject, register_site
 from repro.core.engine import engine_fingerprint
 from repro.core.mfdfp import DeployedMFDFP
+from repro.retry import RetryPolicy
 
 from repro.io.artifacts import (
     ArtifactError,
@@ -41,6 +55,42 @@ _STORE_FORMAT = "repro-artifact-store"
 _VERSION_RE = re.compile(r"^v(\d{4,})\.npz$")
 _NAME_RE = re.compile(r"^[A-Za-z0-9][\w.-]*$")
 
+register_site(
+    "io.store.read",
+    layer="io",
+    description="each attempt to read one published version file; faults "
+    "here corrupt the version file or raise TransientStoreError (retried)",
+)
+
+
+class TransientStoreError(ArtifactError):
+    """A store read failed for a reason expected to heal on retry.
+
+    Raised (today) only by injected faults modelling flaky storage; the
+    store's :class:`~repro.retry.RetryPolicy` absorbs up to
+    ``attempts - 1`` of these per read before letting one propagate.
+    """
+
+
+class QuarantinedArtifactError(ArtifactError):
+    """A version failed verify-on-load and was moved to ``quarantine/``.
+
+    Carries the model ``name``, the ``version`` number, the quarantine
+    ``path`` the bytes now live at, and the verification failure as
+    ``reason``.  Raised on *direct* loads of the bad version — loads of
+    "newest" fall back to the next verified version instead.
+    """
+
+    def __init__(self, name: str, version: int, path, reason: str):
+        super().__init__(
+            f"model {name!r} version {version} failed verification and was "
+            f"quarantined at {path} ({reason})"
+        )
+        self.name = name
+        self.version = version
+        self.path = Path(path)
+        self.reason = reason
+
 
 class ArtifactStore:
     """A versioned artifact directory (see module docstring).
@@ -51,9 +101,24 @@ class ArtifactStore:
             With ``create=False`` a path that is not an existing store
             raises :class:`~repro.io.artifacts.ArtifactError` — the
             read-only open used by ``serve --store``.
+        retry: Policy for transient read failures (default: 3 attempts,
+            10 ms initial backoff).
+        sleep: Backoff sleep, injectable for deterministic tests/drills.
     """
 
-    def __init__(self, root, create: bool = True):
+    def __init__(
+        self,
+        root,
+        create: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.retry = retry if retry is not None else RetryPolicy(
+            attempts=3, backoff_initial_s=0.01, backoff_cap_s=0.25
+        )
+        self._sleep = sleep
+        #: Count of reads that needed at least one retry (typed accounting).
+        self.retried_reads = 0
         self.root = Path(root)
         marker = self.root / _MARKER
         if marker.is_file():
@@ -110,27 +175,141 @@ class ArtifactStore:
                 raise ArtifactError(f"store has no model named {name!r}")
         path = self._model_dir(name) / f"v{version:04d}.npz"
         if not path.is_file():
+            quarantined = self.quarantine_dir(name) / f"v{version:04d}.npz"
+            if quarantined.is_file():
+                raise QuarantinedArtifactError(
+                    name, version, quarantined, "previously failed verification"
+                )
             raise ArtifactError(f"store has no version {version} of model {name!r}")
         return path
+
+    # -- quarantine --------------------------------------------------------
+    def quarantine_dir(self, name: Optional[str] = None) -> Path:
+        """Where failed-verification artifacts are moved (never globbed
+        by version resolution)."""
+        base = self.root / "quarantine"
+        return base / name if name else base
+
+    def quarantined_versions(self, name: str) -> list[int]:
+        """Version numbers of ``name`` currently sitting in quarantine."""
+        return self._versions(self.quarantine_dir(name))
+
+    def _quarantine_version(self, name: str, version: int, error: BaseException) -> Path:
+        """Move a failed version file out of the resolvable tree."""
+        src = self._model_dir(name) / f"v{version:04d}.npz"
+        dest_dir = self.quarantine_dir(name)
+        dest_dir.mkdir(parents=True, exist_ok=True)
+        dest = dest_dir / src.name
+        if dest.exists():  # re-quarantine after a republish of the same number
+            suffix = 1
+            while (dest_dir / f"{src.stem}.{suffix}.npz").exists():
+                suffix += 1
+            dest = dest_dir / f"{src.stem}.{suffix}.npz"
+        os.replace(src, dest)
+        dest.with_suffix(".reason.json").write_text(
+            json.dumps(
+                {
+                    "model": name,
+                    "version": version,
+                    "error": f"{type(error).__name__}: {error}",
+                    "quarantined_unix": int(time.time()),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        return dest
+
+    def _read_deployed(self, name: str, version: int, path: Path) -> DeployedMFDFP:
+        """One fully-validated read, with transient failures retried."""
+
+        def attempt() -> DeployedMFDFP:
+            inject("io.store.read", name=name, version=version, path=path)
+            return load_deployed(path)
+
+        def account(failure: int, error: BaseException) -> None:
+            self.retried_reads += 1
+
+        return self.retry.call(
+            attempt, retry_on=(TransientStoreError,), sleep=self._sleep, on_retry=account
+        )
 
     def publish_deployed(self, name: str, deployed: DeployedMFDFP) -> int:
         """Publish a deployed artifact; returns its version number.
 
         Content-addressed idempotence: when the artifact's engine
         fingerprint equals the current newest version's, no new version
-        is written and the existing number is returned.
+        is written and the existing number is returned.  A newest
+        version whose header no longer reads (bit rot since publish) is
+        quarantined here rather than wedging every future publish.
+        Version numbers are monotonic across quarantines: a quarantined
+        number is never reissued, so "version N" always names exactly
+        one artifact's bytes.
         """
         fingerprint = engine_fingerprint(deployed)
         latest = self.latest_version(name)
-        if latest is not None and self.fingerprint(name, latest) == fingerprint:
-            return latest
-        version = (latest or 0) + 1
+        if latest is not None:
+            try:
+                if self.fingerprint(name, latest) == fingerprint:
+                    return latest
+            except ArtifactError as exc:
+                self._quarantine_version(name, latest, exc)
+        quarantined = self.quarantined_versions(name)
+        version = max(latest or 0, max(quarantined, default=0)) + 1
         save_deployed(deployed, self._model_dir(name, create=True) / f"v{version:04d}.npz")
         return version
 
     def load_deployed(self, name: str, version: Optional[int] = None) -> DeployedMFDFP:
-        """Load one published version (default: newest), fully validated."""
-        return load_deployed(self.model_path(name, version))
+        """Load one published version (default: newest), fully validated.
+
+        An explicit ``version`` that fails verification is quarantined
+        and raises :class:`QuarantinedArtifactError`.  ``version=None``
+        quarantines failing versions and falls back to the newest one
+        that verifies (:meth:`load_newest_verified`).
+        """
+        if version is None:
+            return self.load_newest_verified(name)[1]
+        path = self.model_path(name, version)
+        try:
+            return self._read_deployed(name, version, path)
+        except ArtifactError as exc:
+            quarantined = self._quarantine_version(name, version, exc)
+            raise QuarantinedArtifactError(name, version, quarantined, str(exc)) from exc
+
+    def load_newest_verified(self, name: str) -> tuple[int, DeployedMFDFP]:
+        """``(version, artifact)`` of the newest version that verifies.
+
+        Walks versions newest-first; each one that fails verify-on-load
+        is quarantined and the walk falls back to the next.  Raises
+        :class:`~repro.io.artifacts.ArtifactError` only when no version
+        verifies (the last failure as ``__cause__``).
+        """
+        versions = self.versions(name)
+        if not versions:
+            raise ArtifactError(f"store has no model named {name!r}")
+        last_error: Optional[ArtifactError] = None
+        for version in reversed(versions):
+            path = self._model_dir(name) / f"v{version:04d}.npz"
+            try:
+                return version, self._read_deployed(name, version, path)
+            except ArtifactError as exc:
+                last_error = exc
+                self._quarantine_version(name, version, exc)
+        raise ArtifactError(
+            f"every published version of model {name!r} failed verification "
+            f"({len(versions)} quarantined)"
+        ) from last_error
+
+    def latest_verified_version(self, name: str) -> Optional[int]:
+        """Newest version whose file verifies, quarantining those that don't.
+
+        ``None`` when the model has no verifiable version left.
+        """
+        try:
+            return self.load_newest_verified(name)[0]
+        except ArtifactError:
+            return None
 
     def fingerprint(self, name: str, version: Optional[int] = None) -> Optional[str]:
         """Stored engine fingerprint of a version (header read only).

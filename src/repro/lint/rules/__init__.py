@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.lint.rules import (  # noqa: F401  (import = register)
     dtype,
     errors,
+    injection,
     lifecycle,
     locks,
     pickle,

@@ -38,6 +38,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.chaos.registry import inject, register_site
 from repro.core.engine import decode_weight_plane, engine_fingerprint
 from repro.core.mfdfp import DeployedMFDFP
 from repro.parallel.pool import PoolError
@@ -50,7 +51,47 @@ class ArenaClosedError(PoolError):
     callers must build a fresh arena rather than race the teardown.
     """
 
+
+class ArenaSegmentLostError(PoolError):
+    """A worker tried to attach a segment that no longer exists.
+
+    The publisher died (its atexit unlinked the segment) or an external
+    actor unlinked it; the spec the worker holds is dead and the model
+    must be republished before workers can attach again.
+    """
+
 SEGMENT_PREFIX = "repro-wa"
+
+register_site(
+    "parallel.arena.attach",
+    layer="parallel",
+    description="Before a worker maps a shared-memory weight segment; "
+    "context has segment (the segment name).",
+)
+
+
+def unlink_segment(name: str) -> bool:
+    """Forcibly unlink a shared-memory segment by name (chaos/test hook).
+
+    Models an external actor (OOM reaper, operator cleanup script,
+    publisher crash) destroying a segment while workers still hold its
+    spec.  Returns ``False`` when the segment does not exist.  Lives
+    here so all :class:`~multiprocessing.shared_memory.SharedMemory`
+    lifecycle manipulation stays inside the arena module.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    try:
+        shm.unlink()  # also unregisters from the tracker
+    except FileNotFoundError:
+        _untrack(name)  # raced with the owner's teardown
+    # Attaching registered the name with this process's tracker (3.11
+    # attach-side re-register); the unlink above already dropped it, so
+    # just close our mapping.
+    shm.close()
+    return True
 
 
 def _untrack(name: str) -> None:
@@ -207,7 +248,14 @@ def attach_planes(spec: ArenaSpec) -> dict[int, np.ndarray]:
     cached = _ATTACHED.get(spec.segment)
     if cached is not None:
         return cached[1]
-    shm = shared_memory.SharedMemory(name=spec.segment)
+    inject("parallel.arena.attach", segment=spec.segment)
+    try:
+        shm = shared_memory.SharedMemory(name=spec.segment)
+    except FileNotFoundError as exc:
+        raise ArenaSegmentLostError(
+            f"shared-memory segment {spec.segment!r} no longer exists "
+            "(publisher gone?); republish the model before attaching"
+        ) from exc
     # No tracker unregister here: pool workers share the publisher's
     # resource tracker (fork and spawn both inherit its fd), whose name
     # set dedups the attach-side re-register; the publishing arena's

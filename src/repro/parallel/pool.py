@@ -43,6 +43,8 @@ import threading
 from concurrent.futures import CancelledError, Future
 from typing import Callable, Optional, Sequence
 
+from repro.chaos.registry import inject, register_site
+
 
 class PoolError(RuntimeError):
     """Base class for process-pool failures."""
@@ -60,6 +62,14 @@ class WorkerCrashedError(PoolError):
 
 class PoolClosedError(PoolError):
     """The pool was closed while (or before) the task was pending."""
+
+
+register_site(
+    "parallel.pool.submit",
+    layer="parallel",
+    description="After a task is queued to the worker pool; context has "
+    "task_index (monotonic id) and pool (the ProcessPoolRunner).",
+)
 
 
 def default_context() -> str:
@@ -200,6 +210,7 @@ class ProcessPoolRunner:
             task_id = next(self._ids)
             self._pending[task_id] = future
         self._tasks.put((task_id, payload))
+        inject("parallel.pool.submit", task_index=task_id, pool=self)
         return future
 
     def call(self, fn: Callable, *args, **kwargs):

@@ -1,0 +1,86 @@
+"""Shared retry machinery: capped exponential backoff, injectable time.
+
+One policy object serves every layer that retries transient failures:
+
+* :class:`repro.serve.supervisor.SupervisorPolicy` derives its
+  restart-backoff schedule from a :class:`RetryPolicy` (the schedule
+  used to live inline in the supervisor; it is extracted here so every
+  layer backs off identically), and
+* :class:`repro.io.store.ArtifactStore` retries transient version-file
+  reads (:class:`~repro.io.store.TransientStoreError`) through
+  :meth:`RetryPolicy.call`.
+
+Both the sleep and the clock are injectable, so chaos drills and the
+fake-clock serving tests replay retry sequences deterministically with
+zero wall-clock waits.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff over a bounded number of attempts.
+
+    The backoff before the retry following the ``k``-th consecutive
+    failure is ``backoff_initial_s * backoff_factor**(k-1)``, capped at
+    ``backoff_cap_s``.  ``attempts`` bounds the total tries (first call
+    included): ``attempts=3`` means up to two retries.
+    """
+
+    attempts: int = 3
+    backoff_initial_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 2.0
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be at least 1, got {self.attempts}")
+        if self.backoff_initial_s <= 0:
+            raise ValueError(
+                f"backoff_initial_s must be positive, got {self.backoff_initial_s}"
+            )
+        if self.backoff_factor < 1:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.backoff_cap_s < self.backoff_initial_s:
+            raise ValueError(
+                f"backoff_cap_s ({self.backoff_cap_s}) must be >= backoff_initial_s "
+                f"({self.backoff_initial_s})"
+            )
+
+    def backoff_s(self, consecutive_failures: int) -> float:
+        """Backoff before the retry following the k-th consecutive failure."""
+        if consecutive_failures < 1:
+            raise ValueError("backoff is only defined after at least one failure")
+        raw = self.backoff_initial_s * self.backoff_factor ** (consecutive_failures - 1)
+        return min(self.backoff_cap_s, raw)
+
+    def call(
+        self,
+        fn: Callable,
+        retry_on: tuple = (Exception,),
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    ):
+        """Run ``fn()`` with up to ``attempts`` tries.
+
+        Only exceptions matching ``retry_on`` are retried; anything else
+        propagates immediately, as does the final matching failure.
+        ``on_retry(failure_index, error)`` is called before each backoff
+        sleep — the hook drills and stores use for typed accounting of
+        how many attempts a recovery cost.
+        """
+        for failure in range(1, self.attempts + 1):
+            try:
+                return fn()
+            except retry_on as exc:
+                if failure == self.attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(failure, exc)
+                sleep(self.backoff_s(failure))
+        raise AssertionError("unreachable: the loop either returns or raises")

@@ -9,6 +9,15 @@ once from a seeded RNG via :func:`crash_schedule`), so a test that
 injects "crash on the 2nd and 5th call" replays bit-identically on every
 run and under any thread interleaving that preserves call order.
 
+Since the cross-layer chaos harness landed, the doubles are thin fronts
+over :mod:`repro.chaos`: each owns a private
+:class:`~repro.chaos.plan.FaultPlan` firing the registered serve sites
+(``serve.engine.run``, ``serve.builder.build``), so the same trigger
+grammar, thread-safe call counting and fault catalog drive scheduled
+serve failures and the io/parallel drills alike.  The public API —
+class names, constructor signatures, ``.calls``, the exact crash-message
+format — is unchanged.
+
 These live in the installed package (not under ``tests/``) on purpose:
 ``tests/`` is not importable as a package here, and the doubles are also
 what ``benchmarks/bench_serve_slo.py`` uses to gate crash-recovery
@@ -20,6 +29,10 @@ behaviour under load.
   scheduled call numbers and delegates otherwise.  Drop-in wherever an
   engine is expected (duck-typed: ``run``/``input_shape``/
   ``output_shape``/``deployed``).
+* :class:`LatencySpikeEngine` — wraps a real engine; ``run`` sleeps (on
+  an injectable sleeper, so fake clocks work) on the scheduled call
+  numbers before delegating — SLO/backpressure tests without wall-clock
+  flake.
 * :class:`FlakyBuilder` — a zero-argument builder (registry-compatible)
   raising on the scheduled build numbers; also usable as the engine
   provider seam's resolution step via :meth:`provider`.
@@ -30,14 +43,31 @@ behaviour under load.
 
 from __future__ import annotations
 
-import threading
+import time
 from typing import Callable, Iterable, Optional
 
 import numpy as np
 
+from repro.chaos.plan import FaultPlan, FaultRule
+from repro.chaos.registry import register_site
+
 
 class CrashError(RuntimeError):
     """The deterministic injected failure (distinguishable from real bugs)."""
+
+
+ENGINE_RUN_SITE = register_site(
+    "serve.engine.run",
+    layer="serve",
+    description="Every run() call on a CrashingEngine/LatencySpikeEngine "
+    "double; context has label and (for latency) sleep.",
+)
+BUILDER_BUILD_SITE = register_site(
+    "serve.builder.build",
+    layer="serve",
+    description="Every build/resolution attempt on a FlakyBuilder double; "
+    "context has label.",
+)
 
 
 def crash_schedule(
@@ -53,6 +83,25 @@ def crash_schedule(
     rng = np.random.default_rng(seed)
     picks = rng.choice(n_calls, size=n_crashes, replace=False)
     return frozenset(int(i) + 1 for i in picks)
+
+
+def _schedule_plan(site: str, schedule, what: str, name: str) -> FaultPlan:
+    """A private one-rule plan crashing ``site`` on the scheduled calls.
+
+    ``schedule`` is an iterable of 1-based call numbers, or
+    :data:`FlakyBuilder.ALWAYS` for every call; an empty schedule yields
+    a rule-free plan (the site still counts firings — ``.calls`` keeps
+    working — but nothing ever fires).
+    """
+    if schedule == FlakyBuilder.ALWAYS:
+        trigger = {"always": True}
+    else:
+        calls = sorted(int(c) for c in schedule)
+        if not calls:
+            return FaultPlan(rules=(), name=name)
+        trigger = {"calls": calls}
+    rule = FaultRule(site=site, fault="crash", trigger=trigger, params={"what": what})
+    return FaultPlan(rules=(rule,), name=name)
 
 
 class CrashingEngine:
@@ -74,8 +123,14 @@ class CrashingEngine:
         self._engine = engine
         self.crash_on = frozenset(crash_on)
         self.label = label
-        self.calls = 0
-        self._lock = threading.Lock()
+        self._plan = _schedule_plan(
+            ENGINE_RUN_SITE, self.crash_on, "crash on run() call", f"{label}-engine"
+        )
+
+    @property
+    def calls(self) -> int:
+        """How many ``run`` attempts this engine has seen (crashed or not)."""
+        return self._plan.calls(ENGINE_RUN_SITE)
 
     @property
     def input_shape(self):
@@ -90,11 +145,70 @@ class CrashingEngine:
         return self._engine.deployed
 
     def run(self, batch: np.ndarray) -> np.ndarray:
-        with self._lock:
-            self.calls += 1
-            call = self.calls
-        if call in self.crash_on:
-            raise CrashError(f"{self.label}: scheduled crash on run() call {call}")
+        self._plan.fire(ENGINE_RUN_SITE, {"label": self.label})
+        return self._engine.run(batch)
+
+
+class LatencySpikeEngine:
+    """An engine double that stalls ``run`` on scheduled calls, then delegates.
+
+    The spike sleeps through ``sleep`` (default :func:`time.sleep`);
+    tests pass a fake-clock sleeper so SLO/backpressure behaviour under
+    slow batches replays with zero wall-clock time.  The same duck-typed
+    engine surface as :class:`CrashingEngine`.
+
+    Args:
+        engine: The real engine to delegate to.
+        spike_on: 1-based ``run`` call numbers that stall.
+        spike_s: Stall duration in (possibly fake) seconds.
+        label: Echoed in plan logs.
+        sleep: Injectable sleeper for the stall.
+    """
+
+    def __init__(
+        self,
+        engine,
+        spike_on: Iterable[int] = (),
+        spike_s: float = 0.05,
+        label: str = "latency",
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self._engine = engine
+        self.spike_on = frozenset(spike_on)
+        self.spike_s = float(spike_s)
+        self.label = label
+        self._sleep = sleep
+        if self.spike_on:
+            rules = (
+                FaultRule(
+                    site=ENGINE_RUN_SITE,
+                    fault="latency",
+                    trigger={"calls": sorted(self.spike_on)},
+                    params={"seconds": self.spike_s},
+                ),
+            )
+        else:
+            rules = ()
+        self._plan = FaultPlan(rules=rules, name=f"{label}-engine")
+
+    @property
+    def calls(self) -> int:
+        return self._plan.calls(ENGINE_RUN_SITE)
+
+    @property
+    def input_shape(self):
+        return self._engine.input_shape
+
+    @property
+    def output_shape(self):
+        return self._engine.output_shape
+
+    @property
+    def deployed(self):
+        return self._engine.deployed
+
+    def run(self, batch: np.ndarray) -> np.ndarray:
+        self._plan.fire(ENGINE_RUN_SITE, {"label": self.label, "sleep": self._sleep})
         return self._engine.run(batch)
 
 
@@ -119,15 +233,17 @@ class FlakyBuilder:
         self.artifact = artifact
         self.fail_on = fail_on if fail_on == self.ALWAYS else frozenset(fail_on)
         self.label = label
-        self.calls = 0
-        self._lock = threading.Lock()
+        self._plan = _schedule_plan(
+            BUILDER_BUILD_SITE, self.fail_on, "failure on build", f"{label}-builder"
+        )
+
+    @property
+    def calls(self) -> int:
+        """How many build attempts this builder has seen (failed or not)."""
+        return self._plan.calls(BUILDER_BUILD_SITE)
 
     def _attempt(self):
-        with self._lock:
-            self.calls += 1
-            call = self.calls
-        if self.fail_on == self.ALWAYS or call in self.fail_on:
-            raise CrashError(f"{self.label}: scheduled failure on build {call}")
+        self._plan.fire(BUILDER_BUILD_SITE, {"label": self.label})
 
     def __call__(self):
         self._attempt()

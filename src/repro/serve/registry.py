@@ -88,12 +88,20 @@ class ModelRegistry:
 
         The loaded version number is recorded at build time, so
         :meth:`version_label` reports the version actually served even
-        when the builder floats on "newest".
+        when the builder floats on "newest".  Floating builds resolve
+        through :meth:`~repro.io.store.ArtifactStore.load_newest_verified`,
+        so a corrupted newest version is quarantined and the cold start
+        silently serves the newest version that verifies; a *pinned*
+        version that fails verification raises
+        :class:`~repro.io.store.QuarantinedArtifactError` instead (the
+        caller asked for those bytes specifically).
         """
 
         def build() -> DeployedMFDFP:
-            pinned = version if version is not None else self._store.latest_version(name)
-            artifact = self._store.load_deployed(name, pinned)
+            if version is not None:
+                pinned, artifact = version, self._store.load_deployed(name, version)
+            else:
+                pinned, artifact = self._store.load_newest_verified(name)
             with self._lock:
                 self._store_versions[name] = pinned
             return artifact

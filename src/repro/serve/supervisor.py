@@ -45,6 +45,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.retry import RetryPolicy
 from repro.serve.batching import AdaptiveBatchPolicy
 from repro.serve.errors import ModelQuarantinedError, ServerClosedError
 from repro.serve.metrics import ModelMetrics
@@ -84,12 +85,26 @@ class SupervisorPolicy:
                 f"({self.backoff_initial_s})"
             )
 
+    def retry_policy(self) -> RetryPolicy:
+        """This policy's backoff schedule as the repo-wide :class:`RetryPolicy`.
+
+        ``attempts`` maps from ``max_failures`` (the k-th failure being
+        terminal is the same shape as "k attempts, then give up");
+        supervision keeps its own quarantine bookkeeping and uses only
+        the backoff curve.
+        """
+        return RetryPolicy(
+            attempts=self.max_failures,
+            backoff_initial_s=self.backoff_initial_s,
+            backoff_factor=self.backoff_factor,
+            backoff_cap_s=self.backoff_cap_s,
+        )
+
     def backoff_s(self, consecutive_failures: int) -> float:
         """Backoff before the restart following the k-th consecutive failure."""
         if consecutive_failures < 1:
             raise ValueError("backoff is only defined after at least one failure")  # repro-lint: disable=error-taxonomy (precondition on a diagnostics property; ValueError is the documented contract)
-        raw = self.backoff_initial_s * self.backoff_factor ** (consecutive_failures - 1)
-        return min(self.backoff_cap_s, raw)
+        return self.retry_policy().backoff_s(consecutive_failures)
 
 
 @dataclass

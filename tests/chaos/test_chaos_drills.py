@@ -1,0 +1,70 @@
+"""Drill harness: report shape, determinism, and the cheap drills in-process.
+
+The full four-drill sweep (including the process-pool and SIGKILL
+drills) runs in ``benchmarks/bench_chaos_recovery.py`` and the CI chaos
+smoke step; here the fast drills prove the harness end-to-end at
+unit-test speed.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import DRILLS, DrillError, FaultPlan, Watchdog, run_drill
+from repro.chaos.errors import DrillTimeoutError
+
+
+class TestHarness:
+    def test_catalog_names_all_four_drills(self):
+        assert list(DRILLS) == [
+            "torn-checkpoint-resume",
+            "corrupted-store-cold-start",
+            "worker-death-campaign",
+            "kill-and-resume-under-load",
+        ]
+
+    def test_unknown_drill_is_typed(self):
+        with pytest.raises(DrillError, match="unknown drill"):
+            run_drill("explode-everything")
+
+    def test_watchdog_turns_hangs_into_typed_timeouts(self):
+        import time
+
+        with pytest.raises(DrillTimeoutError, match="hang"):
+            with Watchdog(0.05, label="hang"):
+                time.sleep(5.0)
+
+    def test_watchdog_noop_on_fast_block(self):
+        with Watchdog(30.0, label="fast"):
+            pass
+
+
+class TestCheapDrills:
+    @pytest.mark.parametrize("name", ["torn-checkpoint-resume", "corrupted-store-cold-start"])
+    def test_quick_drill_passes_and_reports(self, name, tmp_path):
+        report = run_drill(name, seed=3, quick=True, workdir=tmp_path, log=lambda msg: None)
+        assert report.passed and report.name == name and report.seed == 3 and report.quick
+        assert report.duration_s >= 0
+        # Every invariant the drill asserts is echoed with its verdict.
+        assert report.invariants and all(report.invariants.values())
+        # The plan round-trips: a failure log alone reproduces the run.
+        again = FaultPlan.from_json(json.dumps(report.plan))
+        assert again.to_dict() == report.plan
+        assert report.fired, "the drill's fault plan never fired"
+        doc = report.to_dict()
+        assert doc["name"] == name and doc["plan"] == report.plan
+
+    def test_drill_is_deterministic_per_seed(self, tmp_path):
+        reports = [
+            run_drill(
+                "torn-checkpoint-resume",
+                seed=11,
+                quick=True,
+                workdir=tmp_path / f"run{i}",
+                log=lambda msg: None,
+            )
+            for i in range(2)
+        ]
+        assert reports[0].plan == reports[1].plan
+        assert reports[0].fired == reports[1].fired
+        assert reports[0].details == reports[1].details

@@ -1,0 +1,264 @@
+"""Injected faults through the real io/parallel seams, and the retry policy.
+
+Each test installs a :class:`~repro.chaos.FaultPlan` and drives the
+*production* code path — the point is that the owning layer surfaces
+injected damage through its typed hierarchy (quarantine + fallback,
+``ArenaSegmentLostError``) exactly as it would a real failure.
+"""
+
+import os
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.chaos import FaultPlan, FaultRule, installed
+from repro.core.engine import engine_fingerprint
+from repro.core.mfdfp import MFDFPNetwork
+from repro.io import (
+    ArtifactError,
+    ArtifactStore,
+    QuarantinedArtifactError,
+    TransientStoreError,
+    load_deployed,
+    save_deployed,
+)
+from repro.parallel import SharedWeightArena, attach_planes
+from repro.parallel.arena import ArenaSegmentLostError
+from repro.retry import RetryPolicy
+from repro.serve.supervisor import SupervisorPolicy
+from repro.zoo import cifar10_small
+
+
+def tiny_deployed(seed=0):
+    from repro.core.mfdfp import deploy_calibrated
+
+    net = cifar10_small(size=8, width=4, rng=np.random.default_rng(seed), dtype=np.float64)
+    calib = np.random.default_rng(100 + seed).normal(size=(16, 3, 8, 8))
+    return deploy_calibrated(net, calib)
+
+
+def plan_of(*rules, seed=0):
+    return FaultPlan(seed=seed, rules=rules, name="test")
+
+
+def no_sleep(seconds):
+    raise AssertionError(f"unexpected real sleep({seconds})")
+
+
+class TestArtifactWriteFaults:
+    def test_torn_write_leaves_unreadable_file_and_typed_load_error(self, tmp_path):
+        deployed = tiny_deployed(0)
+        path = tmp_path / "d.npz"
+        plan = plan_of(
+            FaultRule(
+                site="io.artifact.write",
+                fault="torn-write",
+                trigger={"suffix": "d.npz"},
+                params={"fraction": 0.4},
+            )
+        )
+        with installed(plan):
+            save_deployed(deployed, path)
+        assert plan.fired == [("io.artifact.write", 1, "torn-write")]
+        intact = tmp_path / "intact.npz"
+        save_deployed(deployed, intact)
+        assert path.stat().st_size < intact.stat().st_size
+        with pytest.raises(ArtifactError):
+            load_deployed(path)
+
+    def test_untargeted_writes_are_untouched(self, tmp_path):
+        deployed = tiny_deployed(0)
+        plan = plan_of(
+            FaultRule(
+                site="io.artifact.write",
+                fault="torn-write",
+                trigger={"suffix": "other.npz"},
+            )
+        )
+        with installed(plan):
+            save_deployed(deployed, tmp_path / "d.npz")
+        assert plan.fired == []
+        loaded = load_deployed(tmp_path / "d.npz")
+        assert engine_fingerprint(loaded) == engine_fingerprint(deployed)
+
+
+class TestStoreReadFaults:
+    def test_bitflip_on_newest_quarantines_and_falls_back(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store", sleep=no_sleep)
+        store.publish_deployed("m", tiny_deployed(0))
+        store.publish_deployed("m", tiny_deployed(1))
+        plan = plan_of(
+            FaultRule(
+                site="io.store.read",
+                fault="bitflip",
+                trigger={"suffix": "v0002.npz"},
+                params={"flips": 64},  # enough damage that verification must trip
+            )
+        )
+        with installed(plan):
+            version, loaded = store.load_newest_verified("m")
+        assert version == 1
+        assert engine_fingerprint(loaded) == engine_fingerprint(tiny_deployed(0))
+        assert store.quarantined_versions("m") == [2]
+        assert store.versions("m") == [1]
+
+    def test_transient_read_is_retried_with_accounting(self, tmp_path):
+        sleeps = []
+        store = ArtifactStore(tmp_path / "store", sleep=sleeps.append)
+        store.publish_deployed("m", tiny_deployed(0))
+        plan = plan_of(
+            FaultRule(
+                site="io.store.read",
+                fault="raise",
+                trigger={"call": 1},
+                params={"error": "transient-store"},
+            )
+        )
+        with installed(plan):
+            loaded = store.load_deployed("m")
+        assert engine_fingerprint(loaded) == engine_fingerprint(tiny_deployed(0))
+        assert store.retried_reads == 1
+        assert sleeps == [store.retry.backoff_s(1)]
+        assert store.quarantined_versions("m") == []  # healthy file stayed in place
+
+    def test_persistent_transient_failure_stays_typed(self, tmp_path):
+        sleeps = []
+        store = ArtifactStore(
+            tmp_path / "store",
+            retry=RetryPolicy(attempts=3, backoff_initial_s=0.01, backoff_cap_s=0.25),
+            sleep=sleeps.append,
+        )
+        store.publish_deployed("m", tiny_deployed(0))
+        plan = plan_of(
+            FaultRule(
+                site="io.store.read",
+                fault="raise",
+                trigger={"always": True},
+                params={"error": "transient-store", "message": "nfs blip at {site}"},
+            )
+        )
+        with installed(plan):
+            with pytest.raises(QuarantinedArtifactError):
+                store.load_deployed("m", version=1)
+        assert len(sleeps) == 2  # attempts=3 -> two backoffs before giving up
+        assert store.retried_reads == 2
+
+    def test_injected_corruption_error_is_classified(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store", sleep=no_sleep)
+        store.publish_deployed("m", tiny_deployed(0))
+        plan = plan_of(
+            FaultRule(
+                site="io.store.read",
+                fault="raise",
+                trigger={"call": 1},
+                params={"error": "artifact-corrupt"},
+            )
+        )
+        with installed(plan):
+            with pytest.raises(QuarantinedArtifactError) as excinfo:
+                store.load_deployed("m", version=1)
+        assert excinfo.value.version == 1
+        assert "injected artifact-corrupt" in excinfo.value.reason
+
+
+class TestArenaFaults:
+    def test_stolen_segment_surfaces_as_typed_loss(self):
+        rng = np.random.default_rng(3)
+        net = cifar10_small(size=8, rng=rng)
+        calib = rng.normal(scale=0.8, size=(8, 3, 8, 8)).astype(np.float32)
+        mf = MFDFPNetwork.from_float(net, calib)
+        deployed = mf.deploy()
+        plan = plan_of(
+            FaultRule(site="parallel.arena.attach", fault="unlink-segment", trigger={"call": 1})
+        )
+        with SharedWeightArena(prefix=f"repro-chaos-{os.getpid()}") as arena:
+            spec = arena.publish(deployed)
+            with installed(plan):
+                with pytest.raises(ArenaSegmentLostError, match="republish"):
+                    attach_planes(spec)
+            # Recreate the stolen name so the arena's own close() has a
+            # segment to unlink — keeps this process's resource tracker
+            # balanced (the steal already consumed the original entry).
+            shared_memory.SharedMemory(name=spec.segment, create=True, size=16).close()
+        assert plan.fired == [("parallel.arena.attach", 1, "unlink-segment")]
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule_is_capped_geometric(self):
+        policy = RetryPolicy(
+            attempts=6, backoff_initial_s=0.1, backoff_factor=2.0, backoff_cap_s=0.5
+        )
+        assert [policy.backoff_s(k) for k in range(1, 6)] == [0.1, 0.2, 0.4, 0.5, 0.5]
+        with pytest.raises(ValueError, match="at least one failure"):
+            policy.backoff_s(0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"attempts": 0},
+            {"backoff_initial_s": 0.0},
+            {"backoff_factor": 0.5},
+            {"backoff_initial_s": 1.0, "backoff_cap_s": 0.1},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_success_on_first_try_never_sleeps(self):
+        policy = RetryPolicy(attempts=3)
+        assert policy.call(lambda: "ok", sleep=no_sleep) == "ok"
+
+    def test_retries_then_succeeds_with_hook(self):
+        policy = RetryPolicy(attempts=3, backoff_initial_s=0.01, backoff_cap_s=0.25)
+        failures = iter([TransientStoreError("one"), TransientStoreError("two")])
+        sleeps, retries = [], []
+
+        def flaky():
+            try:
+                raise next(failures)
+            except StopIteration:
+                return "healed"
+
+        result = policy.call(
+            flaky,
+            retry_on=(TransientStoreError,),
+            sleep=sleeps.append,
+            on_retry=lambda k, exc: retries.append((k, str(exc))),
+        )
+        assert result == "healed"
+        assert retries == [(1, "one"), (2, "two")]
+        assert sleeps == [policy.backoff_s(1), policy.backoff_s(2)]
+
+    def test_final_failure_propagates(self):
+        policy = RetryPolicy(attempts=2, backoff_initial_s=0.01, backoff_cap_s=0.25)
+        with pytest.raises(TransientStoreError, match="still down"):
+            policy.call(
+                lambda: (_ for _ in ()).throw(TransientStoreError("still down")),
+                retry_on=(TransientStoreError,),
+                sleep=lambda s: None,
+            )
+
+    def test_unmatched_errors_propagate_immediately(self):
+        calls = []
+
+        def wrong_kind():
+            calls.append(1)
+            raise KeyError("not transient")
+
+        policy = RetryPolicy(attempts=5, backoff_initial_s=0.01, backoff_cap_s=0.25)
+        with pytest.raises(KeyError):
+            policy.call(wrong_kind, retry_on=(TransientStoreError,), sleep=no_sleep)
+        assert calls == [1]
+
+    def test_supervisor_policy_derives_the_same_schedule(self):
+        sup = SupervisorPolicy(
+            max_failures=4, backoff_initial_s=0.2, backoff_factor=3.0, backoff_cap_s=1.0
+        )
+        derived = sup.retry_policy()
+        assert derived == RetryPolicy(
+            attempts=4, backoff_initial_s=0.2, backoff_factor=3.0, backoff_cap_s=1.0
+        )
+        for k in range(1, 5):
+            assert sup.backoff_s(k) == derived.backoff_s(k)

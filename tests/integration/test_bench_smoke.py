@@ -25,13 +25,14 @@ BENCH_FILES = sorted((REPO_ROOT / "benchmarks").glob("bench_*.py"))
 
 def test_benchmark_suite_is_discovered():
     """A rename that hides benchmarks from this gate must fail loudly."""
-    assert len(BENCH_FILES) >= 14
+    assert len(BENCH_FILES) >= 15
     names = {p.name for p in BENCH_FILES}
     assert "bench_engine_throughput.py" in names
     assert "bench_campaign_throughput.py" in names
     assert "bench_serve_concurrency.py" in names
     assert "bench_artifact_io.py" in names
     assert "bench_scaleout.py" in names
+    assert "bench_chaos_recovery.py" in names
 
 
 @pytest.mark.parametrize("bench", BENCH_FILES, ids=lambda p: p.name)

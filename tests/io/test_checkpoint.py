@@ -17,8 +17,10 @@ from repro.io import (
     PipelineCheckpointer,
     load_checkpoint,
     resume_algorithm1,
+    save_checkpoint,
 )
-from repro.io.artifacts import ArtifactError, ArtifactSchemaError
+from repro.io.artifacts import ArtifactCorruptError, ArtifactError, ArtifactSchemaError
+from repro.io.checkpoint import _prune_verified
 from repro.nn import SGD, PlateauScheduler, Trainer
 from repro.nn.layers import Dense, Dropout, Flatten, ReLU
 from repro.nn.network import Network
@@ -148,6 +150,98 @@ class TestCheckpointer:
         fresh, _, _ = _problem(dropout=True)
         with pytest.raises(ValueError, match="RNG site"):
             fresh.load_state_dict(state)
+
+
+def _tear(path, keep=0.5):
+    """Simulate a torn write: the file exists but its tail is gone."""
+    blob = path.read_bytes()
+    path.write_bytes(blob[: int(len(blob) * keep)])
+
+
+class TestTornCheckpoints:
+    def test_bad_keep_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one"):
+            Checkpointer(tmp_path, keep=0)
+
+    def test_keep_prunes_oldest_verified(self, tmp_path):
+        trainer, train, test = _problem()
+        ck = Checkpointer(tmp_path, keep=2)
+        trainer.fit(train, test, epochs=4, checkpoint=ck)
+        assert [p.name for p in ck.checkpoints()] == ["epoch_0003.npz", "epoch_0004.npz"]
+
+    def test_prune_never_deletes_newest_valid_when_newest_is_torn(self, tmp_path):
+        """Regression: ``keep=1`` with a torn latest file must keep the
+        newest file that actually loads — counting the torn file toward
+        the window would evict resume's only fallback."""
+        trainer, train, test = _problem()
+        ck = Checkpointer(tmp_path, keep=1)
+        trainer.fit(train, test, epochs=1, checkpoint=ck)
+        valid = ck.path_for(1)
+        torn = ck.path_for(2)
+        torn.write_bytes(b"PK\x03\x04 torn to pieces")
+        _prune_verified(ck.checkpoints(), 1)
+        assert valid.is_file(), "pruning evicted the only loadable checkpoint"
+        assert torn.is_file(), "torn files are evidence; pruning must not reap them"
+        fresh, train, test = _problem()
+        assert Checkpointer(tmp_path).resume(fresh) == 1
+
+    def test_resume_skips_torn_newest_and_stays_bit_identical(self, tmp_path):
+        ref, train, test = _problem()
+        ref.fit(train, test, epochs=5)
+
+        part, train, test = _problem()
+        ck = Checkpointer(tmp_path)
+        part.fit(train, test, epochs=3, checkpoint=ck)
+        _tear(ck.path_for(3))
+
+        fresh, train, test = _problem()
+        resumed_ck = Checkpointer(tmp_path, keep=1)
+        assert resumed_ck.resume(fresh) == 2  # fell back past the torn file
+        fresh.fit(train, test, epochs=5, resume=True, checkpoint=resumed_ck)
+        assert _weights_equal(ref.net.get_weights(), fresh.net.get_weights())
+        assert ref.history.train_losses == fresh.history.train_losses
+        # Re-running epoch 3 healed the torn file; pruning then applied.
+        assert resumed_ck.latest().name == "epoch_0005.npz"
+
+    def test_resume_with_every_file_torn_is_typed(self, tmp_path):
+        trainer, train, test = _problem()
+        ck = Checkpointer(tmp_path)
+        trainer.fit(train, test, epochs=2, checkpoint=ck)
+        for path in ck.checkpoints():
+            _tear(path, keep=0.3)
+        fresh, _, _ = _problem()
+        with pytest.raises(ArtifactCorruptError, match="all 2 checkpoint file"):
+            Checkpointer(tmp_path).resume(fresh)
+
+    def test_pipeline_torn_newest_step_falls_back(self, tmp_path):
+        train, test = cifar10_surrogate(n_train=96, n_test=48, size=8, seed=2)
+        net = cifar10_small(size=8, width=4, rng=np.random.default_rng(0))
+        config = MFDFPConfig(phase1_epochs=1, phase2_epochs=1, batch_size=16)
+        ck = PipelineCheckpointer(tmp_path)
+        run_algorithm1(net, train, test, train.x[:48], config,
+                       rng=np.random.default_rng(3), checkpoint=ck)
+        steps = ck.checkpoints()
+        assert [p.name for p in steps] == ["step_0001.npz", "step_0002.npz"]
+        _tear(steps[-1])
+        data = ck.load_latest()
+        assert data["phase"] == "phase1"  # the newest *loadable* boundary
+        _tear(steps[0], keep=0.3)
+        with pytest.raises(ArtifactCorruptError, match="unreadable"):
+            ck.load_latest()
+
+    def test_pipeline_prune_spares_newest_valid_behind_torn_file(self, tmp_path):
+        """The verified-only window applies to step files too: a torn
+        newest step must not push the newest valid one out of ``keep``."""
+        valid = [tmp_path / f"step_{i:04d}.npz" for i in (1, 2)]
+        trainer, _, _ = _problem()
+        for path in valid:
+            save_checkpoint(path, trainer.state_dict(), phase="phase1")
+        torn = tmp_path / "step_0003.npz"
+        torn.write_bytes(b"half a zip")
+        ck = PipelineCheckpointer(tmp_path, keep=1)
+        deleted = _prune_verified(ck.checkpoints(), ck.keep)
+        assert deleted == [valid[0]]
+        assert valid[1].is_file() and torn.is_file()
 
 
 class TestStochasticResume:

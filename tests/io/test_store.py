@@ -129,13 +129,14 @@ class TestRegistryColdStart:
         """Artifacts load on first use, not at registry construction."""
         store.publish_deployed("tiny", tiny_deployed(0))
         calls = []
-        original = ArtifactStore.load_deployed
+        original = ArtifactStore.load_newest_verified
 
-        def counting(self, name, version=None):
+        def counting(self, name):
             calls.append(name)
-            return original(self, name, version)
+            return original(self, name)
 
-        monkeypatch.setattr(ArtifactStore, "load_deployed", counting)
+        # Floating (unpinned) builds resolve through load_newest_verified.
+        monkeypatch.setattr(ArtifactStore, "load_newest_verified", counting)
         registry = ModelRegistry.from_store(store)
         assert calls == []
         registry.deployed("tiny")

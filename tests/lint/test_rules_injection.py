@@ -1,0 +1,126 @@
+"""injection-discipline: typed chaos faults, statically enumerable sites."""
+
+import textwrap
+
+from repro.lint.rules.injection import InjectionDiscipline
+from repro.lint.runner import lint_source
+
+IN_SCOPE = "repro/chaos/faults.py"
+
+
+def run(src, relpath=IN_SCOPE):
+    return lint_source(textwrap.dedent(src), rules=[InjectionDiscipline], relpath=relpath)
+
+
+class TestViolating:
+    def test_builtin_raise_in_chaos_flagged(self):
+        findings = run(
+            """
+            def fault_disk_full(plan, rule, ctx):
+                raise OSError("no space left")
+            """
+        )
+        assert [f.rule for f in findings] == ["injection-discipline"]
+        assert "OSError" in findings[0].message
+        assert "typed" in findings[0].message
+
+    def test_bare_name_reraise_flagged(self):
+        findings = run(
+            """
+            def fault_broken(plan, rule, ctx):
+                raise RuntimeError
+            """
+        )
+        assert len(findings) == 1
+        assert "RuntimeError" in findings[0].message
+
+    def test_non_literal_inject_site_flagged_everywhere(self):
+        findings = run(
+            """
+            def read(path, site):
+                inject(site, path=path)
+            """,
+            relpath="repro/io/artifacts.py",
+        )
+        assert len(findings) == 1
+        assert "statically enumerable" in findings[0].message
+
+    def test_computed_site_name_flagged(self):
+        findings = run(
+            """
+            def read(path):
+                inject("io." + kind + ".read", path=path)
+            """,
+            relpath="repro/io/artifacts.py",
+        )
+        assert len(findings) == 1
+
+
+class TestCompliant:
+    def test_typed_chaos_raise_ok(self):
+        findings = run(
+            """
+            from repro.chaos.errors import FaultPlanError
+
+            def fault_needs_path(plan, rule, ctx):
+                raise FaultPlanError("fault needs a 'path' in the context")
+            """
+        )
+        assert findings == []
+
+    def test_owning_layer_hierarchy_ok(self):
+        findings = run(
+            """
+            def fault_corrupt(plan, rule, ctx):
+                from repro.io.artifacts import ArtifactCorruptError
+
+                raise ArtifactCorruptError("injected corruption")
+            """
+        )
+        assert findings == []
+
+    def test_builtin_raise_outside_chaos_not_this_rules_business(self):
+        # error-taxonomy owns raises in the layers; this rule only polices
+        # the harness itself.
+        findings = run(
+            "def load(path):\n    raise ValueError('bad')\n",
+            relpath="repro/io/artifacts.py",
+        )
+        assert findings == []
+
+    def test_literal_inject_site_ok(self):
+        findings = run(
+            """
+            def read(path):
+                inject("io.artifact.read", path=path)
+            """,
+            relpath="repro/io/artifacts.py",
+        )
+        assert findings == []
+
+    def test_site_constant_from_register_site_ok(self):
+        # The one blessed indirection: SITE = register_site("literal", ...)
+        # keeps the catalog enumerable; firing through a *plan* attribute
+        # is not an inject() call at all.
+        findings = run(
+            """
+            ENGINE_RUN_SITE = register_site("serve.engine.run", layer="serve", description="x")
+
+            def run(self, batch):
+                self._plan.fire(ENGINE_RUN_SITE, {"label": self.label})
+            """,
+            relpath="repro/serve/faults.py",
+        )
+        assert findings == []
+
+    def test_bare_reraise_ok(self):
+        findings = run(
+            """
+            def fault_wrap(plan, rule, ctx):
+                try:
+                    ctx["fn"]()
+                except Exception:
+                    raise
+            """
+        )
+        assert findings == []
