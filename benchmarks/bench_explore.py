@@ -1,0 +1,180 @@
+"""Co-design explorer acceptance gates: pruning efficiency and durability.
+
+Runs the successive-halving explorer of :mod:`repro.explore` against the
+exhaustive baseline on the same co-design grid (bit width × exponent
+clamp × technology node) and gates the two ISSUE acceptance criteria:
+
+* **pruning efficiency** — the halving schedule must reach *exactly* the
+  exhaustive run's Pareto frontier while running at least **3× fewer
+  full MF-DFP pipelines** (cheap quantize-only surrogate rungs prune
+  dominated designs before anyone pays for Algorithm 1);
+* **durable exploration** — an exploration interrupted mid-rung resumes
+  from its :class:`~repro.io.exploration.ExplorationCheckpointer` files
+  to bit-identical evaluations and frontier (the SIGKILL variant of this
+  is pinned in tier-1 by ``tests/explore/test_kill_resume.py``).
+
+``--quick`` shrinks the grid to 4 points and the surrogate to smoke
+scale; the frontier-equality and resume-identity assertions still run,
+while the 3× ratio gate (meaningless on a 4-point grid) is full-only.
+A full run persists the measured ratio and wall-clock numbers to
+``BENCH_explore.json``.
+"""
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.explore import DesignSpace, ExploreConfig, explore
+from repro.io import ExplorationCheckpointer
+
+SEED = 2017
+
+
+@pytest.fixture(scope="module")
+def grid(quick):
+    """The co-design grid under exploration.
+
+    The full grid spans three technology nodes: the FP32-anchored cost
+    calibration makes the SRAM-heavy MF-DFP datapath scale *worse* than
+    the baseline at advanced nodes, so two thirds of the grid is
+    cost-dominated at identical accuracy — exactly the structure
+    successive halving should discover without full evaluations.
+    """
+    if quick:
+        return DesignSpace(
+            bits=(4, 8), min_exps=(-7,), num_pus=(1,), technologies=("65nm", "28nm")
+        )
+    return DesignSpace(
+        bits=(3, 4, 6, 8),
+        min_exps=(-5, -9),
+        num_pus=(1,),
+        technologies=("65nm", "45nm", "28nm"),
+    )
+
+
+@pytest.fixture(scope="module")
+def config(quick):
+    final = 1 if quick else 2
+    return ExploreConfig(seed=SEED, rung_epochs=(0,), final_epochs=final, margin=0.05)
+
+
+@pytest.fixture(scope="module")
+def pruned(cifar_problem, grid, config, quick):
+    jobs = 2 if quick else None
+    t0 = time.perf_counter()
+    result = explore(
+        cifar_problem["net"],
+        cifar_problem["train"],
+        cifar_problem["test"],
+        cifar_problem["train"].x[:256],
+        grid,
+        config,
+        jobs=jobs,
+    )
+    return result, time.perf_counter() - t0
+
+
+@pytest.fixture(scope="module")
+def exhaustive(cifar_problem, grid, config, quick):
+    jobs = 2 if quick else None
+    t0 = time.perf_counter()
+    result = explore(
+        cifar_problem["net"],
+        cifar_problem["train"],
+        cifar_problem["test"],
+        cifar_problem["train"].x[:256],
+        grid,
+        dataclasses.replace(config, prune=False),
+        jobs=jobs,
+    )
+    return result, time.perf_counter() - t0
+
+
+def test_pruned_frontier_matches_exhaustive(pruned, exhaustive, bench_metrics):
+    """The whole point of the margin: pruning must not move the frontier."""
+    pruned_result, pruned_s = pruned
+    exhaustive_result, exhaustive_s = exhaustive
+    assert [e.point for e in pruned_result.frontier] == [
+        e.point for e in exhaustive_result.frontier
+    ]
+    # and the surviving full-fidelity accuracies are bit-identical —
+    # the quantization-keyed RNG contract, not approximately equal
+    exhaustive_acc = {e.point.index: e.accuracy for e in exhaustive_result.evaluations if e.full}
+    for e in pruned_result.evaluations:
+        if e.full:
+            assert exhaustive_acc[e.point.index] == e.accuracy
+    bench_metrics["frontier_size"] = len(pruned_result.frontier)
+    bench_metrics["frontier"] = ", ".join(e.point.label for e in pruned_result.frontier)
+    bench_metrics["pruned_s"] = round(pruned_s, 2)
+    bench_metrics["exhaustive_s"] = round(exhaustive_s, 2)
+
+
+def test_pruning_runs_3x_fewer_full_pipelines(pruned, exhaustive, full_only, bench_metrics):
+    """ISSUE acceptance gate: same frontier, >= 3x fewer Algorithm-1 runs."""
+    pruned_result, _ = pruned
+    exhaustive_result, _ = exhaustive
+    assert exhaustive_result.full_evaluations == len(exhaustive_result.space)
+    ratio = exhaustive_result.full_evaluations / pruned_result.full_evaluations
+    assert ratio >= 3.0, (
+        f"pruning ran {pruned_result.full_evaluations} full pipelines vs "
+        f"{exhaustive_result.full_evaluations} exhaustive — only {ratio:.2f}x savings"
+    )
+    bench_metrics["pruned_full_evals"] = pruned_result.full_evaluations
+    bench_metrics["exhaustive_full_evals"] = exhaustive_result.full_evaluations
+    bench_metrics["full_eval_ratio"] = round(ratio, 2)
+    bench_metrics["survivors_per_rung"] = str(pruned_result.survivors_per_rung)
+
+
+class _Interrupted(RuntimeError):
+    """Simulated mid-exploration death (the SIGKILL stand-in)."""
+
+
+class _InterruptingCheckpointer(ExplorationCheckpointer):
+    """Dies after ``after`` saves — completed work persisted, rest lost."""
+
+    def __init__(self, directory, after: int):
+        super().__init__(directory)
+        self.after = after
+        self.saves = 0
+
+    def save(self, evaluations, space, config):
+        path = super().save(evaluations, space, config)
+        self.saves += 1
+        if self.saves >= self.after:
+            raise _Interrupted("simulated mid-exploration kill")
+        return path
+
+
+def test_interrupted_exploration_resumes_bit_identically(
+    pruned, cifar_problem, grid, config, tmp_path, bench_metrics
+):
+    """Kill after two checkpoint saves, resume fresh, compare exactly."""
+    reference, _ = pruned
+    fine = dataclasses.replace(config, checkpoint_every=2)
+    run = lambda ckpt: explore(
+        cifar_problem["net"],
+        cifar_problem["train"],
+        cifar_problem["test"],
+        cifar_problem["train"].x[:256],
+        grid,
+        fine,
+        jobs=2,
+        checkpoint=ckpt,
+    )
+    with pytest.raises(_Interrupted):
+        run(_InterruptingCheckpointer(tmp_path / "ckpt", after=2))
+    restored = ExplorationCheckpointer(tmp_path / "ckpt").load(grid, fine)
+    assert restored, "the interrupted run persisted nothing"
+
+    t0 = time.perf_counter()
+    resumed = run(ExplorationCheckpointer(tmp_path / "ckpt"))
+    resume_s = time.perf_counter() - t0
+    key = lambda r: [
+        (e.point.index, e.rung, e.accuracy, e.energy_uj, e.area_mm2) for e in r.evaluations
+    ]
+    assert key(resumed) == key(reference)
+    assert [e.point for e in resumed.frontier] == [e.point for e in reference.frontier]
+    bench_metrics["resume_restored_rows"] = len(restored)
+    bench_metrics["resume_s"] = round(resume_s, 2)
+    bench_metrics["resume_bit_identical"] = 1

@@ -9,6 +9,9 @@ a quantized network of this kind:
   clamp, dynamic-vs-static) used by the ablation benchmarks.
 * :mod:`repro.analysis.faults` — bit-flip fault injection into deployed
   weight codes, for robustness studies of the 4-bit encoding.
+* :mod:`repro.analysis.frontier` — Pareto dominance geometry (objective
+  declarations, frontier extraction, margin-relaxed pruning) used by the
+  co-design explorer's successive-halving scheduler.
 * :mod:`repro.analysis.campaign` — the shared batched-evaluation API
   (:func:`~repro.analysis.campaign.evaluate_batched`) and the parallel
   campaign runner behind ``python -m repro sweep``: every sweep point
@@ -31,6 +34,12 @@ from repro.analysis.faults import (
     accuracy_under_faults,
     inject_weight_faults,
 )
+from repro.analysis.frontier import (
+    Objective,
+    dominates,
+    pareto_frontier,
+    prune_dominated,
+)
 from repro.analysis.sqnr import (
     LayerNoiseReport,
     exponent_histogram,
@@ -52,9 +61,11 @@ __all__ = [
     "CampaignResult",
     "FaultInjectionResult",
     "LayerNoiseReport",
+    "Objective",
     "SweepPoint",
     "accuracy_under_faults",
     "bitwidth_sweep",
+    "dominates",
     "dynamic_vs_static",
     "evaluate_batched",
     "exponent_clamp_sweep",
@@ -62,6 +73,8 @@ __all__ = [
     "inject_weight_faults",
     "layer_sqnr_report",
     "parallel_map",
+    "pareto_frontier",
+    "prune_dominated",
     "quantization_noise_campaign",
     "quantization_noise_of",
     "run_campaign",

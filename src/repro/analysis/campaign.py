@@ -34,6 +34,7 @@ suite pins this property across both backends.
 
 from __future__ import annotations
 
+import numbers
 import os
 import threading
 import time
@@ -43,7 +44,7 @@ from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.engine import EngineCache
+from repro.core.engine import CacheStats, EngineCache
 from repro.core.mfdfp import DeployedMFDFP, MFDFPNetwork
 from repro.nn.data import ArrayDataset
 from repro.nn.network import Network
@@ -73,6 +74,7 @@ def evaluate_batched(
     cache: Optional[EngineCache] = None,
     batch_size: int = 256,
     check_widths: bool = False,
+    stats: Optional[CacheStats] = None,
 ) -> float:
     """Top-1 accuracy of an executable artifact on a labelled batch.
 
@@ -84,6 +86,9 @@ def evaluate_batched(
       ``cache`` (default: the shared campaign cache), in ``batch_size``
       slices.  Bit-identical to eager ``execute_deployed`` for every
       slice size; the engine compiles once per network *content*.
+      ``stats`` attributes the cache lookup to one consumer's
+      :class:`~repro.core.engine.CacheStats` (the campaign runner's
+      per-campaign accounting) even when the cache is shared.
     * :class:`~repro.core.mfdfp.MFDFPNetwork` / plain
       :class:`~repro.nn.network.Network` — the quantized (or float)
       simulation, evaluated through the trainer's chunked top-k path, so
@@ -100,7 +105,7 @@ def evaluate_batched(
         raise ValueError(f"x has {len(x)} samples but y has {len(y)} labels")
     if isinstance(model, DeployedMFDFP):
         engine_cache = cache if cache is not None else _SHARED_CACHE
-        engine = engine_cache.get(model, check_widths=check_widths)
+        engine = engine_cache.get(model, check_widths=check_widths, stats=stats)
         correct = 0
         for start in range(0, len(x), batch_size):
             codes = engine.run_codes(x[start : start + batch_size])
@@ -261,13 +266,14 @@ class CampaignResult:
             ``None``).
         elapsed_s: Wall-clock seconds for the point evaluations.
         cache_hits / cache_misses: Engine-cache traffic during this
-            campaign (misses == compiles), measured as before/after
-            deltas on the cache the campaign used.  Exact when a private
-            ``cache`` is passed; with the shared default cache,
-            concurrent campaigns' traffic lands in whichever delta is
-            open at the time.  With ``backend="process"``, compiles
-            happen in the workers' own caches, so the host-side deltas
-            count only host work (typically zero).
+            campaign (misses == compiles), attributed per campaign: a
+            :class:`~repro.core.engine.CacheStats` rides along with
+            every lookup this campaign makes, so two campaigns running
+            concurrently against the shared cache each see exactly
+            their own traffic (``hits + misses`` equals the campaign's
+            lookup count).  With ``backend="process"``, lookups happen
+            in the workers' own caches, so the host-side stats count
+            only host work (typically zero).
         backend: ``"thread"`` or ``"process"`` — how points fanned out.
     """
 
@@ -297,11 +303,13 @@ def campaign_points(kind: str, points: Optional[int]) -> tuple:
     defaults = DEFAULT_POINTS[kind]
     if points is None:
         return defaults
+    if isinstance(points, bool) or not isinstance(points, numbers.Integral):
+        raise ValueError(f"points must be an integer, got {points!r}")
     if not 1 <= points <= len(defaults):
         raise ValueError(
             f"{kind} campaign supports 1..{len(defaults)} points, got {points}"
         )
-    return defaults[:points]
+    return defaults[: int(points)]
 
 
 def run_campaign(
@@ -344,7 +352,7 @@ def run_campaign(
     if x is None or y is None:
         raise ValueError("campaigns need labelled test arrays x and y")
     engine_cache = cache if cache is not None else _SHARED_CACHE
-    hits0, misses0 = engine_cache.hits, engine_cache.misses
+    stats = CacheStats()
     start = time.perf_counter()
     fan_out = {"jobs": jobs, "backend": backend, "mp_context": mp_context}
 
@@ -352,7 +360,7 @@ def run_campaign(
         if deployed is None:
             raise ValueError("the faults campaign needs a deployed network")
         result_points = faults_mod.accuracy_under_faults(
-            deployed, x, y, selected, rng=rng, cache=engine_cache, **fan_out
+            deployed, x, y, selected, rng=rng, cache=engine_cache, stats=stats, **fan_out
         )
     else:
         if net is None or calibration_x is None:
@@ -376,12 +384,13 @@ def run_campaign(
             )
 
     elapsed = time.perf_counter() - start
+    hits, misses = stats.counters()
     return CampaignResult(
         kind=kind,
         points=list(result_points),
         jobs=jobs,
         elapsed_s=elapsed,
-        cache_hits=engine_cache.hits - hits0,
-        cache_misses=engine_cache.misses - misses0,
+        cache_hits=hits,
+        cache_misses=misses,
         backend=backend,
     )

@@ -18,7 +18,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.engine import EngineCache
+from repro.core.engine import CacheStats, EngineCache
 from repro.core.mfdfp import DeployedMFDFP
 
 
@@ -100,13 +100,14 @@ class _FaultPoint:
 
     Injection randomness is fully determined by ``(entropy, ber)`` via
     :func:`_point_rng`, so the same task object produces the same point
-    in any thread, any process, any placement.  ``cache`` rides along
-    only on the thread backend (an ``EngineCache`` holds a lock and
-    cannot pickle); process workers fall back to their own shared
-    campaign cache.
+    in any thread, any process, any placement.  ``cache`` and ``stats``
+    ride along only on the thread backend (an ``EngineCache`` or
+    :class:`CacheStats` holds a lock and cannot pickle); process workers
+    fall back to their own shared campaign cache with no host-side
+    attribution.
     """
 
-    def __init__(self, deployed, ber, entropy, x, y, batch_size, cache):
+    def __init__(self, deployed, ber, entropy, x, y, batch_size, cache, stats=None):
         self.deployed = deployed
         self.ber = ber
         self.entropy = entropy
@@ -114,13 +115,19 @@ class _FaultPoint:
         self.y = y
         self.batch_size = batch_size
         self.cache = cache
+        self.stats = stats
 
     def __call__(self) -> tuple[float, float]:
         from repro.analysis.campaign import evaluate_batched
 
         result = inject_weight_faults(self.deployed, self.ber, _point_rng(self.entropy, self.ber))
         acc = evaluate_batched(
-            result.faulty, self.x, self.y, cache=self.cache, batch_size=self.batch_size
+            result.faulty,
+            self.x,
+            self.y,
+            cache=self.cache,
+            batch_size=self.batch_size,
+            stats=self.stats,
         )
         return (float(self.ber), acc)
 
@@ -137,6 +144,7 @@ def accuracy_under_faults(
     cache: Optional[EngineCache] = None,
     backend: str = "thread",
     mp_context=None,
+    stats: Optional[CacheStats] = None,
 ) -> list[tuple[float, float]]:
     """Accuracy vs bit-error-rate curve on a labelled batch.
 
@@ -158,9 +166,10 @@ def accuracy_under_faults(
     rng = rng or np.random.default_rng(0)  # repro-lint: disable=rng-discipline (deterministic fallback; fault campaigns derive per-point streams from this parent)
     entropy = int(rng.integers(0, 2**63))
     point_cache = None if backend == "process" else cache
+    point_stats = None if backend == "process" else stats
     return parallel_map(
         [
-            _FaultPoint(deployed, ber, entropy, x, y, batch_size, point_cache)
+            _FaultPoint(deployed, ber, entropy, x, y, batch_size, point_cache, point_stats)
             for ber in bit_error_rates
         ],
         jobs=jobs,

@@ -1,0 +1,140 @@
+"""Pareto dominance over multi-objective design points.
+
+The co-design explorer (:mod:`repro.explore`) ranks candidate designs on
+several objectives at once — accuracy (maximize), energy, area (both
+minimize).  This module holds the pure geometry: objective declarations,
+pairwise dominance, frontier extraction, and margin-based pruning for the
+successive-halving scheduler.
+
+Everything here is deterministic and order-stable: frontiers and pruned
+sets preserve the input ordering, ties are kept (two designs with equal
+objective vectors both survive), and comparisons are exact float
+comparisons — no tolerances sneak in unless the caller passes an explicit
+``margin``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One axis of a multi-objective comparison.
+
+    Args:
+        name: Label used in reports (``"accuracy"``, ``"energy_uj"``...).
+        key: Extracts this objective's value from a design point.
+        maximize: Direction; ``False`` means smaller is better.
+        margin: Slack used only by :func:`prune_dominated` — a point is
+            pruned only if it is dominated even after being *credited*
+            this much on the objective.  Use a nonzero margin on noisy
+            objectives (low-fidelity accuracy estimates) and zero on
+            exact ones (modeled area/energy).
+    """
+
+    name: str
+    key: Callable[[object], float]
+    maximize: bool = False
+    margin: float = 0.0
+
+    def __post_init__(self):
+        if not callable(self.key):
+            raise TypeError(f"objective {self.name!r} needs a callable key")
+        if not (isinstance(self.margin, (int, float)) and not isinstance(self.margin, bool)):
+            raise TypeError(f"objective {self.name!r} margin must be a number")
+        if math.isnan(self.margin) or self.margin < 0:
+            raise ValueError(f"objective {self.name!r} margin must be >= 0")
+
+    def value(self, point) -> float:
+        """The objective value, validated finite.
+
+        NaN/inf never enter a dominance comparison silently — a NaN would
+        make ``dominates`` non-transitive and the frontier ill-defined.
+        """
+        v = float(self.key(point))
+        if not math.isfinite(v):
+            raise ValueError(f"objective {self.name!r} is {v!r} — frontier needs finite values")
+        return v
+
+
+def dominates(a, b, objectives: Sequence[Objective]) -> bool:
+    """True iff ``a`` is at least as good as ``b`` everywhere and strictly
+    better somewhere (margins are ignored — this is exact dominance)."""
+    _require_objectives(objectives)
+    strictly_better = False
+    for obj in objectives:
+        va, vb = obj.value(a), obj.value(b)
+        if not obj.maximize:
+            va, vb = -va, -vb
+        if va < vb:
+            return False
+        if va > vb:
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_frontier(points: Sequence, objectives: Sequence[Objective]) -> list:
+    """The non-dominated subset of ``points``, input order preserved.
+
+    Duplicated objective vectors all survive (neither dominates the
+    other), so bit-identical designs reached through different
+    configurations stay visible in the report.
+    """
+    _require_objectives(objectives)
+    points = list(points)
+    frontier = []
+    for i, candidate in enumerate(points):
+        if not any(
+            dominates(other, candidate, objectives) for j, other in enumerate(points) if j != i
+        ):
+            frontier.append(candidate)
+    return frontier
+
+
+def prune_dominated(points: Sequence, objectives: Sequence[Objective]) -> list:
+    """Points that survive *margin-relaxed* dominance, order preserved.
+
+    A point is pruned only when some other point still dominates it after
+    the candidate is credited each objective's ``margin``.  With all
+    margins zero this equals :func:`pareto_frontier`.  Nonzero margins
+    make pruning conservative: a point whose low-fidelity accuracy
+    estimate is within ``margin`` of a dominating point is kept for the
+    next fidelity rung instead of being discarded on noise.
+    """
+    _require_objectives(objectives)
+    points = list(points)
+    kept = []
+    for i, candidate in enumerate(points):
+        if not any(
+            _dominates_with_margin(other, candidate, objectives)
+            for j, other in enumerate(points)
+            if j != i
+        ):
+            kept.append(candidate)
+    return kept
+
+
+def _dominates_with_margin(a, b, objectives: Sequence[Objective]) -> bool:
+    """Does ``a`` dominate ``b`` even after crediting ``b`` each margin?"""
+    strictly_better = False
+    for obj in objectives:
+        va, vb = obj.value(a), obj.value(b)
+        if not obj.maximize:
+            va, vb = -va, -vb
+        vb += obj.margin  # credit the candidate: prune only clear losses
+        if va < vb:
+            return False
+        if va > vb:
+            strictly_better = True
+    return strictly_better
+
+
+def _require_objectives(objectives: Sequence[Objective]) -> None:
+    if not objectives:
+        raise ValueError("need at least one objective")
+    for obj in objectives:
+        if not isinstance(obj, Objective):
+            raise TypeError(f"expected Objective, got {type(obj).__name__}")

@@ -25,6 +25,12 @@ Usage::
                                       # continue a checkpointed training run
     python -m repro chaos --drill NAME|all [--seed N] [--quick] [--list]
                                       # fault-injection recovery drills
+    python -m repro explore [--bits 4,8] [--min-exps -7,-9] \
+        [--weight-modes deterministic] [--num-pus 1,2] [--technologies 65nm] \
+        [--seed N] [--rung-epochs 0,1] [--final-epochs N] [--margin X] \
+        [--no-prune] [--jobs N] [--backend thread|process] \
+        [--checkpoint-dir DIR] [--epochs N]
+                                      # co-design DSE with Pareto pruning
 
 ``table2`` and ``fig3`` train on the CIFAR-10 surrogate and take a few
 minutes; the others are instantaneous.  Training runs through the
@@ -56,6 +62,18 @@ content-addressed cache (the summary reports the cache traffic and the
 modeled NPU batch-throughput/energy from ``Accelerator.batch_profile``),
 while the design-space campaigns evaluate the quantized *simulation* —
 numerically identical to the serial sweeps, parallelized.
+
+``explore`` runs the hardware/quantization co-design search of
+:mod:`repro.explore`: it trains the same small surrogate as ``sweep``,
+then sweeps the declared grid (bit width × exponent clamp × rounding
+mode × PU count × technology node) through successive-halving rungs —
+cheap low-epoch surrogate evaluations prune Pareto-dominated designs
+(accuracy↑ / energy↓ / area↓, with a ``--margin`` of slack) before the
+survivors pay for full MF-DFP pipelines — and prints the resulting
+frontier with per-design cost metrics from :mod:`repro.hw`.
+``--no-prune`` runs every point at full fidelity instead (the frontier
+baseline pruning is measured against), and ``--checkpoint-dir`` makes
+the search durable: a killed exploration resumes bit-identically.
 
 The persistence verbs ride on :mod:`repro.io`.  ``export`` builds the
 zoo's deployable artifacts and publishes them (content-addressed,
@@ -366,6 +384,79 @@ def _cmd_sweep(args) -> None:
         )
 
 
+def _cmd_explore(args) -> None:
+    import time
+
+    from repro.analysis import train_surrogate
+    from repro.datasets import cifar10_surrogate
+    from repro.explore import (
+        DesignSpace,
+        DesignSpaceError,
+        ExploreConfig,
+        ExploreConfigError,
+        explore,
+    )
+    from repro.zoo import cifar10_small
+
+    try:
+        space = DesignSpace(
+            bits=tuple(args.bits),
+            min_exps=tuple(args.min_exps),
+            weight_modes=tuple(args.weight_modes),
+            num_pus=tuple(args.num_pus),
+            technologies=tuple(args.technologies),
+        )
+        config = ExploreConfig(
+            seed=args.seed,
+            rung_epochs=tuple(args.rung_epochs),
+            final_epochs=args.final_epochs,
+            margin=args.margin,
+            prune=not args.no_prune,
+        )
+    except (DesignSpaceError, ExploreConfigError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    checkpoint = None
+    if args.checkpoint_dir is not None:
+        from repro.io import ExplorationCheckpointer
+
+        checkpoint = ExplorationCheckpointer(args.checkpoint_dir)
+
+    train, test = cifar10_surrogate(n_train=600, n_test=240, size=16, noise=0.7, seed=2)
+    net = cifar10_small(size=16, rng=np.random.default_rng(0))
+    print(f"training surrogate network ({args.epochs} epochs, compiled trainer)...")
+    train_surrogate(net, train, test, epochs=args.epochs, rng=np.random.default_rng(1))
+
+    mode = "successive halving" if config.prune else "exhaustive"
+    print(
+        f"exploring {len(space)} designs ({mode}, rungs {list(config.rung_epochs)}"
+        f"+final, --jobs {args.jobs or 1}, {args.backend} backend)"
+    )
+    t0 = time.perf_counter()
+    result = explore(
+        net, train, test, train.x[:256], space, config,
+        jobs=args.jobs or 1, backend=args.backend, checkpoint=checkpoint,
+    )
+    elapsed = time.perf_counter() - t0
+
+    print(f"\nPareto frontier (accuracy vs energy vs area, {len(result.frontier)} designs):")
+    print(
+        f"{'design':>24} {'accuracy':>9} {'area mm2':>9} {'power mW':>9} "
+        f"{'lat us':>8} {'uJ/batch':>9}"
+    )
+    for row in result.rows():
+        print(
+            f"{row['label']:>24} {row['accuracy']:>9.4f} {row['area_mm2']:>9.3f} "
+            f"{row['power_mw']:>9.2f} {row['latency_us']:>8.2f} {row['energy_uj']:>9.3f}"
+        )
+    print(
+        f"\n{result.total_evaluations} evaluations "
+        f"({result.full_evaluations} full MF-DFP pipelines of {len(space)} designs; "
+        f"survivors per rung {result.survivors_per_rung}) in {elapsed:.1f}s"
+    )
+    if checkpoint is not None:
+        print(f"checkpoints under {checkpoint.directory} (re-run to resume)")
+
+
 def _cmd_export(args) -> None:
     from repro.io import ArtifactStore
     from repro.zoo import publish_deployables
@@ -515,6 +606,25 @@ def _positive_float(value: str) -> float:
     if x <= 0:
         raise argparse.ArgumentTypeError(f"must be a positive number, got {x}")
     return x
+
+
+def _int_list(value: str):
+    try:
+        items = [int(item) for item in value.split(",") if item.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {value!r}"
+        ) from None
+    if not items:
+        raise argparse.ArgumentTypeError(f"expected at least one integer, got {value!r}")
+    return items
+
+
+def _str_list(value: str):
+    items = [item.strip() for item in value.split(",") if item.strip()]
+    if not items:
+        raise argparse.ArgumentTypeError(f"expected at least one name, got {value!r}")
+    return items
 
 
 def _add_training_flags(parser, checkpointing: bool = True) -> None:
@@ -734,6 +844,100 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the drill catalog and every registered injection site",
     )
     pch.set_defaults(fn=_cmd_chaos)
+    pxp = sub.add_parser(
+        "explore", help="co-design DSE with Pareto pruning (trains briefly)"
+    )
+    pxp.add_argument(
+        "--bits",
+        type=_int_list,
+        default=[4, 8],
+        metavar="A,B,...",
+        help="activation bit widths to sweep (default: 4,8)",
+    )
+    pxp.add_argument(
+        "--min-exps",
+        type=_int_list,
+        default=[-7, -9],
+        metavar="A,B,...",
+        help="weight exponent clamps to sweep (default: -7,-9)",
+    )
+    pxp.add_argument(
+        "--weight-modes",
+        type=_str_list,
+        default=["deterministic"],
+        metavar="A,B,...",
+        help="weight rounding modes: deterministic and/or stochastic "
+        "(default: deterministic)",
+    )
+    pxp.add_argument(
+        "--num-pus",
+        type=_int_list,
+        default=[1, 2],
+        metavar="A,B,...",
+        help="processing-unit counts to sweep (default: 1,2)",
+    )
+    pxp.add_argument(
+        "--technologies",
+        type=_str_list,
+        default=["65nm"],
+        metavar="A,B,...",
+        help="technology nodes: 65nm, 45nm, 28nm (default: 65nm)",
+    )
+    pxp.add_argument(
+        "--seed", type=int, default=0, help="exploration seed (default: 0)"
+    )
+    pxp.add_argument(
+        "--rung-epochs",
+        type=_int_list,
+        default=[0, 1],
+        metavar="A,B,...",
+        help="phase-1 epochs per surrogate rung, non-decreasing; 0 means "
+        "quantize-only (default: 0,1)",
+    )
+    pxp.add_argument(
+        "--final-epochs",
+        type=_positive_int,
+        default=2,
+        help="epochs per phase of the full MF-DFP pipeline survivors run "
+        "(default: 2)",
+    )
+    pxp.add_argument(
+        "--margin",
+        type=float,
+        default=0.02,
+        help="accuracy slack a design may trail the surrogate frontier by "
+        "and still survive pruning (default: 0.02)",
+    )
+    pxp.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="evaluate every design at full fidelity (the exhaustive "
+        "baseline pruning is measured against)",
+    )
+    pxp.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help="evaluation fan-out workers (default: 1)",
+    )
+    pxp.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="fan evaluations out on a thread pool (default) or across "
+        "process workers (bit-identical results either way)",
+    )
+    pxp.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="persist completed evaluations into DIR; a killed exploration "
+        "re-run with the same flags resumes bit-identically",
+    )
+    pxp.add_argument(
+        "--epochs", type=_positive_int, default=3, help="surrogate training epochs"
+    )
+    pxp.set_defaults(fn=_cmd_explore)
     return parser
 
 

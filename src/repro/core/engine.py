@@ -488,6 +488,49 @@ def engine_fingerprint(deployed: DeployedMFDFP) -> str:
     return digest
 
 
+class CacheStats:
+    """Per-consumer hit/miss accounting for :class:`EngineCache` lookups.
+
+    An :class:`EngineCache` keeps process-global ``hits``/``misses``
+    totals, but a *shared* cache serves many consumers at once — two
+    concurrent campaigns sweeping through the shared campaign cache used
+    to measure each other's traffic when they read before/after deltas
+    off the global counters.  A ``CacheStats`` instance is the fix: pass
+    one to :meth:`EngineCache.get` and exactly the lookups made with it
+    are counted here, no matter what other traffic the cache sees.
+
+    Thread-safe: one consumer may fan its lookups out across a pool.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def record(self, hit: bool) -> None:
+        """Count one lookup attributed to this consumer."""
+        with self._lock:
+            if hit:
+                self._hits += 1
+            else:
+                self._misses += 1
+
+    @property
+    def hits(self) -> int:
+        with self._lock:
+            return self._hits
+
+    @property
+    def misses(self) -> int:
+        with self._lock:
+            return self._misses
+
+    def counters(self) -> tuple[int, int]:
+        """One consistent ``(hits, misses)`` pair."""
+        with self._lock:
+            return self._hits, self._misses
+
+
 class EngineCache:
     """Thread-safe bounded cache of compiled engines, keyed by content.
 
@@ -528,17 +571,46 @@ class EngineCache:
             self.hits += 1
         return engine
 
-    def get(self, deployed: DeployedMFDFP, check_widths: bool = False) -> BatchedEngine:
-        """The cached engine for ``deployed``, compiling on first use."""
+    def counters(self) -> tuple[int, int]:
+        """One consistent ``(hits, misses)`` snapshot of the global totals.
+
+        Reading ``cache.hits`` and ``cache.misses`` as two attribute
+        accesses can tear (a lookup may land between them); this reads
+        both under the cache mutex.  For *per-consumer* accounting on a
+        shared cache, pass a :class:`CacheStats` to :meth:`get` instead
+        — global deltas attribute concurrent consumers' traffic to
+        whoever happens to be measuring.
+        """
+        with self._lock:
+            return self.hits, self.misses
+
+    def get(
+        self,
+        deployed: DeployedMFDFP,
+        check_widths: bool = False,
+        stats: Optional[CacheStats] = None,
+    ) -> BatchedEngine:
+        """The cached engine for ``deployed``, compiling on first use.
+
+        ``stats`` attributes this lookup (hit, or miss-then-compile) to
+        one consumer's :class:`CacheStats` in addition to the cache's
+        global counters.  A lookup that blocks on another thread's
+        in-flight compile of the same network counts as a hit: this
+        consumer paid no compile.
+        """
         key = (engine_fingerprint(deployed), bool(check_widths))
         with self._lock:
             engine = self._lookup_locked(key)
         if engine is not None:
+            if stats is not None:
+                stats.record(hit=True)
             return engine
         with self._compile_lock:
             with self._lock:
                 engine = self._lookup_locked(key)
             if engine is not None:
+                if stats is not None:
+                    stats.record(hit=True)
                 return engine
             engine = BatchedEngine(deployed, check_widths=check_widths)
             with self._lock:
@@ -546,6 +618,8 @@ class EngineCache:
                 self._engines[key] = engine
                 while len(self._engines) > self.capacity:
                     self._engines.popitem(last=False)
+            if stats is not None:
+                stats.record(hit=False)
             return engine
 
     def install(self, engine: "BatchedEngine") -> None:

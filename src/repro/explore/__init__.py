@@ -1,0 +1,40 @@
+"""Hardware/quantization co-design exploration (the lumos-scale DSE).
+
+* :mod:`repro.explore.space` — the declarative co-design grid
+  (bit width × exponent clamp × rounding mode × PU count × technology)
+  with a canonical lexicographic enumeration.
+* :mod:`repro.explore.explorer` — the successive-halving scheduler:
+  cheap low-epoch surrogate rungs prune Pareto-dominated designs
+  (:mod:`repro.analysis.frontier`) before the surviving candidates pay
+  for full MF-DFP pipelines, fanned out through the campaign runner and
+  checkpointed through :mod:`repro.io.exploration` so a killed search
+  resumes bit-identically.
+
+Driven by ``python -m repro explore``.
+"""
+
+from repro.explore.explorer import (
+    EvaluatedPoint,
+    ExplorationResult,
+    ExploreConfig,
+    ExploreConfigError,
+    explore,
+)
+from repro.explore.space import (
+    WEIGHT_MODES,
+    DesignPoint,
+    DesignSpace,
+    DesignSpaceError,
+)
+
+__all__ = [
+    "DesignPoint",
+    "DesignSpace",
+    "DesignSpaceError",
+    "EvaluatedPoint",
+    "ExplorationResult",
+    "ExploreConfig",
+    "ExploreConfigError",
+    "WEIGHT_MODES",
+    "explore",
+]

@@ -15,7 +15,15 @@
 """
 
 from repro.hw.accelerator import Accelerator, AcceleratorConfig
-from repro.hw.cost import CostBreakdown, CostModel, TechnologyParams
+from repro.hw.cost import (
+    TECHNOLOGY_PRESETS,
+    CostBreakdown,
+    CostModel,
+    CostModelError,
+    NPUDesign,
+    TechnologyParams,
+    technology,
+)
 from repro.hw.datapath import (
     adder_tree,
     div_round_half_even,
@@ -35,15 +43,19 @@ __all__ = [
     "BufferConfig",
     "CostBreakdown",
     "CostModel",
+    "CostModelError",
     "LayerSchedule",
     "MemorySubsystem",
+    "NPUDesign",
     "NeuralProcessingUnit",
     "Neuron",
     "ProcessingUnit",
     "Schedule",
     "SramBuffer",
+    "TECHNOLOGY_PRESETS",
     "TechnologyParams",
     "TileScheduler",
+    "technology",
     "adder_tree",
     "div_round_half_even",
     "requantize_codes",

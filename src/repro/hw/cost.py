@@ -21,6 +21,7 @@ paper's reported savings (87.97% area / 89.79% power for one PU, 76.0% /
 from __future__ import annotations
 
 import math
+import numbers
 from dataclasses import dataclass, field
 
 from repro.hw.memory import BufferConfig
@@ -28,6 +29,29 @@ from repro.hw.memory import BufferConfig
 #: Synthesis anchors from Table 1 (the FP32 baseline, one processing unit).
 FP32_BASELINE_AREA_MM2 = 16.52
 FP32_BASELINE_POWER_MW = 1361.61
+
+
+class CostModelError(ValueError):
+    """A cost-model input describes a physically meaningless design.
+
+    Raised instead of silently pricing degenerate hardware (a 0-bit adder
+    has no gates, so an explorer sweeping widths would rank it as free).
+    """
+
+
+def _require_positive_int(name: str, value) -> int:
+    """Validate a structural parameter (bit width, stage count, PU count).
+
+    Rejects booleans (``True`` is an ``int`` but never a width),
+    non-integral values, and anything below 1 with a typed
+    :class:`CostModelError`.  NumPy integer scalars are accepted —
+    exploration grids hand those in.
+    """
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise CostModelError(f"{name} must be a positive integer, got {value!r}")
+    if value < 1:
+        raise CostModelError(f"{name} must be >= 1, got {value!r}")
+    return int(value)
 
 #: Table 1 reference values for comparison in reports.
 PAPER_TABLE1 = {
@@ -63,6 +87,66 @@ class TechnologyParams:
     )
 
 
+#: Named technology corners for design-space exploration.  ``"65nm"`` is
+#: the paper's synthesis node; the scaled nodes apply first-order logic
+#: shrink with the (realistic) caveat that SRAM bit cells scale *worse*
+#: than standard-cell logic, which shifts the buffer/datapath balance and
+#: therefore the relative MF-DFP savings at each node.
+TECHNOLOGY_PRESETS: dict[str, TechnologyParams] = {
+    "65nm": TechnologyParams(),
+    "45nm": TechnologyParams(
+        um2_per_ge=0.69,
+        um2_per_sram_bit=0.30,
+        uw_per_weighted_ge=0.21,
+        uw_per_sram_bit=0.072,
+    ),
+    "28nm": TechnologyParams(
+        um2_per_ge=0.27,
+        um2_per_sram_bit=0.16,
+        uw_per_weighted_ge=0.12,
+        uw_per_sram_bit=0.048,
+    ),
+}
+
+
+def technology(name: str) -> TechnologyParams:
+    """Look up a :data:`TECHNOLOGY_PRESETS` corner by name.
+
+    Raises :class:`CostModelError` for unknown nodes (listing the valid
+    ones) so exploration specs fail loudly instead of silently defaulting.
+    """
+    try:
+        return TECHNOLOGY_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(TECHNOLOGY_PRESETS))
+        raise CostModelError(f"unknown technology {name!r} (known: {known})") from None
+
+
+@dataclass(frozen=True)
+class NPUDesign:
+    """A parameterized MF-DFP NPU configuration for design-space exploration.
+
+    ``activation_bits`` sets the dynamic-fixed-point activation width: shift
+    products are ``activation_bits + 8`` wide (a 4-bit ⟨s, e⟩ weight shifts
+    by at most 8), and the widening adder tree / pipeline registers scale
+    with them.  ``activation_bits=8`` reproduces the paper's Figure 2(a)
+    datapath — and the legacy ``CostModel.evaluate("mfdfp", ...)`` bill —
+    exactly.  ``num_pus=2`` is the ensemble design of Table 1.
+    """
+
+    activation_bits: int = 8
+    num_pus: int = 1
+
+    def __post_init__(self):
+        bits = _require_positive_int("activation_bits", self.activation_bits)
+        if bits > 16:
+            raise CostModelError(
+                f"activation_bits must be <= 16 (datapath model limit), got {bits}"
+            )
+        object.__setattr__(self, "activation_bits", bits)
+        object.__setattr__(self, "num_pus", _require_positive_int("num_pus", self.num_pus))
+
+
 # -- component gate counts ---------------------------------------------------
 def fp32_multiplier_ge() -> float:
     """IEEE-754 single-precision multiplier (24x24 mantissa array)."""
@@ -75,23 +159,36 @@ def fp32_adder_ge() -> float:
 
 
 def int_adder_ge(bits: int) -> float:
-    """n-bit carry-lookahead integer adder (~8 GE per bit)."""
-    return 8.0 * bits
+    """n-bit carry-lookahead integer adder (~8 GE per bit).
+
+    Raises :class:`CostModelError` for non-positive or non-integral widths.
+    """
+    return 8.0 * _require_positive_int("bits", bits)
 
 
 def int_multiplier_ge(bits: int) -> float:
-    """n x n integer array multiplier (~6.6 GE per partial-product cell)."""
-    return 6.6 * bits * bits
+    """n x n integer array multiplier (~6.6 GE per partial-product cell).
+
+    Raises :class:`CostModelError` for non-positive or non-integral widths.
+    """
+    return 6.6 * _require_positive_int("bits", bits) ** 2
 
 
 def barrel_shifter_ge(width: int, stages: int) -> float:
-    """Mux-based barrel shifter: width x stages 2:1 muxes (~2.5 GE each)."""
-    return 2.5 * width * stages
+    """Mux-based barrel shifter: width x stages 2:1 muxes (~2.5 GE each).
+
+    Raises :class:`CostModelError` for non-positive or non-integral
+    width/stage counts.
+    """
+    return 2.5 * _require_positive_int("width", width) * _require_positive_int("stages", stages)
 
 
 def register_ge(bits: int) -> float:
-    """Flip-flop bank (~4.5 GE per bit)."""
-    return 4.5 * bits
+    """Flip-flop bank (~4.5 GE per bit).
+
+    Raises :class:`CostModelError` for non-positive or non-integral widths.
+    """
+    return 4.5 * _require_positive_int("bits", bits)
 
 
 @dataclass
@@ -197,35 +294,56 @@ class CostModel:
                 CostItem("nonlinearity", self.NEURONS * 200.0, 0, "nl"),
             ]
         if precision == "mfdfp":
-            # Widening adder tree of Figure 2(a): 8x17b + 4x18b + 2x19b + 1x20b.
-            tree_bits = 8 * 17 + 4 * 18 + 2 * 19 + 1 * 20
-            return [
-                CostItem("shifters", lanes * barrel_shifter_ge(16, 3), 0, "shift"),
-                CostItem("adder_tree", self.NEURONS * int_adder_ge(tree_bits), 0, "int_add"),
-                CostItem(
-                    "accumulators",
-                    self.NEURONS * (int_adder_ge(32) + register_ge(32)),
-                    0,
-                    "int_add",
-                ),
-                CostItem(
-                    "routing", self.NEURONS * barrel_shifter_ge(32, 6), 0, "shift"
-                ),
-                CostItem(
-                    "pipeline_regs",
-                    self.PIPELINE_STAGES * lanes * register_ge(16),
-                    0,
-                    "register",
-                ),
-                CostItem("nonlinearity", self.NEURONS * 200.0, 0, "nl"),
-            ]
+            return self._mfdfp_pu_items(8)
         raise ValueError(f"unknown precision {precision!r}")
+
+    def _mfdfp_pu_items(self, activation_bits: int) -> list[CostItem]:
+        """MF-DFP processing unit at a parameterized activation width.
+
+        Generalizes the widening adder tree of Figure 2(a): shift products
+        are ``p = activation_bits + 8`` bits wide (the 4-bit ⟨s, e⟩ code
+        shifts by at most 8), and each of the ``log2(SYNAPSES)`` tree
+        levels adds one carry bit, so level ``i`` holds ``SYNAPSES >> i``
+        adders of width ``p + i``.  At ``activation_bits=8`` this is
+        exactly the paper's 8x17b + 4x18b + 2x19b + 1x20b tree, and the
+        resulting bill is bit-identical to the legacy ``"mfdfp"`` one.
+        """
+        bits = _require_positive_int("activation_bits", activation_bits)
+        lanes = self.NEURONS * self.SYNAPSES
+        product = bits + 8
+        levels = int(math.log2(self.SYNAPSES))
+        tree_bits = sum((self.SYNAPSES >> level) * (product + level) for level in range(1, levels + 1))
+        return [
+            CostItem("shifters", lanes * barrel_shifter_ge(product, 3), 0, "shift"),
+            CostItem("adder_tree", self.NEURONS * int_adder_ge(tree_bits), 0, "int_add"),
+            CostItem(
+                "accumulators",
+                self.NEURONS * (int_adder_ge(32) + register_ge(32)),
+                0,
+                "int_add",
+            ),
+            CostItem(
+                "routing", self.NEURONS * barrel_shifter_ge(32, 6), 0, "shift"
+            ),
+            CostItem(
+                "pipeline_regs",
+                self.PIPELINE_STAGES * lanes * register_ge(product),
+                0,
+                "register",
+            ),
+            CostItem("nonlinearity", self.NEURONS * 200.0, 0, "nl"),
+        ]
 
     def _bill(self, precision: str, num_pus: int, buffers: BufferConfig) -> list[CostItem]:
         """Full accelerator: PUs + per-PU memory/DMA/control + shared glue."""
+        return self._assemble(self._pu_items(precision), num_pus, buffers)
+
+    def _assemble(
+        self, pu_items: list[CostItem], num_pus: int, buffers: BufferConfig
+    ) -> list[CostItem]:
         items: list[CostItem] = []
         for pu in range(num_pus):
-            for item in self._pu_items(precision):
+            for item in pu_items:
                 items.append(
                     CostItem(f"pu{pu}.{item.name}", item.ge, item.sram_bits, item.activity_class)
                 )
@@ -261,8 +379,7 @@ class CostModel:
             buffers: Buffer geometry; defaults to the paper's configuration
                 at the precision's word widths.
         """
-        if num_pus < 1:
-            raise ValueError("need at least one processing unit")
+        num_pus = _require_positive_int("num_pus", num_pus)
         if buffers is None:
             if precision == "fp32":
                 buffers = self._fp32_buffers()
@@ -271,6 +388,31 @@ class CostModel:
             else:
                 buffers = BufferConfig()
         items = self._bill(precision, num_pus, buffers)
+        raw_area, raw_power = self._raw_totals(items)
+        return CostBreakdown(
+            items=items,
+            area_mm2=raw_area * self.area_calibration / 1e6,
+            power_mw=raw_power * self.power_calibration / 1e3,
+            raw_area_um2=raw_area,
+            raw_power_uw=raw_power,
+        )
+
+    def evaluate_design(
+        self, design: NPUDesign, buffers: BufferConfig | None = None
+    ) -> CostBreakdown:
+        """Area (mm²) and power (mW) of a parameterized :class:`NPUDesign`.
+
+        Buffers default to the paper's geometry at the design's activation
+        width with 4-bit weight codes.  ``NPUDesign(activation_bits=8,
+        num_pus=n)`` is bit-identical to ``evaluate("mfdfp", n)``.
+        """
+        if buffers is None:
+            buffers = BufferConfig().scaled_to_precision(
+                activation_bits=design.activation_bits, weight_bits=4
+            )
+        items = self._assemble(
+            self._mfdfp_pu_items(design.activation_bits), design.num_pus, buffers
+        )
         raw_area, raw_power = self._raw_totals(items)
         return CostBreakdown(
             items=items,

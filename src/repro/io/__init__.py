@@ -15,6 +15,10 @@ Everything the reproduction writes to disk flows through this package:
   versioned on-disk layout that
   :meth:`repro.serve.ModelRegistry.from_store` cold-starts from and
   ``python -m repro export/import/resume`` operate on.
+* :mod:`repro.io.exploration` — whole-exploration checkpoints for the
+  co-design explorer (``python -m repro explore``): completed
+  evaluations persist as one container per save, and a killed search
+  resumes bit-identically.
 """
 
 from repro.io.artifacts import (
@@ -44,6 +48,7 @@ from repro.io.checkpoint import (
     PipelineCheckpointer,
     resume_algorithm1,
 )
+from repro.io.exploration import ExplorationCheckpointer
 from repro.io.store import (
     ArtifactStore,
     QuarantinedArtifactError,
@@ -57,6 +62,7 @@ __all__ = [
     "ArtifactStore",
     "ArtifactVersionError",
     "Checkpointer",
+    "ExplorationCheckpointer",
     "FORMAT_VERSION",
     "PipelineCheckpointer",
     "QuarantinedArtifactError",

@@ -23,6 +23,7 @@ instance lock — workers and client threads record concurrently.
 from __future__ import annotations
 
 import math
+import numbers
 import threading
 import time
 from collections import deque
@@ -129,11 +130,21 @@ class ModelMetrics:
         restricts the readout to the most recent ``window`` completions
         — the SLO-facing view the adaptive batcher steers on, which must
         react to *current* latency, not the whole reservoir's history.
+
+        Edge cases are pinned, never accidental: ``q=0`` is the minimum
+        and ``q=100`` the maximum recorded latency; a ``window`` larger
+        than the reservoir reads everything retained; ``q`` outside
+        ``[0, 100]`` (including NaN) and non-integral or non-positive
+        ``window`` raise the documented ``ValueError``.
         """
         if not 0 <= q <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {q}")  # repro-lint: disable=error-taxonomy (public-API argument validation; ValueError is the documented contract)
-        if window is not None and window < 1:
-            raise ValueError(f"window must be positive, got {window}")  # repro-lint: disable=error-taxonomy (public-API argument validation; ValueError is the documented contract)
+        if window is not None:
+            if isinstance(window, bool) or not isinstance(window, numbers.Integral):
+                raise ValueError(f"window must be an integer, got {window!r}")  # repro-lint: disable=error-taxonomy (public-API argument validation; ValueError is the documented contract)
+            if window < 1:
+                raise ValueError(f"window must be positive, got {window}")  # repro-lint: disable=error-taxonomy (public-API argument validation; ValueError is the documented contract)
+            window = int(window)
         with self._lock:
             recent = list(self._latencies)
         if window is not None:

@@ -212,6 +212,29 @@ class TestRunCampaign:
                 "faults", deployed=problem["deployed"], x=test.x, y=test.y, points=99
             )
 
+    def test_points_edge_cases_pinned(self, problem, small_data):
+        """points=0, beyond the prefix, and non-integral all raise the
+        documented ValueError — never an index error or empty campaign."""
+        from repro.analysis.campaign import campaign_points
+
+        _, test = small_data
+        for bad in (0, -1, 99):
+            with pytest.raises(ValueError, match="points"):
+                campaign_points("faults", bad)
+            with pytest.raises(ValueError, match="points"):
+                run_campaign(
+                    "faults", deployed=problem["deployed"], x=test.x, y=test.y, points=bad
+                )
+        for bad in (1.5, "2", True):
+            with pytest.raises(ValueError, match="points must be an integer"):
+                campaign_points("faults", bad)
+        # numpy integers from sweep grids are fine
+        assert campaign_points("faults", np.int64(2)) == DEFAULT_POINTS["faults"][:2]
+        # points=None is the full default list for every kind
+        for kind in CAMPAIGN_KINDS:
+            assert campaign_points(kind, None) == DEFAULT_POINTS[kind]
+            assert campaign_points(kind, len(DEFAULT_POINTS[kind])) == DEFAULT_POINTS[kind]
+
     def test_shared_cache_is_a_bounded_singleton(self):
         cache = shared_engine_cache()
         assert cache is shared_engine_cache()
@@ -222,6 +245,54 @@ class TestRunCampaign:
         result = CampaignResult("faults", [], 1, 0.0, 0, 0)
         with pytest.raises(AttributeError):
             result.kind = "other"
+
+    def test_concurrent_campaigns_account_their_own_cache_traffic(self, small_data):
+        """Two campaigns racing on one shared cache must each report exactly
+        their own lookups — the old before/after counter deltas let one
+        campaign's traffic leak into the other's accounting."""
+        import threading
+
+        train, test = small_data
+        cache = EngineCache(capacity=16)
+        deployments = [
+            deploy_calibrated(
+                cifar10_small(size=16, rng=np.random.default_rng(seed)), train.x[:64]
+            )
+            for seed in (21, 22)
+        ]
+        results = [None, None]
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def campaign(slot):
+            try:
+                barrier.wait(timeout=30)
+                results[slot] = run_campaign(
+                    "faults",
+                    deployed=deployments[slot],
+                    x=test.x[:32],
+                    y=test.y[:32],
+                    points=4,
+                    jobs=2,
+                    rng=np.random.default_rng(slot),
+                    cache=cache,
+                )
+            except Exception as exc:  # pragma: no cover - surfaced via errors
+                errors.append(exc)
+
+        threads = [threading.Thread(target=campaign, args=(slot,)) for slot in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for result in results:
+            # one engine lookup per fault point, attributed to this campaign
+            # alone: no cross-contamination from the concurrent sibling.
+            assert result.cache_hits + result.cache_misses == len(result.points)
+        # the shared cache saw exactly the union of both campaigns' traffic
+        hits, misses = cache.counters()
+        assert hits + misses == sum(len(r.points) for r in results)
 
 
 class TestSqnrCampaign:

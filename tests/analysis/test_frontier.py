@@ -1,0 +1,133 @@
+"""Pareto geometry: dominance, frontier extraction, margin pruning."""
+
+import math
+
+import pytest
+
+from repro.analysis.frontier import Objective, dominates, pareto_frontier, prune_dominated
+
+ACC = Objective("accuracy", key=lambda p: p["acc"], maximize=True)
+ENERGY = Objective("energy", key=lambda p: p["energy"])
+AREA = Objective("area", key=lambda p: p["area"])
+
+
+def pt(acc, energy, area=1.0):
+    return {"acc": acc, "energy": energy, "area": area}
+
+
+class TestDominates:
+    def test_better_everywhere_dominates(self):
+        assert dominates(pt(0.9, 1.0), pt(0.8, 2.0), [ACC, ENERGY])
+
+    def test_equal_points_do_not_dominate_each_other(self):
+        a, b = pt(0.9, 1.0), pt(0.9, 1.0)
+        assert not dominates(a, b, [ACC, ENERGY])
+        assert not dominates(b, a, [ACC, ENERGY])
+
+    def test_tradeoff_is_incomparable(self):
+        a, b = pt(0.9, 2.0), pt(0.8, 1.0)  # a: better acc, worse energy
+        assert not dominates(a, b, [ACC, ENERGY])
+        assert not dominates(b, a, [ACC, ENERGY])
+
+    def test_tie_on_one_axis_strict_on_other(self):
+        assert dominates(pt(0.9, 1.0), pt(0.9, 2.0), [ACC, ENERGY])
+
+    def test_direction_respected(self):
+        # On energy alone (minimize), the cheaper point dominates.
+        assert dominates(pt(0.1, 1.0), pt(0.9, 2.0), [ENERGY])
+        assert not dominates(pt(0.1, 1.0), pt(0.9, 2.0), [ACC])
+
+    def test_nan_objective_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            dominates(pt(float("nan"), 1.0), pt(0.5, 1.0), [ACC, ENERGY])
+        with pytest.raises(ValueError, match="finite"):
+            dominates(pt(0.5, 1.0), pt(0.5, math.inf), [ACC, ENERGY])
+
+    def test_empty_objectives_rejected(self):
+        with pytest.raises(ValueError, match="objective"):
+            dominates(pt(1, 1), pt(2, 2), [])
+        with pytest.raises(ValueError, match="objective"):
+            pareto_frontier([pt(1, 1)], [])
+
+    def test_non_objective_rejected(self):
+        with pytest.raises(TypeError, match="Objective"):
+            pareto_frontier([pt(1, 1)], [lambda p: p["acc"]])
+
+
+class TestParetoFrontier:
+    def test_classic_staircase(self):
+        points = [
+            pt(0.95, 9.0),  # frontier: best acc
+            pt(0.90, 5.0),  # frontier
+            pt(0.85, 2.0),  # frontier
+            pt(0.84, 5.5),  # dominated by 0.90/5.0
+            pt(0.60, 8.0),  # dominated
+        ]
+        assert pareto_frontier(points, [ACC, ENERGY]) == points[:3]
+
+    def test_order_preserved(self):
+        points = [pt(0.85, 2.0), pt(0.95, 9.0), pt(0.90, 5.0)]
+        assert pareto_frontier(points, [ACC, ENERGY]) == points
+
+    def test_duplicates_both_survive(self):
+        a, b = pt(0.9, 1.0), pt(0.9, 1.0)
+        assert pareto_frontier([a, b], [ACC, ENERGY]) == [a, b]
+
+    def test_single_and_empty_inputs(self):
+        only = pt(0.5, 1.0)
+        assert pareto_frontier([only], [ACC, ENERGY]) == [only]
+        assert pareto_frontier([], [ACC, ENERGY]) == []
+
+    def test_three_objectives(self):
+        a = pt(0.9, 5.0, area=3.0)
+        b = pt(0.8, 4.0, area=2.0)
+        c = pt(0.8, 6.0, area=4.0)  # dominated by b on all three axes
+        assert pareto_frontier([a, b, c], [ACC, ENERGY, AREA]) == [a, b]
+
+    def test_frontier_is_idempotent(self):
+        points = [pt(0.95, 9.0), pt(0.90, 5.0), pt(0.1, 9.5), pt(0.2, 7.0)]
+        front = pareto_frontier(points, [ACC, ENERGY])
+        assert pareto_frontier(front, [ACC, ENERGY]) == front
+
+
+class TestPruneDominated:
+    def test_zero_margin_equals_frontier(self):
+        points = [pt(0.95, 9.0), pt(0.90, 5.0), pt(0.84, 5.5), pt(0.60, 8.0)]
+        assert prune_dominated(points, [ACC, ENERGY]) == pareto_frontier(points, [ACC, ENERGY])
+
+    def test_margin_keeps_near_frontier_points(self):
+        noisy_acc = Objective("accuracy", key=lambda p: p["acc"], maximize=True, margin=0.05)
+        points = [
+            pt(0.90, 5.0),
+            pt(0.87, 5.5),  # dominated, but within the 0.05 accuracy margin
+            pt(0.70, 6.0),  # clearly dominated even with the credit
+        ]
+        kept = prune_dominated(points, [noisy_acc, ENERGY])
+        assert kept == points[:2]
+
+    def test_margin_only_credits_its_own_objective(self):
+        noisy_acc = Objective("accuracy", key=lambda p: p["acc"], maximize=True, margin=0.05)
+        # equal energy, accuracy gap inside the margin: the credited
+        # candidate is no longer beaten anywhere, so both survive.
+        points = [pt(0.90, 5.0), pt(0.89, 5.0)]
+        kept = prune_dominated(points, [noisy_acc, ENERGY])
+        assert kept == points
+
+    def test_margin_never_prunes_exact_ties(self):
+        """An exact tie on the noisy axis sits inside any margin, so a
+        strictly-cheaper point never margin-prunes an accuracy-equal one.
+        Callers that *know* two points measure identically (the explorer's
+        technology twins) must settle them on the exact axes themselves."""
+        noisy_acc = Objective("accuracy", key=lambda p: p["acc"], maximize=True, margin=0.05)
+        points = [pt(0.90, 5.0), pt(0.90, 6.0)]
+        assert prune_dominated(points, [noisy_acc, ENERGY]) == points
+
+    def test_negative_or_nan_margin_rejected(self):
+        with pytest.raises(ValueError, match="margin"):
+            Objective("a", key=lambda p: p, margin=-0.1)
+        with pytest.raises(ValueError, match="margin"):
+            Objective("a", key=lambda p: p, margin=float("nan"))
+        with pytest.raises(TypeError, match="margin"):
+            Objective("a", key=lambda p: p, margin=True)
+        with pytest.raises(TypeError, match="callable"):
+            Objective("a", key="not-callable")

@@ -1,0 +1,191 @@
+"""SIGKILL mid-exploration, resume in a fresh process, bit-identical frontier.
+
+The ISSUE acceptance gate for the explorer: a search killed hard (SIGKILL,
+no cleanup, no atexit) partway through its rungs must, when resumed from
+its checkpoints in a brand-new interpreter, land on exactly the frontier
+and evaluation set the uninterrupted run produces.  The kill is injected
+through a checkpointer subclass that SIGKILLs its own process after a
+fixed number of saves — so death lands between chunk boundaries, with
+completed work persisted and in-flight work lost.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Shared problem + dump helpers, inlined into every driver namespace.
+PROBLEM_SRC = textwrap.dedent(
+    """
+    import numpy as np
+    from repro.datasets import cifar10_surrogate
+    from repro.explore import DesignSpace, ExploreConfig, explore
+    from repro.zoo import cifar10_small
+
+    SPACE = DesignSpace(bits=(4, 8), min_exps=(-7, -9), num_pus=(1,), technologies=("65nm",))
+    CONFIG = ExploreConfig(seed=11, rung_epochs=(0,), final_epochs=1, checkpoint_every=1)
+
+    def make_problem():
+        train, test = cifar10_surrogate(n_train=96, n_test=48, size=8, seed=2)
+        net = cifar10_small(size=8, width=4, rng=np.random.default_rng(0))
+        return net, train, test, train.x[:32]
+
+    def run(checkpoint=None, jobs=1, backend="thread"):
+        net, train, test, calib = make_problem()
+        return explore(net, train, test, calib, SPACE, CONFIG,
+                       jobs=jobs, backend=backend, checkpoint=checkpoint)
+
+    def dump(result, path):
+        rows = result.evaluations
+        np.savez(
+            path,
+            point_index=np.array([e.point.index for e in rows], dtype=np.int64),
+            rung=np.array([e.rung for e in rows], dtype=np.int64),
+            full=np.array([e.full for e in rows], dtype=np.uint8),
+            accuracy=np.array([e.accuracy for e in rows], dtype=np.float64),
+            energy_uj=np.array([e.energy_uj for e in rows], dtype=np.float64),
+            area_mm2=np.array([e.area_mm2 for e in rows], dtype=np.float64),
+            frontier=np.array([e.point.index for e in result.frontier], dtype=np.int64),
+        )
+    """
+)
+
+
+def run_driver(tmp_path: Path, name: str, body: str, *, expect_kill: bool = False) -> None:
+    script = tmp_path / f"{name}.py"
+    script.write_text(PROBLEM_SRC + textwrap.dedent(body))
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    if expect_kill:
+        assert proc.returncode == -9, (
+            f"driver {name} should have been SIGKILLed, exited "
+            f"{proc.returncode}:\n{proc.stdout[-2000:]}\n{proc.stderr[-2000:]}"
+        )
+    else:
+        assert proc.returncode == 0, (
+            f"driver {name} failed:\n{proc.stdout[-2000:]}\n{proc.stderr[-2000:]}"
+        )
+
+
+def load_result(path: Path) -> dict:
+    with np.load(path) as data:
+        return {k: data[k] for k in data.files}
+
+
+class TestKillResume:
+    def test_sigkilled_exploration_resumes_bit_identically(self, tmp_path):
+        # Reference: uninterrupted, fresh process, no checkpointing.
+        run_driver(
+            tmp_path,
+            "reference",
+            """
+            dump(run(), "reference.npz")
+            """,
+        )
+
+        # Part 1: checkpoint after every evaluation, SIGKILL after the
+        # second save — rung 0 is half done, nothing full has run.
+        run_driver(
+            tmp_path,
+            "killed",
+            """
+            import os, signal
+            from repro.io import ExplorationCheckpointer
+
+            class KillingCheckpointer(ExplorationCheckpointer):
+                saves = 0
+                def save(self, evaluations, space, config):
+                    path = super().save(evaluations, space, config)
+                    KillingCheckpointer.saves += 1
+                    if KillingCheckpointer.saves >= 2:
+                        os.kill(os.getpid(), signal.SIGKILL)
+                    return path
+
+            run(checkpoint=KillingCheckpointer("ckpt"))
+            raise SystemExit("unreachable: the exploration should have been killed")
+            """,
+            expect_kill=True,
+        )
+        saved = list((tmp_path / "ckpt").glob("exploration_*.npz"))
+        assert saved, "the killed run persisted no checkpoints"
+
+        # Part 2: fresh interpreter resumes from the survivors' checkpoints
+        # and must reproduce the reference exactly — including rows that
+        # were restored rather than recomputed.
+        run_driver(
+            tmp_path,
+            "resumed",
+            """
+            from repro.io import ExplorationCheckpointer
+            ckpt = ExplorationCheckpointer("ckpt")
+            restored = len(ckpt.load(SPACE, CONFIG))
+            assert restored >= 2, f"expected >=2 restored rows, got {restored}"
+            dump(run(checkpoint=ckpt), "resumed.npz")
+            """,
+        )
+
+        ref = load_result(tmp_path / "reference.npz")
+        resumed = load_result(tmp_path / "resumed.npz")
+        assert set(ref) == set(resumed)
+        for key in sorted(ref):
+            assert np.array_equal(ref[key], resumed[key]), f"{key} differs after kill+resume"
+
+    def test_resume_on_process_backend_matches_reference(self, tmp_path):
+        """Cross-backend satellite: the resumed half runs on jobs=2/process."""
+        run_driver(
+            tmp_path,
+            "reference",
+            """
+            dump(run(), "reference.npz")
+            """,
+        )
+        run_driver(
+            tmp_path,
+            "killed",
+            """
+            import os, signal
+            from repro.io import ExplorationCheckpointer
+
+            class KillingCheckpointer(ExplorationCheckpointer):
+                saves = 0
+                def save(self, evaluations, space, config):
+                    path = super().save(evaluations, space, config)
+                    KillingCheckpointer.saves += 1
+                    if KillingCheckpointer.saves >= 3:
+                        os.kill(os.getpid(), signal.SIGKILL)
+                    return path
+
+            run(checkpoint=KillingCheckpointer("ckpt"))
+            """,
+            expect_kill=True,
+        )
+        run_driver(
+            tmp_path,
+            "resumed",
+            """
+            from repro.io import ExplorationCheckpointer
+            result = run(checkpoint=ExplorationCheckpointer("ckpt"), jobs=2, backend="process")
+            dump(result, "resumed.npz")
+            """,
+        )
+        ref = load_result(tmp_path / "reference.npz")
+        resumed = load_result(tmp_path / "resumed.npz")
+        for key in sorted(ref):
+            assert np.array_equal(ref[key], resumed[key]), f"{key} differs after kill+resume"

@@ -7,12 +7,17 @@ from repro.hw.cost import (
     FP32_BASELINE_AREA_MM2,
     FP32_BASELINE_POWER_MW,
     PAPER_TABLE1,
+    TECHNOLOGY_PRESETS,
     CostModel,
+    CostModelError,
+    NPUDesign,
     barrel_shifter_ge,
     fp32_adder_ge,
     fp32_multiplier_ge,
     int_adder_ge,
+    int_multiplier_ge,
     register_ge,
+    technology,
 )
 from repro.hw.memory import BufferConfig
 
@@ -34,6 +39,106 @@ class TestComponentCounts:
 
     def test_register_linear(self):
         assert register_ge(32) == 2 * register_ge(16)
+
+    def test_numpy_integer_widths_accepted(self):
+        assert int_adder_ge(np.int64(20)) == int_adder_ge(20)
+        assert barrel_shifter_ge(np.int32(16), np.int32(3)) == barrel_shifter_ge(16, 3)
+
+
+class TestComponentValidation:
+    """Degenerate datapaths must fail loudly, never price as free."""
+
+    @pytest.mark.parametrize("bad", [0, -1, -32])
+    def test_nonpositive_widths_rejected(self, bad):
+        for fn in (int_adder_ge, int_multiplier_ge, register_ge):
+            with pytest.raises(CostModelError, match=">= 1"):
+                fn(bad)
+        with pytest.raises(CostModelError, match=">= 1"):
+            barrel_shifter_ge(bad, 3)
+        with pytest.raises(CostModelError, match=">= 1"):
+            barrel_shifter_ge(16, bad)
+
+    @pytest.mark.parametrize("bad", [2.5, "8", None, True, float("nan")])
+    def test_non_integral_widths_rejected(self, bad):
+        for fn in (int_adder_ge, int_multiplier_ge, register_ge):
+            with pytest.raises(CostModelError, match="positive integer"):
+                fn(bad)
+        with pytest.raises(CostModelError, match="positive integer"):
+            barrel_shifter_ge(16, bad)
+
+    def test_cost_model_error_is_a_value_error(self):
+        assert issubclass(CostModelError, ValueError)
+
+
+class TestTechnologyPresets:
+    def test_default_preset_is_65nm(self):
+        model = TECHNOLOGY_PRESETS["65nm"]
+        from repro.hw.cost import TechnologyParams
+
+        assert model == TechnologyParams()
+        assert technology("65nm") == model
+
+    def test_unknown_node_rejected_with_known_list(self):
+        with pytest.raises(CostModelError, match="28nm"):
+            technology("7nm")
+
+    def test_scaled_nodes_shrink_logic_faster_than_sram(self):
+        base = technology("65nm")
+        for node in ("45nm", "28nm"):
+            tech = technology(node)
+            logic_shrink = tech.um2_per_ge / base.um2_per_ge
+            sram_shrink = tech.um2_per_sram_bit / base.um2_per_sram_bit
+            assert logic_shrink < sram_shrink < 1.0
+
+    def test_fp32_anchor_holds_at_every_node(self):
+        """Calibration re-anchors the FP32 baseline at each corner; the
+        interesting signal is the *relative* design costs."""
+        for node in TECHNOLOGY_PRESETS:
+            b = CostModel(technology(node)).evaluate("fp32", 1)
+            assert b.area_mm2 == pytest.approx(FP32_BASELINE_AREA_MM2, rel=1e-9)
+            assert b.power_mw == pytest.approx(FP32_BASELINE_POWER_MW, rel=1e-9)
+
+    def test_sram_heavy_designs_cost_relatively_more_at_advanced_nodes(self):
+        """SRAM scales worse than logic, so the buffer-dominated MF-DFP
+        design keeps a larger fraction of the FP32 area at 28 nm."""
+        area_65 = CostModel(technology("65nm")).evaluate("mfdfp", 1).area_mm2
+        area_28 = CostModel(technology("28nm")).evaluate("mfdfp", 1).area_mm2
+        assert area_28 > area_65
+
+
+class TestNPUDesign:
+    def test_bits8_bill_bit_identical_to_legacy_mfdfp(self, model):
+        for pus in (1, 2):
+            legacy = model.evaluate("mfdfp", pus)
+            design = model.evaluate_design(NPUDesign(activation_bits=8, num_pus=pus))
+            assert design.area_mm2 == legacy.area_mm2
+            assert design.power_mw == legacy.power_mw
+            assert design.raw_area_um2 == legacy.raw_area_um2
+            assert design.raw_power_uw == legacy.raw_power_uw
+            assert [(i.name, i.ge, i.sram_bits) for i in design.items] == [
+                (i.name, i.ge, i.sram_bits) for i in legacy.items
+            ]
+
+    def test_cost_monotone_in_activation_bits(self, model):
+        areas = [
+            model.evaluate_design(NPUDesign(activation_bits=b)).area_mm2 for b in (4, 6, 8, 12, 16)
+        ]
+        assert all(a < b for a, b in zip(areas, areas[1:]))
+
+    def test_validation(self):
+        with pytest.raises(CostModelError):
+            NPUDesign(activation_bits=0)
+        with pytest.raises(CostModelError):
+            NPUDesign(activation_bits=17)
+        with pytest.raises(CostModelError):
+            NPUDesign(num_pus=0)
+        with pytest.raises(CostModelError):
+            NPUDesign(activation_bits=2.5)
+
+    def test_numpy_widths_normalized_to_python_ints(self):
+        d = NPUDesign(activation_bits=np.int64(8), num_pus=np.int32(2))
+        assert type(d.activation_bits) is int and d.activation_bits == 8
+        assert type(d.num_pus) is int and d.num_pus == 2
 
 
 class TestBaselineAnchors:

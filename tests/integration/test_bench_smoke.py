@@ -25,7 +25,7 @@ BENCH_FILES = sorted((REPO_ROOT / "benchmarks").glob("bench_*.py"))
 
 def test_benchmark_suite_is_discovered():
     """A rename that hides benchmarks from this gate must fail loudly."""
-    assert len(BENCH_FILES) >= 15
+    assert len(BENCH_FILES) >= 16
     names = {p.name for p in BENCH_FILES}
     assert "bench_engine_throughput.py" in names
     assert "bench_campaign_throughput.py" in names
@@ -33,6 +33,7 @@ def test_benchmark_suite_is_discovered():
     assert "bench_artifact_io.py" in names
     assert "bench_scaleout.py" in names
     assert "bench_chaos_recovery.py" in names
+    assert "bench_explore.py" in names
 
 
 @pytest.mark.parametrize("bench", BENCH_FILES, ids=lambda p: p.name)

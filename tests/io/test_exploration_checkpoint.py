@@ -1,0 +1,146 @@
+"""ExplorationCheckpointer: round trip, schema refusal, retention, torn files."""
+
+import numpy as np
+import pytest
+
+from repro.explore import DesignSpace, ExploreConfig
+from repro.explore.explorer import EvaluatedPoint
+from repro.io import ArtifactSchemaError, ExplorationCheckpointer, write_container
+
+SPACE = DesignSpace(bits=(4, 8), min_exps=(-7,), num_pus=(1, 2), technologies=("65nm",))
+CONFIG = ExploreConfig(seed=3, rung_epochs=(0, 1), final_epochs=2)
+
+
+def make_rows(space=SPACE, rungs=(0,)):
+    rows = []
+    for rung in rungs:
+        for point in space.points():
+            rows.append(
+                EvaluatedPoint(
+                    point=point,
+                    rung=rung,
+                    accuracy=0.5 + 0.01 * point.index + 0.1 * rung,
+                    area_mm2=1.0 + point.index,
+                    power_mw=10.0 * (point.index + 1),
+                    latency_us=2.0,
+                    energy_uj=0.02 * (point.index + 1),
+                    full=rung == CONFIG.final_rung,
+                )
+            )
+    return rows
+
+
+class TestRoundTrip:
+    def test_save_load_bit_identical(self, tmp_path):
+        ckpt = ExplorationCheckpointer(tmp_path / "ckpt")
+        rows = make_rows(rungs=(0, 2))
+        path = ckpt.save(rows, SPACE, CONFIG)
+        assert path.is_file()
+        restored = ckpt.load(SPACE, CONFIG)
+        assert set(restored) == {(r.rung, r.point.index) for r in rows}
+        for row in rows:
+            assert restored[(row.rung, row.point.index)] == row
+
+    def test_empty_directory_loads_nothing(self, tmp_path):
+        ckpt = ExplorationCheckpointer(tmp_path / "never-created")
+        assert ckpt.latest() is None
+        assert ckpt.load(SPACE, CONFIG) == {}
+
+    def test_save_rejects_foreign_rows(self, tmp_path):
+        ckpt = ExplorationCheckpointer(tmp_path / "ckpt")
+        with pytest.raises(TypeError, match="EvaluatedPoint"):
+            ckpt.save([{"accuracy": 0.9}], SPACE, CONFIG)
+
+    def test_keep_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            ExplorationCheckpointer(tmp_path, keep=0)
+
+
+class TestSchemaRefusal:
+    def test_different_space_rejected(self, tmp_path):
+        ckpt = ExplorationCheckpointer(tmp_path / "ckpt")
+        ckpt.save(make_rows(), SPACE, CONFIG)
+        other = DesignSpace(bits=(8,), min_exps=(-7,), num_pus=(1, 2), technologies=("65nm",))
+        with pytest.raises(ArtifactSchemaError, match="design space"):
+            ckpt.load(other, CONFIG)
+
+    def test_different_config_rejected(self, tmp_path):
+        ckpt = ExplorationCheckpointer(tmp_path / "ckpt")
+        ckpt.save(make_rows(), SPACE, CONFIG)
+        with pytest.raises(ArtifactSchemaError, match="config"):
+            ckpt.load(SPACE, ExploreConfig(seed=4, rung_epochs=(0, 1), final_epochs=2))
+
+    def test_checkpoint_every_does_not_invalidate(self, tmp_path):
+        """Resume cadence is not part of exploration identity."""
+        ckpt = ExplorationCheckpointer(tmp_path / "ckpt")
+        rows = make_rows()
+        ckpt.save(rows, SPACE, CONFIG)
+        coarser = ExploreConfig(seed=3, rung_epochs=(0, 1), final_epochs=2, checkpoint_every=64)
+        assert len(ckpt.load(SPACE, coarser)) == len(rows)
+
+    def _write_raw(self, directory, arrays, count=4):
+        directory.mkdir(parents=True, exist_ok=True)
+        write_container(
+            directory / f"exploration_{count}.npz",
+            kind="exploration",
+            meta={"space": SPACE.spec(), "config": CONFIG.spec(), "count": count},
+            arrays=arrays,
+        )
+
+    def _full_arrays(self, n=4, **overrides):
+        arrays = {
+            "point_index": np.arange(n, dtype=np.int64),
+            "rung": np.zeros(n, dtype=np.int64),
+            "full": np.zeros(n, dtype=np.uint8),
+            "accuracy": np.full(n, 0.5),
+            "area_mm2": np.full(n, 1.0),
+            "power_mw": np.full(n, 10.0),
+            "latency_us": np.full(n, 2.0),
+            "energy_uj": np.full(n, 0.02),
+        }
+        arrays.update(overrides)
+        return arrays
+
+    def test_missing_arrays_rejected(self, tmp_path):
+        arrays = self._full_arrays()
+        del arrays["energy_uj"]
+        self._write_raw(tmp_path / "ckpt", arrays)
+        with pytest.raises(ArtifactSchemaError, match="missing arrays"):
+            ExplorationCheckpointer(tmp_path / "ckpt").load(SPACE, CONFIG)
+
+    def test_ragged_arrays_rejected(self, tmp_path):
+        arrays = self._full_arrays(accuracy=np.full(2, 0.5))
+        self._write_raw(tmp_path / "ckpt", arrays)
+        with pytest.raises(ArtifactSchemaError, match="ragged"):
+            ExplorationCheckpointer(tmp_path / "ckpt").load(SPACE, CONFIG)
+
+    def test_out_of_space_index_rejected(self, tmp_path):
+        arrays = self._full_arrays(point_index=np.array([0, 1, 2, 99], dtype=np.int64))
+        self._write_raw(tmp_path / "ckpt", arrays)
+        with pytest.raises(ArtifactSchemaError, match="outside"):
+            ExplorationCheckpointer(tmp_path / "ckpt").load(SPACE, CONFIG)
+
+    def test_out_of_ladder_rung_rejected(self, tmp_path):
+        arrays = self._full_arrays(rung=np.array([0, 0, 0, 7], dtype=np.int64))
+        self._write_raw(tmp_path / "ckpt", arrays)
+        with pytest.raises(ArtifactSchemaError, match="rung"):
+            ExplorationCheckpointer(tmp_path / "ckpt").load(SPACE, CONFIG)
+
+
+class TestRetentionAndTornFiles:
+    def test_rolling_retention_keeps_newest(self, tmp_path):
+        ckpt = ExplorationCheckpointer(tmp_path / "ckpt", keep=2)
+        space = SPACE
+        rows = make_rows(space)
+        for count in (1, 2, 3):
+            ckpt.save(rows[:count], space, CONFIG)
+        names = sorted(p.name for p in (tmp_path / "ckpt").glob("exploration_*.npz"))
+        assert names == ["exploration_2.npz", "exploration_3.npz"]
+
+    def test_latest_skips_torn_newest(self, tmp_path):
+        ckpt = ExplorationCheckpointer(tmp_path / "ckpt")
+        good = ckpt.save(make_rows(), SPACE, CONFIG)
+        torn = tmp_path / "ckpt" / "exploration_99.npz"
+        torn.write_bytes(good.read_bytes()[: good.stat().st_size // 2])
+        assert ckpt.latest() == good
+        assert len(ckpt.load(SPACE, CONFIG)) == len(make_rows())

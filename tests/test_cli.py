@@ -158,6 +158,61 @@ class TestParser:
         with pytest.raises(SystemExit, match="supports 1..6 points"):
             main(["sweep", "faults", "--points", "99"])
 
+    def test_explore_defaults(self):
+        args = build_parser().parse_args(["explore"])
+        assert args.bits == [4, 8] and args.min_exps == [-7, -9]
+        assert args.weight_modes == ["deterministic"]
+        assert args.num_pus == [1, 2] and args.technologies == ["65nm"]
+        assert args.seed == 0 and args.rung_epochs == [0, 1]
+        assert args.final_epochs == 2 and args.margin == 0.02
+        assert args.no_prune is False and args.checkpoint_dir is None
+        assert args.jobs is None and args.backend == "thread" and args.epochs == 3
+
+    def test_explore_flags(self):
+        args = build_parser().parse_args(
+            [
+                "explore",
+                "--bits", "4,6,8",
+                "--min-exps=-5,-7",
+                "--weight-modes", "deterministic,stochastic",
+                "--num-pus", "1,2,4",
+                "--technologies", "65nm,28nm",
+                "--seed", "7",
+                "--rung-epochs", "0,1,2",
+                "--final-epochs", "3",
+                "--margin", "0.05",
+                "--no-prune",
+                "--jobs", "4",
+                "--backend", "process",
+                "--checkpoint-dir", "ck",
+            ]
+        )
+        assert args.bits == [4, 6, 8] and args.min_exps == [-5, -7]
+        assert args.weight_modes == ["deterministic", "stochastic"]
+        assert args.num_pus == [1, 2, 4] and args.technologies == ["65nm", "28nm"]
+        assert args.seed == 7 and args.rung_epochs == [0, 1, 2]
+        assert args.final_epochs == 3 and args.margin == 0.05 and args.no_prune is True
+        assert args.jobs == 4 and args.backend == "process" and args.checkpoint_dir == "ck"
+
+    def test_explore_rejects_bad_axis_lists(self):
+        with pytest.raises(SystemExit):  # not integers
+            build_parser().parse_args(["explore", "--bits", "a,b"])
+        with pytest.raises(SystemExit):  # empty list
+            build_parser().parse_args(["explore", "--bits", ","])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explore", "--backend", "coroutine"])
+
+    def test_explore_rejects_invalid_space_before_training(self):
+        """A bad grid must fail fast, not after paying for surrogate training."""
+        with pytest.raises(SystemExit, match="error:"):
+            main(["explore", "--bits", "0"])
+        with pytest.raises(SystemExit, match="error:"):
+            main(["explore", "--technologies", "7nm"])
+        with pytest.raises(SystemExit, match="error:"):
+            main(["explore", "--rung-epochs", "2,1"])
+        with pytest.raises(SystemExit, match="error:"):
+            main(["explore", "--margin=-0.5"])
+
 
 class TestFastCommands:
     def test_table1_prints_all_designs(self, capsys):
